@@ -1,0 +1,49 @@
+// Figure 2 / Sec 6.3 robustness: a synthetic |V|=1000, |E|=21600 graph
+// with a 100-color stable coloring is perturbed with up to 1.5% random
+// extra edges. Stable coloring shatters; the q=4 quasi-stable coloring
+// keeps compressing.
+
+#include <cstdio>
+
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/perturb.h"
+#include "qsc/util/random.h"
+#include "qsc/util/table.h"
+#include "workloads.h"
+
+int main() {
+  std::printf("=== Figure 2: robustness of stable vs q-stable coloring "
+              "===\n");
+  std::printf("paper: stable coloring degrades to ~75%% of nodes at 1.5%% "
+              "perturbation;\n       q=4 coloring keeps a ~6.5x "
+              "compression\n\n");
+  qsc::Rng rng(777);
+  const qsc::Graph base = qsc::BlockBiregularGraph(100, 10, 216, rng);
+  std::printf("base graph: %d nodes, %lld edges, stable colors = %d\n\n",
+              base.num_nodes(), static_cast<long long>(base.num_edges()),
+              qsc::StableColoring(base).num_colors());
+
+  qsc::TablePrinter table({"edges added", "% perturbed", "stable colors",
+                           "stable ratio", "q=4 colors", "q=4 ratio"});
+  for (int added : {0, 54, 108, 162, 216, 270, 324}) {
+    const qsc::Graph noisy =
+        added == 0 ? base : qsc::AddRandomEdges(base, added, rng);
+    const qsc::ColorId stable = qsc::StableColoring(noisy).num_colors();
+
+    qsc::RothkoOptions options;
+    options.max_colors = 1001;
+    options.q_tolerance = 4.0;
+    const qsc::ColorId quasi =
+        qsc::RothkoColoring(noisy, options).num_colors();
+    table.AddRow(
+        {std::to_string(added),
+         qsc::FormatDouble(100.0 * added / base.num_edges(), 2),
+         std::to_string(stable),
+         qsc::FormatRatio(1000.0 / stable), std::to_string(quasi),
+         qsc::FormatRatio(1000.0 / quasi)});
+  }
+  table.Print(stdout);
+  return 0;
+}

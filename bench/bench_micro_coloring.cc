@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: Rothko splits,
+// stable coloring rounds, q-error computation, reduced-graph construction,
+// and the substrate solvers they feed.
+
+#include <benchmark/benchmark.h>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/coloring/q_error.h"
+#include "qsc/coloring/reduced_graph.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/generators.h"
+#include "qsc/lp/generators.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+Graph MakeBenchGraph(int64_t nodes) {
+  Rng rng(4242);
+  return BarabasiAlbert(static_cast<NodeId>(nodes), 3, rng);
+}
+
+void BM_RothkoColoring(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  RothkoOptions options;
+  options.max_colors = static_cast<ColorId>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RothkoColoring(g, options));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_RothkoColoring)
+    ->Args({1000, 32})
+    ->Args({10000, 32})
+    ->Args({10000, 128})
+    ->Args({50000, 64});
+
+void BM_StableColoring(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StableColoring(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_StableColoring)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_ComputeQError(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  RothkoOptions options;
+  options.max_colors = 64;
+  const Partition p = RothkoColoring(g, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeQError(g, p));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_ComputeQError)->Arg(10000)->Arg(50000);
+
+void BM_BuildReducedGraph(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  RothkoOptions options;
+  options.max_colors = 64;
+  const Partition p = RothkoColoring(g, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildReducedGraph(g, p, ReducedWeight::kSum));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_BuildReducedGraph)->Arg(10000)->Arg(50000);
+
+void BM_PushRelabelGrid(benchmark::State& state) {
+  Rng rng(7);
+  const FlowInstance inst = GridFlowNetwork(
+      static_cast<int32_t>(state.range(0)),
+      static_cast<int32_t>(state.range(0)) / 2, 10, 40, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxFlowPushRelabel(
+        inst.graph, inst.source, inst.sink));
+  }
+  state.SetItemsProcessed(state.iterations() * inst.graph.num_arcs());
+}
+BENCHMARK(BM_PushRelabelGrid)->Arg(40)->Arg(100);
+
+void BM_BrandesPass(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  BrandesWorkspace workspace(g);
+  std::vector<double> scores(g.num_nodes(), 0.0);
+  NodeId s = 0;
+  for (auto _ : state) {
+    workspace.AccumulateDependencies(s, 1.0, scores);
+    s = (s + 1) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_BrandesPass)->Arg(10000)->Arg(50000);
+
+void BM_SimplexBlockLp(benchmark::State& state) {
+  BlockLpSpec spec;
+  spec.num_row_groups = static_cast<int32_t>(state.range(0));
+  spec.num_col_groups = static_cast<int32_t>(state.range(0));
+  spec.rows_per_group = 8;
+  spec.cols_per_group = 8;
+  spec.seed = 5;
+  const LpProblem lp = MakeBlockLp(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSimplex(lp));
+  }
+}
+BENCHMARK(BM_SimplexBlockLp)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,128 @@
+// Table 1 (top): runtime to reach a target rank correlation for
+// betweenness centrality — ours (anytime color-pivot refinement) vs the
+// Riondato-Kornaropoulos sampling baseline vs exact Brandes.
+//
+// Ours runs the Rothko refiner as a co-routine: every few extra colors it
+// re-estimates the centralities and checks the correlation; the reported
+// time is the cumulative anytime cost. The RK baseline tightens epsilon
+// until the target correlation is met. Shape target: ours reaches each
+// target faster than RK; both are far below the exact baseline.
+
+#include <cstdio>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/centrality/path_sampling.h"
+#include "qsc/util/stats.h"
+#include "qsc/util/table.h"
+#include "qsc/util/timer.h"
+#include "workloads.h"
+
+namespace {
+
+constexpr double kTargets[] = {0.90, 0.95, 0.97};
+constexpr double kTimeout = 120.0;  // seconds; "x" in the table
+
+// Smallest cumulative time at which the anytime color-pivot estimator
+// reaches each target rho. The budget ladder first grows the coloring,
+// then the number of pivots per color (variance decays with the total
+// number of dependency passes).
+std::vector<double> OursTimes(const qsc::Graph& g,
+                              const std::vector<double>& exact) {
+  struct Checkpoint {
+    qsc::ColorId colors;
+    int32_t pivots;
+  };
+  static constexpr Checkpoint kLadder[] = {
+      {10, 1}, {20, 1}, {35, 1},  {50, 1},  {100, 1},
+      {200, 1}, {200, 2}, {200, 4}, {200, 8}, {200, 16},
+  };
+  std::vector<double> times(std::size(kTargets), -1.0);
+  qsc::WallTimer timer;
+  qsc::RothkoOptions rothko;
+  rothko.alpha = 1.0;
+  rothko.beta = 1.0;
+  rothko.split_mean = qsc::RothkoOptions::SplitMean::kGeometric;
+  rothko.max_colors = 400;
+  qsc::RothkoRefiner refiner(g, qsc::Partition::Trivial(g.num_nodes()),
+                             rothko);
+  double coloring_seconds = 0.0;
+  for (const Checkpoint& checkpoint : kLadder) {
+    qsc::WallTimer step_timer;
+    while (refiner.partition().num_colors() < checkpoint.colors) {
+      if (!refiner.Step()) break;
+    }
+    coloring_seconds += step_timer.ElapsedSeconds();
+
+    qsc::ColorPivotOptions options;
+    options.pivots_per_color = checkpoint.pivots;
+    step_timer.Reset();
+    const auto approx = qsc::ApproximateBetweennessWithColoring(
+        g, refiner.partition(), options);
+    const double solve_seconds = step_timer.ElapsedSeconds();
+    const double rho = qsc::SpearmanCorrelation(approx.scores, exact);
+    // Anytime cost: all coloring so far plus this checkpoint's solve.
+    const double cumulative = coloring_seconds + solve_seconds;
+    for (size_t t = 0; t < std::size(kTargets); ++t) {
+      if (times[t] < 0 && rho >= kTargets[t]) times[t] = cumulative;
+    }
+    if (times.back() >= 0) break;
+    if (timer.ElapsedSeconds() > kTimeout) break;
+  }
+  return times;
+}
+
+// RK baseline: tighten epsilon until each target rho is met; report the
+// runtime of the first configuration that meets it (the practitioner's
+// retry loop, charged only for the successful run, which favors RK).
+std::vector<double> RkTimes(const qsc::Graph& g,
+                            const std::vector<double>& exact) {
+  std::vector<double> times(std::size(kTargets), -1.0);
+  for (double eps : {0.1, 0.05, 0.02, 0.01}) {
+    qsc::RkOptions options;
+    options.epsilon = eps;
+    qsc::WallTimer timer;
+    const auto result = qsc::BetweennessRk(g, options);
+    const double seconds = timer.ElapsedSeconds();
+    const double rho = qsc::SpearmanCorrelation(result.scores, exact);
+    for (size_t t = 0; t < std::size(kTargets); ++t) {
+      if (times[t] < 0 && rho >= kTargets[t]) times[t] = seconds;
+    }
+    if (times.back() >= 0) break;
+    if (seconds > kTimeout) break;
+  }
+  return times;
+}
+
+std::string FormatOrTimeout(double seconds) {
+  return seconds < 0 ? "x" : qsc::FormatSeconds(seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1 (top): betweenness centrality — ours vs "
+              "Riondato-Kornaropoulos vs Brandes ===\n");
+  std::printf("units: runtime to reach the target rho; 'x' = not reached "
+              "within budget\n\n");
+  qsc::TablePrinter table({"dataset", "ours 0.90", "prior 0.90",
+                           "ours 0.95", "prior 0.95", "ours 0.97",
+                           "prior 0.97", "exact"});
+  for (const auto& dataset : qsc::bench::CentralityDatasets()) {
+    qsc::WallTimer timer;
+    const std::vector<double> exact = qsc::BetweennessExact(dataset.graph);
+    const double exact_seconds = timer.ElapsedSeconds();
+    const auto ours = OursTimes(dataset.graph, exact);
+    const auto prior = RkTimes(dataset.graph, exact);
+    table.AddRow({dataset.name, FormatOrTimeout(ours[0]),
+                  FormatOrTimeout(prior[0]), FormatOrTimeout(ours[1]),
+                  FormatOrTimeout(prior[1]), FormatOrTimeout(ours[2]),
+                  FormatOrTimeout(prior[2]),
+                  qsc::FormatSeconds(exact_seconds)});
+  }
+  table.Print(stdout);
+  std::printf("\npaper shape: ours is ~30x faster than the sampling "
+              "baseline on average;\nboth are well below the exact "
+              "runtime.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// LP dimensionality reduction (paper Sec 4.1, Figure 3): walks through the
+// paper's exact 5x3 example, then reduces a larger synthetic QAP-like LP at
+// several color budgets and compares against the exact optimum.
+//
+//   $ ./lp_reduction
+
+#include <cstdio>
+
+#include "qsc/lp/generators.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/stats.h"
+#include "qsc/util/timer.h"
+
+int main() {
+  // Part 1: the paper's Figure 3 example.
+  const qsc::LpProblem example = qsc::Figure3Lp();
+  const qsc::LpResult exact_example = qsc::SolveSimplex(example);
+  std::printf("Figure 3 LP (5x3): exact optimum %.3f (paper: 128.157)\n",
+              exact_example.objective);
+
+  qsc::LpReduceOptions fig3;
+  fig3.max_colors = 6;  // 2 row colors + 2 col colors + 2 pinned
+  const qsc::ReducedLp reduced_example = qsc::ReduceLp(example, fig3);
+  const qsc::LpResult red_result = qsc::SolveSimplex(reduced_example.lp);
+  std::printf("  reduced to %dx%d with q = %.1f: optimum %.3f "
+              "(paper: 130.199)\n\n",
+              reduced_example.lp.num_rows, reduced_example.lp.num_cols,
+              reduced_example.max_q, red_result.objective);
+
+  // Part 2: a qap15-like block LP.
+  const qsc::LpProblem lp = qsc::MakeQapLikeLp(10, 3);
+  std::printf("QAP-like LP: %d rows, %d cols, %lld nonzeros\n", lp.num_rows,
+              lp.num_cols, static_cast<long long>(lp.NumNonzeros()));
+  qsc::WallTimer timer;
+  const qsc::LpResult exact = qsc::SolveSimplex(lp);
+  const double exact_seconds = timer.ElapsedSeconds();
+  std::printf("exact optimum %.2f  [%.3fs]\n\n", exact.objective,
+              exact_seconds);
+
+  std::printf("%8s  %10s  %10s  %10s  %10s\n", "colors", "reduced",
+              "objective", "rel.err", "time");
+  for (qsc::ColorId colors : {8, 16, 32, 64}) {
+    qsc::LpReduceOptions options;
+    options.max_colors = colors;
+    timer.Reset();
+    const qsc::ReducedLp reduced = qsc::ReduceLp(lp, options);
+    const qsc::LpResult result = qsc::SolveSimplex(reduced.lp);
+    const double seconds = timer.ElapsedSeconds();
+    char shape[32];
+    std::snprintf(shape, sizeof(shape), "%dx%d", reduced.lp.num_rows,
+                  reduced.lp.num_cols);
+    std::printf("%8d  %10s  %10.2f  %10.3f  %9.3fs\n", colors, shape,
+                result.objective,
+                qsc::RelativeError(exact.objective, result.objective),
+                seconds);
+  }
+  std::printf("\nTheorem 2: the reduced optimum converges to the true "
+              "optimum as q -> 0.\n");
+  return 0;
+}

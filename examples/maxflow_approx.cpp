@@ -1,0 +1,51 @@
+// Max-flow approximation on a vision-style grid network (paper Sec 4.2 /
+// 6.1): exact push-relabel vs the coloring-based upper bound at several
+// color budgets.
+//
+//   $ ./maxflow_approx [width] [height]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qsc/flow/approx_flow.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+#include "qsc/util/stats.h"
+#include "qsc/util/timer.h"
+
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 80;
+  const int height = argc > 2 ? std::atoi(argv[2]) : 40;
+  qsc::Rng rng(7);
+  const qsc::FlowInstance instance =
+      qsc::SegmentationGridNetwork(width, height, 3, rng);
+  std::printf("segmentation network %dx%d: %d nodes, %lld arcs\n", width,
+              height, instance.graph.num_nodes(),
+              static_cast<long long>(instance.graph.num_arcs()));
+
+  qsc::WallTimer timer;
+  const double exact = qsc::MaxFlowPushRelabel(instance.graph,
+                                               instance.source,
+                                               instance.sink);
+  const double exact_seconds = timer.ElapsedSeconds();
+  std::printf("exact max-flow (push-relabel): %.1f  [%.3fs]\n\n", exact,
+              exact_seconds);
+
+  std::printf("%8s  %12s  %10s  %10s\n", "colors", "approx", "rel.err",
+              "time");
+  for (qsc::ColorId colors : {4, 8, 16, 32, 64}) {
+    qsc::FlowApproxOptions options;
+    options.rothko.max_colors = colors;
+    timer.Reset();
+    const qsc::FlowApproxResult approx = qsc::ApproximateMaxFlow(
+        instance.graph, instance.source, instance.sink, options);
+    const double total = timer.ElapsedSeconds();
+    std::printf("%8d  %12.1f  %10.3f  %9.3fs\n", approx.num_colors,
+                approx.upper_bound,
+                qsc::RelativeError(exact, approx.upper_bound), total);
+  }
+  std::printf("\nthe approximation is an upper bound (Theorem 6) and\n"
+              "tightens as the color budget grows.\n");
+  return 0;
+}

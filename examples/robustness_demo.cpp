@@ -1,0 +1,39 @@
+// Robustness to perturbation (paper Figure 2): a synthetic graph with a
+// compact 100-color stable coloring is perturbed with random edges; the
+// stable coloring shatters while the q-stable coloring barely grows.
+//
+//   $ ./robustness_demo
+
+#include <cstdio>
+
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/perturb.h"
+#include "qsc/util/random.h"
+
+int main() {
+  qsc::Rng rng(31);
+  const qsc::Graph base = qsc::BlockBiregularGraph(100, 10, 216, rng);
+  std::printf("synthetic graph: %d nodes, %lld edges "
+              "(paper Figure 2: |V|=1000, |E|=21600)\n\n",
+              base.num_nodes(), static_cast<long long>(base.num_edges()));
+
+  std::printf("%12s  %14s  %16s\n", "added edges", "stable colors",
+              "q-stable colors");
+  for (int added : {0, 50, 100, 150, 200, 250, 300}) {
+    const qsc::Graph noisy =
+        added == 0 ? base : qsc::AddRandomEdges(base, added, rng);
+    const qsc::ColorId stable = qsc::StableColoring(noisy).num_colors();
+
+    qsc::RothkoOptions options;
+    options.max_colors = 1000;
+    options.q_tolerance = 4.0;  // paper uses q = 4 in Figure 2
+    const qsc::ColorId quasi =
+        qsc::RothkoColoring(noisy, options).num_colors();
+    std::printf("%12d  %14d  %16d\n", added, stable, quasi);
+  }
+  std::printf("\nstable coloring degenerates toward one color per node;\n"
+              "the q-stable coloring absorbs the noise (paper Sec 6.3).\n");
+  return 0;
+}

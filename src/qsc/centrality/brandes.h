@@ -1,0 +1,43 @@
+// Betweenness centrality (paper Sec 4.3): exact computation with Brandes'
+// algorithm [5], plus the reusable single-source dependency pass shared by
+// the approximation schemes.
+//
+// Graphs are treated as unweighted (every arc is one hop); the score of v
+// is g(v) = sum over ordered pairs (s,t), s != v != t, of
+// sigma(s,t|v)/sigma(s,t). For undirected graphs each unordered pair is
+// therefore counted twice — a constant factor that the rank-correlation
+// metric ignores.
+
+#ifndef QSC_CENTRALITY_BRANDES_H_
+#define QSC_CENTRALITY_BRANDES_H_
+
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Reusable buffers for repeated single-source passes.
+class BrandesWorkspace {
+ public:
+  explicit BrandesWorkspace(const Graph& g);
+
+  // Computes the dependency delta_s(v) = sum_t sigma(s,t|v)/sigma(s,t) for
+  // every v and accumulates `scale * delta_s(v)` into `scores`.
+  void AccumulateDependencies(NodeId s, double scale,
+                              std::vector<double>& scores);
+
+ private:
+  const Graph* graph_;
+  std::vector<int32_t> dist_;
+  std::vector<double> sigma_;
+  std::vector<double> delta_;
+  std::vector<NodeId> order_;  // BFS visit order
+};
+
+// Exact betweenness centrality, O(V*E).
+std::vector<double> BetweennessExact(const Graph& g);
+
+}  // namespace qsc
+
+#endif  // QSC_CENTRALITY_BRANDES_H_

@@ -1,0 +1,51 @@
+#include "qsc/centrality/color_pivot.h"
+
+#include <algorithm>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/util/random.h"
+#include "qsc/util/timer.h"
+
+namespace qsc {
+
+ApproxBetweennessResult ApproximateBetweenness(
+    const Graph& g, const ColorPivotOptions& options) {
+  WallTimer timer;
+  Partition coloring = RothkoColoring(g, options.rothko);
+  const double coloring_seconds = timer.ElapsedSeconds();
+  ApproxBetweennessResult result =
+      ApproximateBetweennessWithColoring(g, coloring, options);
+  result.coloring_seconds = coloring_seconds;
+  return result;
+}
+
+ApproxBetweennessResult ApproximateBetweennessWithColoring(
+    const Graph& g, const Partition& coloring,
+    const ColorPivotOptions& options) {
+  QSC_CHECK_EQ(g.num_nodes(), coloring.num_nodes());
+  QSC_CHECK_GE(options.pivots_per_color, 1);
+  ApproxBetweennessResult result;
+  result.coloring = coloring;
+  result.num_colors = coloring.num_colors();
+
+  WallTimer timer;
+  Rng rng(options.seed);
+  BrandesWorkspace workspace(g);
+  result.scores.assign(g.num_nodes(), 0.0);
+  for (ColorId c = 0; c < coloring.num_colors(); ++c) {
+    const std::vector<NodeId>& members = coloring.Members(c);
+    const int32_t pivots = std::min<int32_t>(
+        options.pivots_per_color, static_cast<int32_t>(members.size()));
+    // Each pivot stands for |P_c| / pivots sources.
+    const double scale =
+        static_cast<double>(members.size()) / static_cast<double>(pivots);
+    for (int64_t idx :
+         rng.SampleWithoutReplacement(members.size(), pivots)) {
+      workspace.AccumulateDependencies(members[idx], scale, result.scores);
+    }
+  }
+  result.solve_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qsc

@@ -1,0 +1,117 @@
+#include "qsc/centrality/path_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+// BFS returning (dist, sigma, visit order); shared by the diameter sweep
+// and the path sampler.
+struct BfsState {
+  std::vector<int32_t> dist;
+  std::vector<double> sigma;
+  std::vector<NodeId> order;
+};
+
+// BFS from s; when `target` is non-negative, stops after finishing the
+// target's level (all shortest paths to `target` are then counted).
+void Bfs(const Graph& g, NodeId s, BfsState& state, NodeId target = -1) {
+  state.dist.assign(g.num_nodes(), -1);
+  state.sigma.assign(g.num_nodes(), 0.0);
+  state.order.clear();
+  state.dist[s] = 0;
+  state.sigma[s] = 1.0;
+  state.order.push_back(s);
+  for (size_t head = 0; head < state.order.size(); ++head) {
+    const NodeId u = state.order[head];
+    if (target >= 0 && state.dist[target] != -1 &&
+        state.dist[u] >= state.dist[target]) {
+      break;  // target's level fully expanded
+    }
+    for (const NeighborEntry& e : g.OutNeighbors(u)) {
+      if (state.dist[e.node] == -1) {
+        state.dist[e.node] = state.dist[u] + 1;
+        state.order.push_back(e.node);
+      }
+      if (state.dist[e.node] == state.dist[u] + 1) {
+        state.sigma[e.node] += state.sigma[u];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int32_t ApproximateVertexDiameter(const Graph& g, NodeId start) {
+  BfsState state;
+  Bfs(g, start, state);
+  if (state.order.size() <= 1) return 1;
+  const NodeId far = state.order.back();
+  Bfs(g, far, state);
+  const int32_t hops = state.dist[state.order.back()];
+  return hops + 1;  // path with `hops` edges touches hops+1 vertices
+}
+
+RkResult BetweennessRk(const Graph& g, const RkOptions& options) {
+  const NodeId n = g.num_nodes();
+  RkResult result;
+  result.scores.assign(n, 0.0);
+  if (n < 3) return result;
+
+  Rng rng(options.seed);
+  result.vertex_diameter_estimate = ApproximateVertexDiameter(
+      g, static_cast<NodeId>(rng.NextBounded(n)));
+
+  // r = (c/eps^2) * (floor(log2(VD-2)) + 1 + ln(1/delta))   [37]
+  const double vd = std::max(3, result.vertex_diameter_estimate);
+  const double r_real =
+      options.c / (options.epsilon * options.epsilon) *
+      (std::floor(std::log2(std::max(1.0, vd - 2.0))) + 1.0 +
+       std::log(1.0 / options.delta));
+  result.samples = std::min<int64_t>(
+      options.max_samples, static_cast<int64_t>(std::ceil(r_real)));
+
+  BfsState state;
+  const double contribution = 1.0 / static_cast<double>(result.samples);
+  for (int64_t sample = 0; sample < result.samples; ++sample) {
+    const NodeId s = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(n));
+    while (t == s) t = static_cast<NodeId>(rng.NextBounded(n));
+    Bfs(g, s, state, t);
+    if (state.dist[t] == -1) continue;  // disconnected pair: empty path set
+
+    // Walk back from t, picking each predecessor with probability
+    // proportional to its path count — a uniform sample over shortest
+    // s-t paths.
+    NodeId v = t;
+    while (v != s) {
+      double total = 0.0;
+      for (const NeighborEntry& e : g.InNeighbors(v)) {
+        if (state.dist[e.node] != -1 &&
+            state.dist[e.node] + 1 == state.dist[v]) {
+          total += state.sigma[e.node];
+        }
+      }
+      double pick = rng.UniformDouble() * total;
+      NodeId pred = -1;
+      for (const NeighborEntry& e : g.InNeighbors(v)) {
+        if (state.dist[e.node] != -1 &&
+            state.dist[e.node] + 1 == state.dist[v]) {
+          pick -= state.sigma[e.node];
+          pred = e.node;
+          if (pick <= 0.0) break;
+        }
+      }
+      QSC_CHECK_NE(pred, -1);
+      if (pred != s) result.scores[pred] += contribution;
+      v = pred;
+    }
+  }
+  return result;
+}
+
+}  // namespace qsc

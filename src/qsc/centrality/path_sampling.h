@@ -1,0 +1,40 @@
+// Riondato-Kornaropoulos betweenness approximation [37] — the prior-work
+// baseline of Table 1 (top). Samples r shortest paths between uniform
+// random node pairs, where r comes from a VC-dimension bound in terms of
+// the vertex diameter; each sampled path adds 1/r to its interior nodes.
+// Scores estimate the normalized betweenness; Spearman comparisons are
+// scale-invariant.
+
+#ifndef QSC_CENTRALITY_PATH_SAMPLING_H_
+#define QSC_CENTRALITY_PATH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+struct RkOptions {
+  double epsilon = 0.05;  // additive error bound
+  double delta = 0.1;     // failure probability
+  double c = 0.5;         // universal constant of the sample-size bound
+  int64_t max_samples = 2000000;
+  uint64_t seed = 23;
+};
+
+struct RkResult {
+  std::vector<double> scores;
+  int64_t samples = 0;
+  int32_t vertex_diameter_estimate = 0;
+};
+
+RkResult BetweennessRk(const Graph& g, const RkOptions& options);
+
+// Approximate vertex diameter (number of nodes on the longest shortest
+// path) via a double BFS sweep from `start`.
+int32_t ApproximateVertexDiameter(const Graph& g, NodeId start);
+
+}  // namespace qsc
+
+#endif  // QSC_CENTRALITY_PATH_SAMPLING_H_

@@ -1,0 +1,112 @@
+#include "qsc/coloring/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace qsc {
+
+Partition Partition::Trivial(NodeId num_nodes) {
+  QSC_CHECK_GE(num_nodes, 0);
+  Partition p;
+  p.color_of_.assign(num_nodes, 0);
+  if (num_nodes > 0) {
+    p.members_.resize(1);
+    p.members_[0].resize(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v) p.members_[0][v] = v;
+  }
+  return p;
+}
+
+Partition Partition::Discrete(NodeId num_nodes) {
+  QSC_CHECK_GE(num_nodes, 0);
+  Partition p;
+  p.color_of_.resize(num_nodes);
+  p.members_.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    p.color_of_[v] = v;
+    p.members_[v] = {v};
+  }
+  return p;
+}
+
+Partition Partition::FromColorIds(const std::vector<int32_t>& labels) {
+  Partition p;
+  p.color_of_.resize(labels.size());
+  std::unordered_map<int32_t, ColorId> remap;
+  remap.reserve(labels.size());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] =
+        remap.try_emplace(labels[v], static_cast<ColorId>(remap.size()));
+    const ColorId c = it->second;
+    if (inserted) p.members_.emplace_back();
+    p.color_of_[v] = c;
+    p.members_[c].push_back(static_cast<NodeId>(v));
+  }
+  return p;
+}
+
+ColorId Partition::SplitColor(ColorId from, const std::vector<NodeId>& nodes) {
+  QSC_CHECK(!nodes.empty());
+  QSC_CHECK_LT(static_cast<int64_t>(nodes.size()), ColorSize(from));
+  const ColorId fresh = num_colors();
+  members_.emplace_back();
+  members_[fresh].reserve(nodes.size());
+  for (NodeId v : nodes) {
+    QSC_CHECK_EQ(color_of_[v], from);
+    color_of_[v] = fresh;
+    members_[fresh].push_back(v);
+  }
+  // Compact the old color's member list in place.
+  auto& old_members = members_[from];
+  old_members.erase(
+      std::remove_if(old_members.begin(), old_members.end(),
+                     [this, fresh](NodeId v) {
+                       return color_of_[v] == fresh;
+                     }),
+      old_members.end());
+  QSC_CHECK(!old_members.empty());
+  return fresh;
+}
+
+bool Partition::IsRefinementOf(const Partition& coarser) const {
+  if (num_nodes() != coarser.num_nodes()) return false;
+  // Each of our colors must map into exactly one of coarser's colors.
+  std::vector<ColorId> image(num_colors(), -1);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    const ColorId mine = color_of_[v];
+    const ColorId theirs = coarser.color_of_[v];
+    if (image[mine] == -1) {
+      image[mine] = theirs;
+    } else if (image[mine] != theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t Partition::NumSingletons() const {
+  int64_t count = 0;
+  for (const auto& m : members_) {
+    if (m.size() == 1) ++count;
+  }
+  return count;
+}
+
+std::vector<int64_t> Partition::ColorSizes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(members_.size());
+  for (const auto& m : members_) sizes.push_back(m.size());
+  return sizes;
+}
+
+double Partition::CompressionRatio() const {
+  if (num_colors() == 0) return 0.0;
+  return static_cast<double>(num_nodes()) / num_colors();
+}
+
+bool operator==(const Partition& a, const Partition& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  return a.IsRefinementOf(b) && b.IsRefinementOf(a);
+}
+
+}  // namespace qsc

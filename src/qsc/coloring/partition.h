@@ -1,0 +1,79 @@
+// Colorings of a node set, i.e. partitions P = {P_1, ..., P_k} (paper
+// Sec. 2). Colors are dense integer ids 0..k-1.
+
+#ifndef QSC_COLORING_PARTITION_H_
+#define QSC_COLORING_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+using ColorId = int32_t;
+
+class Partition {
+ public:
+  Partition() = default;
+
+  // All nodes share one color (the coarsest partition, start of Rothko).
+  static Partition Trivial(NodeId num_nodes);
+
+  // Every node is its own color (P_bot in the paper).
+  static Partition Discrete(NodeId num_nodes);
+
+  // Builds from an arbitrary labeling; labels are renumbered to dense color
+  // ids 0..k-1 in order of first appearance.
+  static Partition FromColorIds(const std::vector<int32_t>& labels);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(color_of_.size()); }
+  ColorId num_colors() const {
+    return static_cast<ColorId>(members_.size());
+  }
+
+  ColorId ColorOf(NodeId v) const {
+    QSC_DCHECK(v >= 0 && v < num_nodes());
+    return color_of_[v];
+  }
+
+  const std::vector<NodeId>& Members(ColorId c) const {
+    QSC_DCHECK(c >= 0 && c < num_colors());
+    return members_[c];
+  }
+
+  int64_t ColorSize(ColorId c) const {
+    return static_cast<int64_t>(Members(c).size());
+  }
+
+  const std::vector<ColorId>& color_of() const { return color_of_; }
+
+  // Moves `nodes` (all currently colored `from`) into a brand-new color and
+  // returns its id. `nodes` must be a strict non-empty subset of
+  // Members(from).
+  ColorId SplitColor(ColorId from, const std::vector<NodeId>& nodes);
+
+  // True iff every color of *this is contained in a single color of
+  // `coarser` (P ⊑ P', "this refines coarser").
+  bool IsRefinementOf(const Partition& coarser) const;
+
+  // Number of colors with exactly one member.
+  int64_t NumSingletons() const;
+
+  // Sizes of all colors.
+  std::vector<int64_t> ColorSizes() const;
+
+  // Compression ratio num_nodes / num_colors (paper Table 4 reports e.g.
+  // "87:1").
+  double CompressionRatio() const;
+
+  friend bool operator==(const Partition& a, const Partition& b);
+
+ private:
+  std::vector<ColorId> color_of_;
+  std::vector<std::vector<NodeId>> members_;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_PARTITION_H_

@@ -1,0 +1,167 @@
+#include "qsc/coloring/q_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+struct PairStats {
+  double max_w = 0.0;
+  double min_w = 0.0;
+  int64_t count = 0;  // members with at least one edge toward the target
+};
+
+// Effective spread taking absent members (weight 0) into account.
+double Spread(const PairStats& s, int64_t color_size) {
+  double hi = s.max_w;
+  double lo = s.min_w;
+  if (s.count < color_size) {
+    hi = std::max(hi, 0.0);
+    lo = std::min(lo, 0.0);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+QErrorStats ComputeQError(const Graph& g, const Partition& p) {
+  QSC_CHECK_EQ(g.num_nodes(), p.num_nodes());
+  QErrorStats stats;
+  double total_spread = 0.0;
+
+  // One direction at a time to bound memory: `forward` aggregates
+  // out-weights of the source color's members; the second pass aggregates
+  // in-weights of the target color's members.
+  const int num_passes = g.undirected() ? 1 : 2;
+  for (int pass = 0; pass < num_passes; ++pass) {
+    for (ColorId c = 0; c < p.num_colors(); ++c) {
+      // target color -> stats over members of c.
+      std::unordered_map<ColorId, PairStats> per_target;
+      std::unordered_map<ColorId, double> node_weight;
+      for (NodeId v : p.Members(c)) {
+        node_weight.clear();
+        const auto neighbors =
+            pass == 0 ? g.OutNeighbors(v) : g.InNeighbors(v);
+        for (const NeighborEntry& e : neighbors) {
+          node_weight[p.ColorOf(e.node)] += e.weight;
+        }
+        for (const auto& [target, w] : node_weight) {
+          auto [it, inserted] = per_target.try_emplace(target);
+          PairStats& s = it->second;
+          if (inserted) {
+            s.max_w = s.min_w = w;
+            s.count = 1;
+          } else {
+            s.max_w = std::max(s.max_w, w);
+            s.min_w = std::min(s.min_w, w);
+            ++s.count;
+          }
+        }
+      }
+      const int64_t size = p.ColorSize(c);
+      for (const auto& [target, s] : per_target) {
+        const double spread = Spread(s, size);
+        stats.max_q = std::max(stats.max_q, spread);
+        total_spread += spread;
+        ++stats.num_active_entries;
+      }
+    }
+  }
+  if (stats.num_active_entries > 0) {
+    stats.mean_q = total_spread / static_cast<double>(stats.num_active_entries);
+  }
+  return stats;
+}
+
+double ComputeRelativeError(const Graph& g, const Partition& p) {
+  QSC_CHECK_EQ(g.num_nodes(), p.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double max_eps = 0.0;
+  const int num_passes = g.undirected() ? 1 : 2;
+  for (int pass = 0; pass < num_passes; ++pass) {
+    for (ColorId c = 0; c < p.num_colors() && max_eps != kInf; ++c) {
+      std::unordered_map<ColorId, PairStats> per_target;
+      std::unordered_map<ColorId, double> node_weight;
+      for (NodeId v : p.Members(c)) {
+        node_weight.clear();
+        const auto neighbors =
+            pass == 0 ? g.OutNeighbors(v) : g.InNeighbors(v);
+        for (const NeighborEntry& e : neighbors) {
+          QSC_CHECK_GE(e.weight, 0.0);
+          node_weight[p.ColorOf(e.node)] += e.weight;
+        }
+        for (const auto& [target, w] : node_weight) {
+          auto [it, inserted] = per_target.try_emplace(target);
+          PairStats& s = it->second;
+          if (inserted) {
+            s.max_w = s.min_w = w;
+            s.count = 1;
+          } else {
+            s.max_w = std::max(s.max_w, w);
+            s.min_w = std::min(s.min_w, w);
+            ++s.count;
+          }
+        }
+      }
+      const int64_t size = p.ColorSize(c);
+      for (const auto& [target, s] : per_target) {
+        // A member without an edge has weight 0, which is only similar to
+        // 0 itself; mixed zero / nonzero makes the pair unsatisfiable.
+        if (s.count < size || s.min_w <= 0.0) {
+          max_eps = kInf;
+          break;
+        }
+        max_eps = std::max(max_eps, std::log(s.max_w / s.min_w));
+      }
+    }
+  }
+  return max_eps;
+}
+
+Partition BisimulationColoring(const Graph& g) {
+  // The ≡ relation (both zero or both nonzero) only observes *presence* of
+  // edges toward each color — unlike stable coloring, the counts may
+  // differ. Refine by the set of distinct out-/in-neighbor colors until
+  // fixpoint; ≡ is a congruence for non-negative weights, so the coarsest
+  // such coloring is unique (Theorem 12(1)).
+  const NodeId n = g.num_nodes();
+  std::vector<ColorId> color(n, 0);
+  ColorId num_colors = n > 0 ? 1 : 0;
+  while (true) {
+    using Signature = std::tuple<ColorId, std::vector<ColorId>,
+                                 std::vector<ColorId>>;
+    std::map<Signature, ColorId> sig_to_color;
+    std::vector<ColorId> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<ColorId> out_set, in_set;
+      for (const NeighborEntry& e : g.OutNeighbors(v)) {
+        out_set.push_back(color[e.node]);
+      }
+      for (const NeighborEntry& e : g.InNeighbors(v)) {
+        in_set.push_back(color[e.node]);
+      }
+      std::sort(out_set.begin(), out_set.end());
+      out_set.erase(std::unique(out_set.begin(), out_set.end()),
+                    out_set.end());
+      std::sort(in_set.begin(), in_set.end());
+      in_set.erase(std::unique(in_set.begin(), in_set.end()), in_set.end());
+      const auto [it, inserted] = sig_to_color.try_emplace(
+          Signature{color[v], std::move(out_set), std::move(in_set)},
+          static_cast<ColorId>(sig_to_color.size()));
+      next[v] = it->second;
+    }
+    const ColorId next_colors = static_cast<ColorId>(sig_to_color.size());
+    if (next_colors == num_colors) break;
+    color.swap(next);
+    num_colors = next_colors;
+  }
+  return Partition::FromColorIds(color);
+}
+
+}  // namespace qsc

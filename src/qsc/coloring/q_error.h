@@ -1,0 +1,53 @@
+// q-error of a coloring (paper Sec. 3): for every ordered color pair
+// (P_i, P_j), the spread (max - min) over nodes of P_i of their total
+// out-weight into P_j, and over nodes of P_j of their total in-weight from
+// P_i. A coloring is q-stable iff every spread is <= q; it is stable iff
+// the maximum spread is 0.
+
+#ifndef QSC_COLORING_Q_ERROR_H_
+#define QSC_COLORING_Q_ERROR_H_
+
+#include <cstdint>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+struct QErrorStats {
+  // Maximum spread over all ordered color pairs, both directions. This is
+  // the q for which the coloring is q-stable (paper "Max q").
+  double max_q = 0.0;
+  // Mean spread over all (ordered pair, direction) entries with at least
+  // one edge (paper Table 4 "Mean q"); pairs with no edges contribute
+  // nothing.
+  double mean_q = 0.0;
+  // Number of (ordered pair, direction) entries with at least one edge.
+  int64_t num_active_entries = 0;
+};
+
+// Computes the exact q-error statistics of `p` on `g`. For undirected
+// graphs the in-direction mirrors the out-direction and is skipped (it
+// would double every entry without changing max_q or mean_q).
+QErrorStats ComputeQError(const Graph& g, const Partition& p);
+
+// epsilon-relative error of a coloring (paper Sec 3.1, "eps-relative
+// coloring"): the smallest eps such that for every ordered color pair and
+// direction, any two witness weights u, v satisfy u*e^-eps <= v <= u*e^eps
+// — i.e. max over pairs of ln(max_w / min_w). Zero is similar only to
+// itself, so a pair where one member has an edge and another does not (or
+// where weights differ in sign) has infinite relative error.
+//
+// Requires non-negative weights; returns +infinity when no finite eps
+// works.
+double ComputeRelativeError(const Graph& g, const Partition& p);
+
+// The coarsest bisimulation coloring (paper Sec 3.1: the quasi-stable
+// coloring under u ≡ v iff both or neither are zero). Equivalently the
+// stable coloring of the graph with all weights set to 1 — the ≡ relation
+// only sees edge presence.
+Partition BisimulationColoring(const Graph& g);
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_Q_ERROR_H_

@@ -1,0 +1,33 @@
+// Reduced (quotient) graph of a coloring (paper Sec. 3.2): one node per
+// color, with an arc between two colors whenever any member-to-member arc
+// exists. Several weight conventions are supported; the applications pick
+// the one their theory calls for.
+
+#ifndef QSC_COLORING_REDUCED_GRAPH_H_
+#define QSC_COLORING_REDUCED_GRAPH_H_
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+enum class ReducedWeight {
+  // w^(i,j) = sum of all member weights w(P_i, P_j). This is the c^2
+  // capacity of Theorem 6 and the default for max-flow.
+  kSum,
+  // w^(i,j) = w(P_i, P_j) / (|P_i| * |P_j|): average member-to-member
+  // weight.
+  kMean,
+  // w^(i,j) = w(P_i, P_j) / sqrt(|P_i| * |P_j|): the Eq. (4) normalization
+  // used by the LP reduction.
+  kSqrtNormalized,
+};
+
+// Builds the reduced graph of `p` over `g`. Node i of the result is color
+// i of the partition. The result is directed iff `g` is.
+Graph BuildReducedGraph(const Graph& g, const Partition& p,
+                        ReducedWeight weight);
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_REDUCED_GRAPH_H_

@@ -1,0 +1,109 @@
+// The Rothko algorithm (paper Algorithm 1): heuristic computation of a
+// quasi-stable coloring by iterated witness splits.
+//
+// Starting from a coarse partition, each step finds the witness — the
+// ordered color pair (P_i, P_j) and direction with the largest
+// size-weighted degree spread — and splits the offending color at the mean
+// degree. The process is *anytime*: it can be stopped after any step and
+// still yields a valid coloring whose q-error only improves with more
+// steps.
+//
+// Directed graphs consider both directions of Definition 1: an
+// out-direction witness splits the source color by out-weight toward the
+// target; an in-direction witness splits the target color by in-weight from
+// the source. For undirected graphs the two coincide and only the
+// out-direction is tracked.
+//
+// The implementation is incremental: per-node sparse color-weight maps and
+// per-pair max/min aggregates are updated on each split (cost proportional
+// to the split color's volume), and witnesses are found through lazy
+// max-heaps, so building a k-color refinement does not rescan the graph k
+// times.
+
+#ifndef QSC_COLORING_ROTHKO_H_
+#define QSC_COLORING_ROTHKO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+struct RothkoOptions {
+  // Stop once the partition reaches this many colors (n in Algorithm 1).
+  ColorId max_colors = 64;
+
+  // Stop once the maximum (unweighted) q-error drops to or below this bound
+  // (epsilon in Algorithm 1). 0 refines all the way to a stable coloring if
+  // max_colors permits.
+  double q_tolerance = 0.0;
+
+  // Witness weighting C_ij = |P_i|^alpha * |P_j|^beta (paper Sec 5.2:
+  // alpha=beta=0 for max-flow, alpha=1 beta=0 for LPs, alpha=beta=1 for
+  // centrality).
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  enum class SplitMean {
+    kArithmetic,  // threshold = mean degree (Algorithm 1 line 10)
+    kGeometric,   // mean in log-space: exp(mean(log(1+d)))-1; requires
+                  // non-negative degrees, better balanced on scale-free
+                  // graphs (paper Sec 5.2). Falls back to arithmetic when a
+                  // negative degree is present.
+  };
+  SplitMean split_mean = SplitMean::kArithmetic;
+};
+
+// Telemetry for one split, recorded for the responsiveness study (paper
+// Table 6).
+struct RothkoStep {
+  ColorId split_color;     // color that was split
+  ColorId new_color;       // id of the newly created color
+  double witness_error;    // unweighted q-error of the chosen witness
+  ColorId num_colors;      // colors after the split
+  double elapsed_seconds;  // since refiner construction
+};
+
+// Incremental refiner; use RothkoColoring() unless you need the anytime /
+// co-routine interface.
+class RothkoRefiner {
+ public:
+  RothkoRefiner(const Graph& g, Partition initial, RothkoOptions options);
+  ~RothkoRefiner();
+
+  RothkoRefiner(const RothkoRefiner&) = delete;
+  RothkoRefiner& operator=(const RothkoRefiner&) = delete;
+
+  // Performs one witness split. Returns false (and leaves the partition
+  // unchanged) when converged: the maximum q-error is <= q_tolerance, or no
+  // splittable color remains. Ignores max_colors; the caller owns that
+  // stopping rule.
+  bool Step();
+
+  // Runs Step() until convergence or options.max_colors colors.
+  void Run();
+
+  const Partition& partition() const;
+
+  // Maximum unweighted q-error of the current coloring, both directions.
+  double CurrentMaxError() const;
+
+  const std::vector<RothkoStep>& history() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience wrappers: refine from `initial` (or the trivial partition)
+// until max_colors / q_tolerance.
+Partition RothkoColoring(const Graph& g, Partition initial,
+                         const RothkoOptions& options);
+Partition RothkoColoring(const Graph& g, const RothkoOptions& options);
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_ROTHKO_H_

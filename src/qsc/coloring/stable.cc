@@ -1,0 +1,69 @@
+#include "qsc/coloring/stable.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "qsc/coloring/q_error.h"
+
+namespace qsc {
+namespace {
+
+// A node's refinement signature: its current color plus, per neighbor
+// color, the aggregated out- and in-weights. std::map keeps the key
+// canonical (sorted by color).
+struct Signature {
+  ColorId own_color;
+  // color -> (out weight, in weight)
+  std::map<ColorId, std::pair<double, double>> weights;
+
+  bool operator<(const Signature& other) const {
+    if (own_color != other.own_color) return own_color < other.own_color;
+    return weights < other.weights;
+  }
+};
+
+}  // namespace
+
+Partition StableColoring(const Graph& g, const Partition& initial) {
+  QSC_CHECK_EQ(g.num_nodes(), initial.num_nodes());
+  const NodeId n = g.num_nodes();
+  std::vector<ColorId> color(initial.color_of());
+  ColorId num_colors = initial.num_colors();
+
+  while (true) {
+    // Compute every node's signature under the current coloring.
+    std::map<Signature, ColorId> sig_to_color;
+    std::vector<ColorId> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      Signature sig;
+      sig.own_color = color[v];
+      for (const NeighborEntry& e : g.OutNeighbors(v)) {
+        sig.weights[color[e.node]].first += e.weight;
+      }
+      for (const NeighborEntry& e : g.InNeighbors(v)) {
+        sig.weights[color[e.node]].second += e.weight;
+      }
+      const auto [it, inserted] = sig_to_color.try_emplace(
+          std::move(sig), static_cast<ColorId>(sig_to_color.size()));
+      next[v] = it->second;
+    }
+    const ColorId next_colors = static_cast<ColorId>(sig_to_color.size());
+    QSC_CHECK_GE(next_colors, num_colors);
+    if (next_colors == num_colors) break;  // Fixpoint reached.
+    color.swap(next);
+    num_colors = next_colors;
+  }
+  return Partition::FromColorIds(color);
+}
+
+Partition StableColoring(const Graph& g) {
+  return StableColoring(g, Partition::Trivial(g.num_nodes()));
+}
+
+bool IsStableColoring(const Graph& g, const Partition& p) {
+  return ComputeQError(g, p).max_q == 0.0;
+}
+
+}  // namespace qsc

@@ -1,0 +1,27 @@
+// Exact stable coloring (color refinement / 1-WL, paper Sec. 2).
+//
+// A coloring is stable when, for every pair of colors (P_i, P_j), all nodes
+// of P_i have the same total edge weight into P_j and the same total weight
+// from P_j. StableColoring computes the coarsest stable refinement of an
+// initial partition by signature-hash refinement to fixpoint.
+
+#ifndef QSC_COLORING_STABLE_H_
+#define QSC_COLORING_STABLE_H_
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Coarsest stable coloring refining `initial`.
+Partition StableColoring(const Graph& g, const Partition& initial);
+
+// Coarsest stable coloring of the graph (initial = trivial partition).
+Partition StableColoring(const Graph& g);
+
+// True iff `p` is a stable coloring of `g` (equivalently, its q-error is 0).
+bool IsStableColoring(const Graph& g, const Partition& p);
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_STABLE_H_

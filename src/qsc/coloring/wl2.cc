@@ -1,0 +1,71 @@
+#include "qsc/coloring/wl2.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+// Dense pair-color table, row-major: color of the ordered pair (u, v).
+using PairColors = std::vector<int32_t>;
+
+PairColors InitialPairColors(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  PairColors colors(static_cast<size_t>(n) * n);
+  // Atomic type: equality flag plus the two directed weights.
+  std::map<std::tuple<bool, double, double>, int32_t> type_ids;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      const std::tuple<bool, double, double> type{
+          u == v, g.ArcWeight(u, v), g.ArcWeight(v, u)};
+      const auto [it, inserted] =
+          type_ids.try_emplace(type, static_cast<int32_t>(type_ids.size()));
+      colors[static_cast<size_t>(u) * n + v] = it->second;
+    }
+  }
+  return colors;
+}
+
+}  // namespace
+
+Partition Wl2NodeColoring(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Partition();
+  PairColors colors = InitialPairColors(g);
+  int64_t num_colors = -1;
+
+  while (true) {
+    using Signature = std::pair<int32_t, std::vector<std::pair<int32_t,
+                                                              int32_t>>>;
+    std::map<Signature, int32_t> sig_to_color;
+    PairColors next(colors.size());
+    std::vector<std::pair<int32_t, int32_t>> neighborhood(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        for (NodeId w = 0; w < n; ++w) {
+          neighborhood[w] = {colors[static_cast<size_t>(u) * n + w],
+                             colors[static_cast<size_t>(w) * n + v]};
+        }
+        std::sort(neighborhood.begin(), neighborhood.end());
+        const auto [it, inserted] = sig_to_color.try_emplace(
+            Signature{colors[static_cast<size_t>(u) * n + v], neighborhood},
+            static_cast<int32_t>(sig_to_color.size()));
+        next[static_cast<size_t>(u) * n + v] = it->second;
+      }
+    }
+    const int64_t next_colors = static_cast<int64_t>(sig_to_color.size());
+    colors.swap(next);
+    if (next_colors == num_colors) break;
+    num_colors = next_colors;
+  }
+
+  std::vector<int32_t> diagonal(n);
+  for (NodeId v = 0; v < n; ++v) {
+    diagonal[v] = colors[static_cast<size_t>(v) * n + v];
+  }
+  return Partition::FromColorIds(diagonal);
+}
+
+}  // namespace qsc

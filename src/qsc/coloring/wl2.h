@@ -1,0 +1,27 @@
+// 2-dimensional Weisfeiler-Leman refinement (paper Sec 4.3).
+//
+// 2-WL colors ordered node *pairs*: chi(u,v) starts from the atomic type
+// (u == v, arc weights u->v and v->u) and is refined by the multiset of
+// neighbor color pairs {(chi(u,w), chi(w,v)) : w in V} until fixpoint.
+// Nodes u, v are 2-WL equivalent iff chi(u,u) == chi(v,v).
+//
+// The paper's Theorem 11 proves that 2-WL-equivalent nodes have the same
+// betweenness centrality — the positive counterpart to the Figure-5
+// counterexample where 1-WL-equivalent nodes do not. O(n^3) per round; use
+// on small graphs.
+
+#ifndef QSC_COLORING_WL2_H_
+#define QSC_COLORING_WL2_H_
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// The node partition induced by the stable 2-WL pair coloring
+// (nodes grouped by their diagonal color chi(v,v)).
+Partition Wl2NodeColoring(const Graph& g);
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_WL2_H_

@@ -1,0 +1,48 @@
+// Coloring-based max-flow approximation (paper Theorem 6 and Sec 6.1).
+//
+// A quasi-stable coloring is computed with the source and sink pinned to
+// their own singleton colors; the reduced graph with capacities
+// c^2(i,j) = c(P_i, P_j) (total capacity between the colors) is solved
+// exactly, giving the paper's approximation — an upper bound on the true
+// max-flow. Optionally the lower bound of Theorem 6 is computed too, with
+// c^1(i,j) = maxUFlow(P_i, P_j, c).
+
+#ifndef QSC_FLOW_APPROX_FLOW_H_
+#define QSC_FLOW_APPROX_FLOW_H_
+
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+struct FlowApproxOptions {
+  // Coloring parameters; the paper uses alpha = beta = 0 for max-flow.
+  RothkoOptions rothko;
+
+  // Also compute the Theorem-6 lower bound (one maxUFlow bisection per
+  // color pair; only advisable on small graphs).
+  bool compute_lower_bound = false;
+  double uniform_flow_tol = 1e-6;
+};
+
+struct FlowApproxResult {
+  // maxFlow of the reduced graph under c^2 — the approximation reported in
+  // the paper's experiments; an upper bound on maxFlow(G).
+  double upper_bound = 0.0;
+  // maxFlow of the reduced graph under c^1 (0 unless requested); a lower
+  // bound on maxFlow(G).
+  double lower_bound = 0.0;
+  ColorId num_colors = 0;
+  double coloring_seconds = 0.0;
+  double solve_seconds = 0.0;
+  Partition coloring;
+};
+
+FlowApproxResult ApproximateMaxFlow(const Graph& g, NodeId source,
+                                    NodeId sink,
+                                    const FlowApproxOptions& options);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_APPROX_FLOW_H_

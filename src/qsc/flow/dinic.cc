@@ -1,0 +1,90 @@
+#include "qsc/flow/dinic.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+class DinicSolver {
+ public:
+  DinicSolver(ResidualNetwork& net, NodeId source, NodeId sink)
+      : net_(net),
+        source_(source),
+        sink_(sink),
+        level_(net.num_nodes()),
+        next_arc_(net.num_nodes()) {}
+
+  double Solve() {
+    double total = 0.0;
+    while (BuildLevels()) {
+      std::fill(next_arc_.begin(), next_arc_.end(), size_t{0});
+      while (true) {
+        const double pushed =
+            Augment(source_, std::numeric_limits<double>::infinity());
+        if (pushed <= kFlowEps) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+ private:
+  bool BuildLevels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<NodeId> queue;
+    level_[source_] = 0;
+    queue.push(source_);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (int64_t id : net_.OutArcs(u)) {
+        const auto& a = net_.arc(id);
+        if (a.residual > kFlowEps && level_[a.head] == -1) {
+          level_[a.head] = level_[u] + 1;
+          queue.push(a.head);
+        }
+      }
+    }
+    return level_[sink_] != -1;
+  }
+
+  double Augment(NodeId u, double limit) {
+    if (u == sink_) return limit;
+    const auto& arcs = net_.OutArcs(u);
+    for (size_t& i = next_arc_[u]; i < arcs.size(); ++i) {
+      const int64_t id = arcs[i];
+      const auto& a = net_.arc(id);
+      if (a.residual <= kFlowEps || level_[a.head] != level_[u] + 1) continue;
+      const double pushed =
+          Augment(a.head, std::min(limit, a.residual));
+      if (pushed > kFlowEps) {
+        net_.Push(id, pushed);
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  ResidualNetwork& net_;
+  NodeId source_;
+  NodeId sink_;
+  std::vector<int32_t> level_;
+  std::vector<size_t> next_arc_;
+};
+
+}  // namespace
+
+double MaxFlowDinic(ResidualNetwork& net, NodeId source, NodeId sink) {
+  QSC_CHECK_NE(source, sink);
+  return DinicSolver(net, source, sink).Solve();
+}
+
+double MaxFlowDinic(const Graph& g, NodeId source, NodeId sink) {
+  ResidualNetwork net = ResidualNetwork::FromGraph(g);
+  return MaxFlowDinic(net, source, sink);
+}
+
+}  // namespace qsc

@@ -1,0 +1,18 @@
+// Dinic's max-flow algorithm (level graph + blocking flow). O(V^2 * E) in
+// general, much faster in practice; the workhorse for reduced graphs and
+// uniform-flow probes.
+
+#ifndef QSC_FLOW_DINIC_H_
+#define QSC_FLOW_DINIC_H_
+
+#include "qsc/flow/network.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+double MaxFlowDinic(ResidualNetwork& net, NodeId source, NodeId sink);
+double MaxFlowDinic(const Graph& g, NodeId source, NodeId sink);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_DINIC_H_

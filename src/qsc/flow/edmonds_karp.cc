@@ -1,0 +1,54 @@
+#include "qsc/flow/edmonds_karp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace qsc {
+
+double MaxFlowEdmondsKarp(ResidualNetwork& net, NodeId source, NodeId sink) {
+  QSC_CHECK_NE(source, sink);
+  const NodeId n = net.num_nodes();
+  double total = 0.0;
+  std::vector<int64_t> parent_arc(n);
+  while (true) {
+    std::fill(parent_arc.begin(), parent_arc.end(), int64_t{-1});
+    std::queue<NodeId> queue;
+    queue.push(source);
+    parent_arc[source] = -2;  // visited marker for the source
+    while (!queue.empty() && parent_arc[sink] == -1) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (int64_t id : net.OutArcs(u)) {
+        const auto& a = net.arc(id);
+        if (a.residual > kFlowEps && parent_arc[a.head] == -1) {
+          parent_arc[a.head] = id;
+          queue.push(a.head);
+        }
+      }
+    }
+    if (parent_arc[sink] == -1) break;  // no augmenting path
+    // Bottleneck along the path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (NodeId v = sink; v != source;) {
+      const int64_t id = parent_arc[v];
+      bottleneck = std::min(bottleneck, net.arc(id).residual);
+      v = net.arc(id ^ 1).head;
+    }
+    for (NodeId v = sink; v != source;) {
+      const int64_t id = parent_arc[v];
+      net.Push(id, bottleneck);
+      v = net.arc(id ^ 1).head;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+double MaxFlowEdmondsKarp(const Graph& g, NodeId source, NodeId sink) {
+  ResidualNetwork net = ResidualNetwork::FromGraph(g);
+  return MaxFlowEdmondsKarp(net, source, sink);
+}
+
+}  // namespace qsc

@@ -1,0 +1,21 @@
+// Edmonds-Karp max-flow (BFS augmenting paths). O(V * E^2); used as the
+// simple reference implementation that the faster solvers are tested
+// against.
+
+#ifndef QSC_FLOW_EDMONDS_KARP_H_
+#define QSC_FLOW_EDMONDS_KARP_H_
+
+#include "qsc/flow/network.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Runs on (and mutates) an existing residual network.
+double MaxFlowEdmondsKarp(ResidualNetwork& net, NodeId source, NodeId sink);
+
+// Convenience: builds the residual network from `g` (weights = capacities).
+double MaxFlowEdmondsKarp(const Graph& g, NodeId source, NodeId sink);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_EDMONDS_KARP_H_

@@ -1,0 +1,42 @@
+#include "qsc/flow/min_cut.h"
+
+#include <queue>
+
+#include "qsc/flow/dinic.h"
+#include "qsc/flow/network.h"
+
+namespace qsc {
+
+MinCutResult MinCut(const Graph& g, NodeId source, NodeId sink) {
+  ResidualNetwork net = ResidualNetwork::FromGraph(g);
+  MinCutResult result;
+  result.value = MaxFlowDinic(net, source, sink);
+
+  // Source side = nodes reachable from s in the residual graph.
+  result.in_source_side.assign(g.num_nodes(), false);
+  std::queue<NodeId> queue;
+  queue.push(source);
+  result.in_source_side[source] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (int64_t id : net.OutArcs(u)) {
+      const auto& a = net.arc(id);
+      if (a.residual > kFlowEps && !result.in_source_side[a.head]) {
+        result.in_source_side[a.head] = true;
+        queue.push(a.head);
+      }
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!result.in_source_side[u]) continue;
+    for (const NeighborEntry& e : g.OutNeighbors(u)) {
+      if (!result.in_source_side[e.node]) {
+        result.cut_arcs.push_back({u, e.node, e.weight});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qsc

@@ -1,0 +1,23 @@
+// Minimum s-t cut extraction (max-flow/min-cut duality, paper Sec 4.2).
+
+#ifndef QSC_FLOW_MIN_CUT_H_
+#define QSC_FLOW_MIN_CUT_H_
+
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+struct MinCutResult {
+  double value = 0.0;                  // cut capacity == max-flow value
+  std::vector<bool> in_source_side;    // per node
+  std::vector<EdgeTriple> cut_arcs;    // arcs crossing source->sink side
+};
+
+// Computes a minimum s-t cut of `g` (arc weights are capacities).
+MinCutResult MinCut(const Graph& g, NodeId source, NodeId sink);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_MIN_CUT_H_

@@ -1,0 +1,26 @@
+#include "qsc/flow/network.h"
+
+namespace qsc {
+
+ResidualNetwork ResidualNetwork::FromGraph(const Graph& g) {
+  ResidualNetwork net(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NeighborEntry& e : g.OutNeighbors(u)) {
+      QSC_CHECK_GE(e.weight, 0.0);
+      net.AddArc(u, e.node, e.weight);
+    }
+  }
+  return net;
+}
+
+int64_t ResidualNetwork::AddArc(NodeId u, NodeId v, double cap) {
+  QSC_CHECK_GE(cap, 0.0);
+  const int64_t id = static_cast<int64_t>(arcs_.size());
+  arcs_.push_back({v, cap});
+  arcs_.push_back({u, 0.0});
+  adj_[u].push_back(id);
+  adj_[v].push_back(id + 1);
+  return id;
+}
+
+}  // namespace qsc

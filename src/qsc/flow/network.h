@@ -1,0 +1,63 @@
+// Residual network representation shared by the max-flow solvers.
+//
+// Arcs are stored in pairs: arc 2k is the forward arc, arc 2k+1 its
+// reverse. Pushing flow decreases one residual capacity and increases the
+// other, so the flow on a forward arc equals the residual capacity of its
+// reverse.
+
+#ifndef QSC_FLOW_NETWORK_H_
+#define QSC_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Residual capacities below this threshold are treated as saturated; it
+// guards the double-precision arithmetic of the augmenting-path solvers.
+inline constexpr double kFlowEps = 1e-9;
+
+class ResidualNetwork {
+ public:
+  struct Arc {
+    NodeId head;
+    double residual;  // remaining capacity
+  };
+
+  explicit ResidualNetwork(NodeId num_nodes) : adj_(num_nodes) {}
+
+  // Builds a network whose arc capacities are the graph's weights. All
+  // weights must be non-negative.
+  static ResidualNetwork FromGraph(const Graph& g);
+
+  // Adds a forward arc u->v with capacity `cap` (and its zero-capacity
+  // reverse); returns the forward arc's index. The reverse is index ^ 1.
+  int64_t AddArc(NodeId u, NodeId v, double cap);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  int64_t num_arcs() const { return static_cast<int64_t>(arcs_.size()); }
+
+  const Arc& arc(int64_t id) const { return arcs_[id]; }
+  Arc& arc(int64_t id) { return arcs_[id]; }
+
+  // Flow currently routed on forward arc `id` (reverse residual).
+  double Flow(int64_t id) const { return arcs_[id ^ 1].residual; }
+
+  const std::vector<int64_t>& OutArcs(NodeId u) const { return adj_[u]; }
+
+  // Sends `amount` along arc `id` (forward or residual direction).
+  void Push(int64_t id, double amount) {
+    arcs_[id].residual -= amount;
+    arcs_[id ^ 1].residual += amount;
+  }
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int64_t>> adj_;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_NETWORK_H_

@@ -1,0 +1,172 @@
+#include "qsc/flow/push_relabel.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+class PushRelabelSolver {
+ public:
+  PushRelabelSolver(ResidualNetwork& net, NodeId source, NodeId sink)
+      : net_(net),
+        source_(source),
+        sink_(sink),
+        n_(net.num_nodes()),
+        height_(n_, 0),
+        excess_(n_, 0.0),
+        current_arc_(n_, 0),
+        height_count_(2 * n_ + 1, 0),
+        buckets_(2 * n_ + 1) {}
+
+  double Solve() {
+    GlobalRelabel();
+    height_[source_] = n_;
+    // Saturate all source arcs.
+    for (int64_t id : net_.OutArcs(source_)) {
+      const double cap = net_.arc(id).residual;
+      if (cap > kFlowEps) {
+        net_.Push(id, cap);
+        const NodeId v = net_.arc(id).head;
+        excess_[v] += cap;
+        if (v != sink_ && v != source_ && excess_[v] > kFlowEps) {
+          Activate(v);
+        }
+      }
+    }
+    RebuildHeightCounts();
+
+    while (highest_ >= 0) {
+      NodeId u = -1;
+      while (highest_ >= 0) {
+        auto& bucket = buckets_[highest_];
+        while (!bucket.empty() &&
+               (height_[bucket.back()] != highest_ ||
+                excess_[bucket.back()] <= kFlowEps)) {
+          bucket.pop_back();  // stale entry
+        }
+        if (bucket.empty()) {
+          --highest_;
+          continue;
+        }
+        u = bucket.back();
+        bucket.pop_back();
+        break;
+      }
+      if (u == -1) break;
+      Discharge(u);
+    }
+    return excess_[sink_];
+  }
+
+ private:
+  // Exact distance labels from the sink over the residual graph.
+  void GlobalRelabel() {
+    std::fill(height_.begin(), height_.end(), 2 * n_);
+    height_[sink_] = 0;
+    std::queue<NodeId> queue;
+    queue.push(sink_);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (int64_t id : net_.OutArcs(u)) {
+        // Arc (v -> u) has residual iff reverse arc (id^1) from u's list
+        // viewpoint: we need residual capacity on (head -> u).
+        const NodeId v = net_.arc(id).head;
+        if (height_[v] == 2 * n_ && net_.arc(id ^ 1).residual > kFlowEps) {
+          height_[v] = height_[u] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+
+  void RebuildHeightCounts() {
+    std::fill(height_count_.begin(), height_count_.end(), 0);
+    for (NodeId v = 0; v < n_; ++v) {
+      height_[v] = std::min(height_[v], 2 * n_);
+      ++height_count_[height_[v]];
+    }
+  }
+
+  void Activate(NodeId v) {
+    buckets_[height_[v]].push_back(v);
+    highest_ = std::max(highest_, height_[v]);
+  }
+
+  void Discharge(NodeId u) {
+    while (excess_[u] > kFlowEps) {
+      const auto& arcs = net_.OutArcs(u);
+      if (current_arc_[u] >= arcs.size()) {
+        Relabel(u);
+        if (height_[u] >= 2 * n_) return;  // unreachable; drop excess
+        continue;
+      }
+      const int64_t id = arcs[current_arc_[u]];
+      const auto& a = net_.arc(id);
+      if (a.residual > kFlowEps && height_[u] == height_[a.head] + 1) {
+        const double amount = std::min(excess_[u], a.residual);
+        net_.Push(id, amount);
+        excess_[u] -= amount;
+        excess_[a.head] += amount;
+        if (a.head != source_ && a.head != sink_ &&
+            excess_[a.head] > kFlowEps) {
+          Activate(a.head);
+        }
+      } else {
+        ++current_arc_[u];
+      }
+    }
+  }
+
+  void Relabel(NodeId u) {
+    const int32_t old_height = height_[u];
+    int32_t best = 2 * n_;
+    for (int64_t id : net_.OutArcs(u)) {
+      const auto& a = net_.arc(id);
+      if (a.residual > kFlowEps) best = std::min(best, height_[a.head] + 1);
+    }
+    --height_count_[old_height];
+    height_[u] = best;
+    ++height_count_[std::min(best, 2 * n_)];
+    current_arc_[u] = 0;
+    if (best < 2 * n_) Activate(u);
+    // Gap heuristic: if no node remains at old_height, every node above it
+    // (below n_) can never reach the sink; lift them out of the game.
+    if (height_count_[old_height] == 0 && old_height < n_) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (v != source_ && height_[v] > old_height && height_[v] < n_) {
+          --height_count_[height_[v]];
+          height_[v] = n_ + 1;
+          ++height_count_[n_ + 1];
+        }
+      }
+    }
+  }
+
+  ResidualNetwork& net_;
+  NodeId source_;
+  NodeId sink_;
+  NodeId n_;
+  std::vector<int32_t> height_;
+  std::vector<double> excess_;
+  std::vector<size_t> current_arc_;
+  std::vector<int64_t> height_count_;
+  std::vector<std::vector<NodeId>> buckets_;
+  int32_t highest_ = -1;
+};
+
+}  // namespace
+
+double MaxFlowPushRelabel(ResidualNetwork& net, NodeId source, NodeId sink) {
+  QSC_CHECK_NE(source, sink);
+  return PushRelabelSolver(net, source, sink).Solve();
+}
+
+double MaxFlowPushRelabel(const Graph& g, NodeId source, NodeId sink) {
+  ResidualNetwork net = ResidualNetwork::FromGraph(g);
+  return MaxFlowPushRelabel(net, source, sink);
+}
+
+}  // namespace qsc

@@ -1,0 +1,18 @@
+// Push-relabel max-flow with highest-label selection and the gap
+// heuristic — the paper's exact baseline ("state-of-the-art push-relabel
+// algorithm", Sec 6.1).
+
+#ifndef QSC_FLOW_PUSH_RELABEL_H_
+#define QSC_FLOW_PUSH_RELABEL_H_
+
+#include "qsc/flow/network.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+double MaxFlowPushRelabel(ResidualNetwork& net, NodeId source, NodeId sink);
+double MaxFlowPushRelabel(const Graph& g, NodeId source, NodeId sink);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_PUSH_RELABEL_H_

@@ -1,0 +1,85 @@
+#include "qsc/flow/uniform_flow.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "qsc/flow/dinic.h"
+#include "qsc/flow/network.h"
+
+namespace qsc {
+
+double MaxUniformFlow(const Graph& g, const std::vector<NodeId>& sources,
+                      const std::vector<NodeId>& targets, double rel_tol) {
+  QSC_CHECK(!sources.empty());
+  QSC_CHECK(!targets.empty());
+  const double nx = static_cast<double>(sources.size());
+  const double ny = static_cast<double>(targets.size());
+
+  // Compact ids: sources, then targets, then super-source / super-sink.
+  std::unordered_map<NodeId, NodeId> target_id;
+  target_id.reserve(targets.size() * 2);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    target_id[targets[i]] = static_cast<NodeId>(sources.size() + i);
+  }
+
+  // Collect bipartite arcs and per-node capacity totals.
+  struct BipartiteArc {
+    NodeId from;  // compact source id
+    NodeId to;    // compact target id
+    double cap;
+  };
+  std::vector<BipartiteArc> arcs;
+  std::vector<double> cap_out(sources.size(), 0.0);
+  std::vector<double> cap_in(targets.size(), 0.0);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (const NeighborEntry& e : g.OutNeighbors(sources[i])) {
+      const auto it = target_id.find(e.node);
+      if (it == target_id.end()) continue;
+      QSC_CHECK_GE(e.weight, 0.0);
+      arcs.push_back({static_cast<NodeId>(i), it->second, e.weight});
+      cap_out[i] += e.weight;
+      cap_in[it->second - sources.size()] += e.weight;
+    }
+  }
+  // F/|X| <= c(x, Y) for every x, and F/|Y| <= c(X, y) for every y.
+  double hi = nx * *std::min_element(cap_out.begin(), cap_out.end());
+  hi = std::min(hi, ny * *std::min_element(cap_in.begin(), cap_in.end()));
+  if (hi <= 0.0) return 0.0;
+
+  const NodeId num_compact =
+      static_cast<NodeId>(sources.size() + targets.size());
+  const NodeId super_source = num_compact;
+  const NodeId super_sink = num_compact + 1;
+
+  auto feasible = [&](double f) {
+    ResidualNetwork net(num_compact + 2);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      net.AddArc(super_source, static_cast<NodeId>(i), f / nx);
+    }
+    for (const BipartiteArc& a : arcs) {
+      net.AddArc(a.from, a.to, a.cap);
+    }
+    for (size_t j = 0; j < targets.size(); ++j) {
+      net.AddArc(static_cast<NodeId>(sources.size() + j), super_sink, f / ny);
+    }
+    const double flow = MaxFlowDinic(net, super_source, super_sink);
+    return flow >= f * (1.0 - 1e-9) - 1e-12;
+  };
+
+  if (feasible(hi)) return hi;
+  double lo = 0.0;
+  // Bisection: invariant feasible(lo), !feasible(hi); uniform flows scale,
+  // so feasibility is monotone.
+  while (hi - lo > rel_tol * hi + 1e-12) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace qsc

@@ -1,0 +1,30 @@
+// Maximum uniform flow in a bipartite graph (paper Definition 5): a flow
+// where every source node carries the same outgoing amount and every target
+// node the same incoming amount. maxUFlow defines the lower-bound
+// capacities c^1 of Theorem 6.
+
+#ifndef QSC_FLOW_UNIFORM_FLOW_H_
+#define QSC_FLOW_UNIFORM_FLOW_H_
+
+#include <vector>
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Maximum value of a uniform flow from `sources` to `targets` using the
+// arcs of `g` that go from a source to a target (weights = capacities; all
+// other arcs are ignored). The two node sets must be disjoint and
+// non-empty.
+//
+// Computed via the Lemma-8 construction: a uniform flow of value F exists
+// iff the network {s -> x: F/|X|} ∪ {arcs} ∪ {y -> t: F/|Y|} carries F;
+// feasibility is monotone in F (uniform flows scale), so the maximum is
+// found by bisection to relative tolerance `rel_tol`.
+double MaxUniformFlow(const Graph& g, const std::vector<NodeId>& sources,
+                      const std::vector<NodeId>& targets,
+                      double rel_tol = 1e-7);
+
+}  // namespace qsc
+
+#endif  // QSC_FLOW_UNIFORM_FLOW_H_

@@ -1,0 +1,47 @@
+#include "qsc/graph/datasets.h"
+
+#include <vector>
+
+namespace qsc {
+
+Graph KarateClub() {
+  // 1-based edge list from Zachary (1977), 78 edges.
+  static constexpr int kEdges[][2] = {
+      {1, 2},   {1, 3},   {1, 4},   {1, 5},   {1, 6},   {1, 7},   {1, 8},
+      {1, 9},   {1, 11},  {1, 12},  {1, 13},  {1, 14},  {1, 18},  {1, 20},
+      {1, 22},  {1, 32},  {2, 3},   {2, 4},   {2, 8},   {2, 14},  {2, 18},
+      {2, 20},  {2, 22},  {2, 31},  {3, 4},   {3, 8},   {3, 9},   {3, 10},
+      {3, 14},  {3, 28},  {3, 29},  {3, 33},  {4, 8},   {4, 13},  {4, 14},
+      {5, 7},   {5, 11},  {6, 7},   {6, 11},  {6, 17},  {7, 17},  {9, 31},
+      {9, 33},  {9, 34},  {10, 34}, {14, 34}, {15, 33}, {15, 34}, {16, 33},
+      {16, 34}, {19, 33}, {19, 34}, {20, 34}, {21, 33}, {21, 34}, {23, 33},
+      {23, 34}, {24, 26}, {24, 28}, {24, 30}, {24, 33}, {24, 34}, {25, 26},
+      {25, 28}, {25, 32}, {26, 32}, {27, 30}, {27, 34}, {28, 34}, {29, 32},
+      {29, 34}, {30, 33}, {30, 34}, {31, 33}, {31, 34}, {32, 33}, {32, 34},
+      {33, 34},
+  };
+  std::vector<EdgeTriple> edges;
+  edges.reserve(std::size(kEdges));
+  for (const auto& e : kEdges) {
+    edges.push_back({static_cast<NodeId>(e[0] - 1),
+                     static_cast<NodeId>(e[1] - 1), 1.0});
+  }
+  return Graph::FromEdges(34, edges, /*undirected=*/true);
+}
+
+CentralityCounterexample Figure5Graph() {
+  // Nodes 0..5: 6-cycle; nodes 6..8 and 9..11: triangles.
+  std::vector<EdgeTriple> edges;
+  for (NodeId i = 0; i < 6; ++i) {
+    edges.push_back({i, static_cast<NodeId>((i + 1) % 6), 1.0});
+  }
+  for (NodeId base : {NodeId{6}, NodeId{9}}) {
+    edges.push_back({base, static_cast<NodeId>(base + 1), 1.0});
+    edges.push_back({static_cast<NodeId>(base + 1),
+                     static_cast<NodeId>(base + 2), 1.0});
+    edges.push_back({base, static_cast<NodeId>(base + 2), 1.0});
+  }
+  return {Graph::FromEdges(12, edges, /*undirected=*/true), /*u=*/0, /*v=*/6};
+}
+
+}  // namespace qsc

@@ -1,0 +1,30 @@
+// Built-in datasets. The only real dataset small enough to embed verbatim
+// is Zachary's karate club, which the paper uses for Figure 1.
+
+#ifndef QSC_GRAPH_DATASETS_H_
+#define QSC_GRAPH_DATASETS_H_
+
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Zachary's karate club network (Zachary 1977): 34 nodes, 78 undirected
+// edges. Node 0 and node 33 are the two club leaders ("1" and "34" in the
+// paper's 1-based Figure 1).
+Graph KarateClub();
+
+// A counterexample realizing the paper's Figure-5 phenomenon: nodes u and v
+// share a stable color but have different betweenness centralities. Built
+// as the union of a 6-cycle and two triangles: every node is 2-regular (one
+// stable color), yet 6-cycle nodes lie on shortest paths while triangle
+// nodes do not.
+struct CentralityCounterexample {
+  Graph graph;
+  NodeId u;
+  NodeId v;
+};
+CentralityCounterexample Figure5Graph();
+
+}  // namespace qsc
+
+#endif  // QSC_GRAPH_DATASETS_H_

@@ -1,0 +1,341 @@
+#include "qsc/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace qsc {
+namespace {
+
+// Packs an undirected pair with u < v into one key for dedup sets.
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Graph ErdosRenyiGnm(NodeId num_nodes, int64_t num_edges, Rng& rng) {
+  QSC_CHECK_GE(num_nodes, 2);
+  const int64_t max_edges =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / 2;
+  QSC_CHECK_LE(num_edges, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  std::vector<EdgeTriple> edges;
+  edges.reserve(num_edges);
+  while (static_cast<int64_t>(edges.size()) < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+  }
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph BarabasiAlbert(NodeId num_nodes, int32_t edges_per_node, Rng& rng) {
+  QSC_CHECK_GE(edges_per_node, 1);
+  QSC_CHECK_GT(num_nodes, edges_per_node);
+  std::vector<EdgeTriple> edges;
+  // Repeated-endpoint list: attaching proportionally to degree is equivalent
+  // to sampling uniformly from the list of all edge endpoints so far.
+  std::vector<NodeId> endpoints;
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      edges.push_back({u, v, 1.0});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<NodeId> targets;
+  for (NodeId u = edges_per_node + 1; u < num_nodes; ++u) {
+    targets.clear();
+    while (static_cast<int32_t>(targets.size()) < edges_per_node) {
+      const NodeId pick =
+          endpoints[rng.NextBounded(endpoints.size())];
+      targets.insert(pick);
+    }
+    for (NodeId v : targets) {
+      edges.push_back({u, v, 1.0});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph PowerLawGraph(NodeId num_nodes, int64_t num_edges, double gamma,
+                    Rng& rng) {
+  QSC_CHECK_GT(gamma, 2.0);
+  QSC_CHECK_GE(num_nodes, 2);
+  // Chung-Lu expected-degree weights w_i = (i + i0)^{-1/(gamma-1)}.
+  const double exponent = -1.0 / (gamma - 1.0);
+  std::vector<double> weight(num_nodes);
+  std::vector<double> cumulative(num_nodes);
+  double total = 0.0;
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    weight[i] = std::pow(static_cast<double>(i) + 10.0, exponent);
+    total += weight[i];
+    cumulative[i] = total;
+  }
+  auto sample_node = [&]() -> NodeId {
+    const double r = rng.UniformDouble(0.0, total);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<NodeId>(it - cumulative.begin());
+  };
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  std::vector<EdgeTriple> edges;
+  edges.reserve(num_edges);
+  // Sample up to 3x the target to absorb duplicate/loop rejections without
+  // risking an endless loop on dense corners.
+  int64_t attempts = 0;
+  const int64_t max_attempts = 3 * num_edges + 1000;
+  while (static_cast<int64_t>(edges.size()) < num_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = sample_node();
+    const NodeId v = sample_node();
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+  }
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph WeightedHubGraph(NodeId num_nodes, int32_t edges_per_node,
+                       int32_t max_weight, Rng& rng) {
+  QSC_CHECK_GE(max_weight, 1);
+  const Graph skeleton = BarabasiAlbert(num_nodes, edges_per_node, rng);
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(skeleton.num_arcs());
+  for (NodeId u = 0; u < skeleton.num_nodes(); ++u) {
+    for (const NeighborEntry& e : skeleton.OutNeighbors(u)) {
+      // Each direction gets its own weight.
+      arcs.push_back(
+          {u, e.node, static_cast<double>(rng.UniformInt(1, max_weight))});
+    }
+  }
+  return Graph::FromEdges(num_nodes, arcs, /*undirected=*/false);
+}
+
+Graph BlockBiregularGraph(int32_t num_groups, int32_t group_size,
+                          int32_t num_group_pairs, Rng& rng) {
+  QSC_CHECK_GE(num_groups, 2);
+  QSC_CHECK_GE(group_size, 1);
+  const int64_t max_pairs =
+      static_cast<int64_t>(num_groups) * (num_groups - 1) / 2;
+  QSC_CHECK_LE(num_group_pairs, max_pairs);
+  std::unordered_set<uint64_t> chosen;
+  while (static_cast<int32_t>(chosen.size()) < num_group_pairs) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(num_groups));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(num_groups));
+    if (a == b) continue;
+    chosen.insert(PairKey(a, b));
+  }
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<size_t>(num_group_pairs) * group_size *
+                group_size);
+  for (uint64_t key : chosen) {
+    const NodeId ga = static_cast<NodeId>(key >> 32);
+    const NodeId gb = static_cast<NodeId>(key & 0xffffffffu);
+    for (int32_t i = 0; i < group_size; ++i) {
+      for (int32_t j = 0; j < group_size; ++j) {
+        edges.push_back({ga * group_size + i, gb * group_size + j, 1.0});
+      }
+    }
+  }
+  return Graph::FromEdges(num_groups * group_size, edges,
+                          /*undirected=*/true);
+}
+
+FlowInstance GridFlowNetwork(int32_t width, int32_t height,
+                             int32_t max_capacity,
+                             int32_t max_terminal_capacity, Rng& rng) {
+  QSC_CHECK_GE(width, 2);
+  QSC_CHECK_GE(height, 1);
+  const NodeId grid_nodes = width * height;
+  const NodeId source = grid_nodes;
+  const NodeId sink = grid_nodes + 1;
+  auto id = [width](int32_t x, int32_t y) -> NodeId { return y * width + x; };
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(static_cast<size_t>(grid_nodes) * 4 + 2 * height);
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        arcs.push_back({id(x, y), id(x + 1, y),
+                        static_cast<double>(rng.UniformInt(1, max_capacity))});
+        arcs.push_back({id(x + 1, y), id(x, y),
+                        static_cast<double>(rng.UniformInt(1, max_capacity))});
+      }
+      if (y + 1 < height) {
+        arcs.push_back({id(x, y), id(x, y + 1),
+                        static_cast<double>(rng.UniformInt(1, max_capacity))});
+        arcs.push_back({id(x, y + 1), id(x, y),
+                        static_cast<double>(rng.UniformInt(1, max_capacity))});
+      }
+    }
+  }
+  for (int32_t y = 0; y < height; ++y) {
+    arcs.push_back(
+        {source, id(0, y),
+         static_cast<double>(rng.UniformInt(1, max_terminal_capacity))});
+    arcs.push_back(
+        {id(width - 1, y), sink,
+         static_cast<double>(rng.UniformInt(1, max_terminal_capacity))});
+  }
+  return {Graph::FromEdges(grid_nodes + 2, arcs, /*undirected=*/false),
+          source, sink};
+}
+
+FlowInstance SegmentationGridNetwork(int32_t width, int32_t height,
+                                     int32_t num_objects, Rng& rng) {
+  QSC_CHECK_GE(width, 4);
+  QSC_CHECK_GE(height, 4);
+  QSC_CHECK_GE(num_objects, 1);
+  // Foreground mask: random rectangles covering roughly a third of the
+  // image between them.
+  std::vector<bool> foreground(static_cast<size_t>(width) * height, false);
+  for (int32_t obj = 0; obj < num_objects; ++obj) {
+    const int32_t w = 2 + static_cast<int32_t>(rng.NextBounded(width / 3));
+    const int32_t h = 2 + static_cast<int32_t>(rng.NextBounded(height / 3));
+    const int32_t x0 = static_cast<int32_t>(rng.NextBounded(width - w));
+    const int32_t y0 = static_cast<int32_t>(rng.NextBounded(height - h));
+    for (int32_t y = y0; y < y0 + h; ++y) {
+      for (int32_t x = x0; x < x0 + w; ++x) {
+        foreground[static_cast<size_t>(y) * width + x] = true;
+      }
+    }
+  }
+  const NodeId grid_nodes = width * height;
+  const NodeId source = grid_nodes;
+  const NodeId sink = grid_nodes + 1;
+  auto id = [width](int32_t x, int32_t y) -> NodeId { return y * width + x; };
+  auto strong = [&rng]() -> double {
+    return static_cast<double>(rng.UniformInt(8, 10));
+  };
+  auto weak = [&rng]() -> double {
+    return static_cast<double>(rng.UniformInt(1, 3));
+  };
+  // Potts-model smoothness: constant capacity, as in the benchmark
+  // segmentation instances. Keeping it noise-free lets the data-term
+  // structure dominate the coloring's witness choices, mirroring the
+  // region structure of the real instances.
+  constexpr double kSmooth = 3.0;
+  // An ambiguous band (e.g. motion blur / occlusion in the stereo
+  // instances): data terms there are balanced, so the optimal labels are
+  // decided by the smoothness term at pixel granularity — structure a
+  // coarse coloring cannot resolve.
+  const int32_t band_x0 = width / 5;
+  const int32_t band_x1 = band_x0 + width / 6;
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(static_cast<size_t>(grid_nodes) * 6);
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      const NodeId p = id(x, y);
+      bool fg = foreground[static_cast<size_t>(y) * width + x];
+      // Salt-and-pepper texture: isolated pixels with flipped data terms
+      // whose optimal label is decided by their neighborhood.
+      if (rng.Bernoulli(0.08)) fg = !fg;
+      const bool ambiguous = x >= band_x0 && x < band_x1;
+      // Data terms: foreground pixels attract the source, background
+      // pixels the sink; ambiguous pixels attract both weakly.
+      if (ambiguous) {
+        arcs.push_back(
+            {source, p, static_cast<double>(rng.UniformInt(4, 6))});
+        arcs.push_back(
+            {p, sink, static_cast<double>(rng.UniformInt(4, 6))});
+      } else {
+        arcs.push_back({source, p, fg ? strong() : weak()});
+        arcs.push_back({p, sink, fg ? weak() : strong()});
+      }
+      // Smoothness terms.
+      if (x + 1 < width) {
+        arcs.push_back({p, id(x + 1, y), kSmooth});
+        arcs.push_back({id(x + 1, y), p, kSmooth});
+      }
+      if (y + 1 < height) {
+        arcs.push_back({p, id(x, y + 1), kSmooth});
+        arcs.push_back({id(x, y + 1), p, kSmooth});
+      }
+    }
+  }
+  return {Graph::FromEdges(grid_nodes + 2, arcs, /*undirected=*/false),
+          source, sink};
+}
+
+FlowInstance LayeredDiagonalNetwork(int32_t num_layers, int32_t layer_width) {
+  QSC_CHECK_GE(num_layers, 2);
+  QSC_CHECK_GE(layer_width, 2);
+  const NodeId n = layer_width;
+  const NodeId source = num_layers * n;
+  const NodeId sink = source + 1;
+  auto id = [n](int32_t layer, int32_t i) -> NodeId { return layer * n + i; };
+  std::vector<EdgeTriple> arcs;
+  // Source feeds the whole first layer; last layer feeds the sink.
+  for (int32_t i = 0; i < n; ++i) {
+    arcs.push_back({source, id(0, i), 1.0});
+    arcs.push_back({id(num_layers - 1, i), sink, 1.0});
+  }
+  // Between consecutive layers: node i sends only to node i+1 of the next
+  // layer (strict shifted diagonal). Out-degrees toward the next layer are
+  // 1 except the top node's 0, so the layer partition is a q-stable
+  // coloring with q = 1; the maximum uniform flow between layers is 0 (the
+  // top node cannot carry its share), while c^2 between layers is
+  // layer_width - 1. A path entering layer 0 at index i leaves the last
+  // layer at i + num_layers - 1, so the true max-flow is
+  // max(0, layer_width - num_layers + 1) — constant and tiny compared to
+  // the c^2 bound (Example 7 / Figure 4).
+  for (int32_t layer = 0; layer + 1 < num_layers; ++layer) {
+    for (int32_t i = 0; i + 1 < n; ++i) {
+      arcs.push_back({id(layer, i), id(layer + 1, i + 1), 1.0});
+    }
+  }
+  return {Graph::FromEdges(num_layers * n + 2, arcs, /*undirected=*/false),
+          source, sink};
+}
+
+Graph PathGraph(NodeId num_nodes) {
+  std::vector<EdgeTriple> edges;
+  for (NodeId i = 0; i + 1 < num_nodes; ++i) edges.push_back({i, i + 1, 1.0});
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph CycleGraph(NodeId num_nodes) {
+  QSC_CHECK_GE(num_nodes, 3);
+  std::vector<EdgeTriple> edges;
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    edges.push_back({i, static_cast<NodeId>((i + 1) % num_nodes), 1.0});
+  }
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph StarGraph(NodeId num_leaves) {
+  std::vector<EdgeTriple> edges;
+  for (NodeId i = 1; i <= num_leaves; ++i) edges.push_back({0, i, 1.0});
+  return Graph::FromEdges(num_leaves + 1, edges, /*undirected=*/true);
+}
+
+Graph CompleteGraph(NodeId num_nodes) {
+  std::vector<EdgeTriple> edges;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) edges.push_back({u, v, 1.0});
+  }
+  return Graph::FromEdges(num_nodes, edges, /*undirected=*/true);
+}
+
+Graph CompleteBipartiteGraph(NodeId left, NodeId right) {
+  std::vector<EdgeTriple> edges;
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = 0; v < right; ++v) {
+      edges.push_back({u, static_cast<NodeId>(left + v), 1.0});
+    }
+  }
+  return Graph::FromEdges(left + right, edges, /*undirected=*/true);
+}
+
+}  // namespace qsc

@@ -1,0 +1,100 @@
+// Synthetic workload generators. These stand in for the paper's datasets
+// (Tables 2 and 3); see DESIGN.md §3 for the substitution rationale.
+
+#ifndef QSC_GRAPH_GENERATORS_H_
+#define QSC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/graph/graph.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+
+// Erdős–Rényi G(n, m): exactly `num_edges` distinct undirected non-loop
+// edges chosen uniformly at random. Requires num_edges <= n*(n-1)/2.
+Graph ErdosRenyiGnm(NodeId num_nodes, int64_t num_edges, Rng& rng);
+
+// Barabási–Albert preferential attachment: starts from a clique of
+// `edges_per_node` nodes, then each new node attaches to `edges_per_node`
+// existing nodes with probability proportional to their degree. Undirected,
+// unit weights; heavy-tailed degree distribution (stand-in for the paper's
+// social / collaboration graphs).
+Graph BarabasiAlbert(NodeId num_nodes, int32_t edges_per_node, Rng& rng);
+
+// Chung–Lu style power-law graph: node weights w_i ~ (i + i0)^{-1/(gamma-1)}
+// scaled so the expected edge count is `num_edges`; edges sampled by
+// picking endpoints proportionally to weight. Duplicates and loops are
+// discarded, so the realized edge count is slightly below the target.
+Graph PowerLawGraph(NodeId num_nodes, int64_t num_edges, double gamma,
+                    Rng& rng);
+
+// Weighted directed hub-and-spoke graph (OpenFlights stand-in): a
+// Barabási–Albert skeleton whose arcs get integer weights in
+// [1, max_weight], materialized in both directions with independently drawn
+// weights (routes are asymmetric).
+Graph WeightedHubGraph(NodeId num_nodes, int32_t edges_per_node,
+                       int32_t max_weight, Rng& rng);
+
+// The Figure-2 graph: `num_groups` groups of `group_size` nodes; a random
+// set of `num_group_pairs` distinct group pairs is connected completely
+// bipartitely. The group partition is a stable coloring by construction
+// (every node of group i has either `group_size` or 0 neighbors in group j),
+// so the graph compresses to ~num_groups colors until it is perturbed.
+//
+// num_groups=100, group_size=10, num_group_pairs=216 gives the paper's
+// |V|=1000, |E|=21600 synthetic graph.
+Graph BlockBiregularGraph(int32_t num_groups, int32_t group_size,
+                          int32_t num_group_pairs, Rng& rng);
+
+// A flow instance: a graph whose arc weights are capacities plus designated
+// source and sink nodes.
+struct FlowInstance {
+  Graph graph;
+  NodeId source;
+  NodeId sink;
+};
+
+// Vision-style grid network (Tsukuba/Venus/Sawtooth stand-in, Sec 6.1
+// max-flow benchmarks): a width x height 4-connected grid with integer
+// arc capacities in [1, max_capacity] (both directions, independently
+// drawn), a super-source attached to every node of the first column and a
+// super-sink attached to every node of the last column with capacities in
+// [1, max_terminal_capacity].
+FlowInstance GridFlowNetwork(int32_t width, int32_t height,
+                             int32_t max_capacity,
+                             int32_t max_terminal_capacity, Rng& rng);
+
+// Segmentation-style network modeling the paper's vision instances
+// (Tsukuba/Venus/Sawtooth/Cells): every pixel of a width x height grid has
+// a source arc (foreground data term) and a sink arc (background data
+// term), plus 4-neighbor smoothness arcs. `num_objects` rectangular
+// foreground regions get strong source attraction (terms in [8,10] vs
+// [1,3] elsewhere, swapped for the sink side); smoothness capacities are
+// in [2,4]. The min cut selects per-pixel labels plus object perimeters —
+// the structure a quasi-stable coloring compresses the way the paper's
+// vision benchmarks do (pixels with similar data terms share colors).
+FlowInstance SegmentationGridNetwork(int32_t width, int32_t height,
+                                     int32_t num_objects, Rng& rng);
+
+// The pathological network of Example 7 / Figure 4: `num_layers` layers of
+// `layer_width` nodes; consecutive layers are connected by strictly
+// shifted unit-capacity diagonals (node i -> node i+1), the source feeds
+// the whole first layer and the last layer feeds the sink. The layer
+// partition is a q-stable coloring with q = 1, each inter-layer capacity
+// is layer_width - 1, the maximum uniform flow between layers is 0, and
+// the true max-flow is max(0, layer_width - num_layers + 1). Used to
+// exercise the gap between the Theorem-6 bounds.
+FlowInstance LayeredDiagonalNetwork(int32_t num_layers, int32_t layer_width);
+
+// Deterministic small graphs for tests and examples.
+Graph PathGraph(NodeId num_nodes);          // undirected path
+Graph CycleGraph(NodeId num_nodes);         // undirected cycle
+Graph StarGraph(NodeId num_leaves);         // hub = node 0
+Graph CompleteGraph(NodeId num_nodes);      // undirected clique
+Graph CompleteBipartiteGraph(NodeId left, NodeId right);  // L = 0..left-1
+
+}  // namespace qsc
+
+#endif  // QSC_GRAPH_GENERATORS_H_

@@ -1,0 +1,127 @@
+#include "qsc/graph/graph.h"
+
+#include <algorithm>
+
+namespace qsc {
+namespace {
+
+// Sorts arcs by (src, dst), sums duplicates, drops zero-weight aggregates.
+std::vector<EdgeTriple> Coalesce(std::vector<EdgeTriple> arcs) {
+  std::sort(arcs.begin(), arcs.end(), [](const EdgeTriple& a,
+                                         const EdgeTriple& b) {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  std::vector<EdgeTriple> out;
+  out.reserve(arcs.size());
+  for (const EdgeTriple& arc : arcs) {
+    if (!out.empty() && out.back().src == arc.src &&
+        out.back().dst == arc.dst) {
+      out.back().weight += arc.weight;
+    } else {
+      out.push_back(arc);
+    }
+  }
+  std::erase_if(out, [](const EdgeTriple& a) { return a.weight == 0.0; });
+  return out;
+}
+
+}  // namespace
+
+Graph Graph::FromEdges(NodeId num_nodes, const std::vector<EdgeTriple>& edges,
+                       bool undirected) {
+  QSC_CHECK_GE(num_nodes, 0);
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(undirected ? 2 * edges.size() : edges.size());
+  for (const EdgeTriple& e : edges) {
+    QSC_CHECK(e.src >= 0 && e.src < num_nodes);
+    QSC_CHECK(e.dst >= 0 && e.dst < num_nodes);
+    arcs.push_back(e);
+    if (undirected && e.src != e.dst) {
+      arcs.push_back({e.dst, e.src, e.weight});
+    }
+  }
+  arcs = Coalesce(std::move(arcs));
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.undirected_ = undirected;
+
+  g.out_offsets_.assign(num_nodes + 1, 0);
+  g.in_offsets_.assign(num_nodes + 1, 0);
+  for (const EdgeTriple& a : arcs) {
+    ++g.out_offsets_[a.src + 1];
+    ++g.in_offsets_[a.dst + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  g.out_adj_.resize(arcs.size());
+  g.out_dst_.resize(arcs.size());
+  g.in_adj_.resize(arcs.size());
+  g.out_weight_.assign(num_nodes, 0.0);
+  g.in_weight_.assign(num_nodes, 0.0);
+
+  std::vector<int64_t> out_pos(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+  std::vector<int64_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const EdgeTriple& a : arcs) {
+    g.out_adj_[out_pos[a.src]] = {a.dst, a.weight};
+    g.out_dst_[out_pos[a.src]] = a.dst;
+    ++out_pos[a.src];
+    g.in_adj_[in_pos[a.dst]] = {a.src, a.weight};
+    ++in_pos[a.dst];
+    g.out_weight_[a.src] += a.weight;
+    g.in_weight_[a.dst] += a.weight;
+    g.total_weight_ += a.weight;
+  }
+  // Arcs were globally sorted by (src, dst), so out-adjacency is sorted; the
+  // in-adjacency inherits sortedness by src because insertion order is by
+  // src within each dst bucket.
+
+  int64_t loops = 0;
+  for (const EdgeTriple& a : arcs) {
+    if (a.src == a.dst) ++loops;
+  }
+  g.num_edges_ = undirected
+                     ? (static_cast<int64_t>(arcs.size()) - loops) / 2 + loops
+                     : static_cast<int64_t>(arcs.size());
+  return g;
+}
+
+int64_t Graph::num_edges() const { return num_edges_; }
+
+bool Graph::HasArc(NodeId u, NodeId v) const {
+  const auto range = OutNeighbors(u);
+  return std::binary_search(
+      range.begin(), range.end(), NeighborEntry{v, 0.0},
+      [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+}
+
+double Graph::ArcWeight(NodeId u, NodeId v) const {
+  const auto range = OutNeighbors(u);
+  const auto it = std::lower_bound(
+      range.begin(), range.end(), NeighborEntry{v, 0.0},
+      [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  if (it != range.end() && it->node == v) return it->weight;
+  return 0.0;
+}
+
+std::vector<EdgeTriple> Graph::Arcs() const {
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(num_arcs());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (const NeighborEntry& e : OutNeighbors(u)) {
+      arcs.push_back({u, e.node, e.weight});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace qsc

@@ -1,0 +1,126 @@
+// Directed, weighted graph in compressed sparse row (CSR) form, with both
+// out- and in-adjacency. This is the substrate shared by the coloring core
+// and all three application areas (max-flow, LP bipartite matrices,
+// centrality).
+//
+// Conventions (paper Sec. 3): an arc (u,v) exists iff its weight is nonzero;
+// undirected graphs are represented as symmetric directed graphs (each edge
+// stored as two arcs). Parallel input edges are coalesced by summing their
+// weights.
+
+#ifndef QSC_GRAPH_GRAPH_H_
+#define QSC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+
+using NodeId = int32_t;
+
+// One adjacency entry: the endpoint and the (aggregated) arc weight.
+struct NeighborEntry {
+  NodeId node;
+  double weight;
+};
+
+// One arc for bulk construction / export.
+struct EdgeTriple {
+  NodeId src;
+  NodeId dst;
+  double weight;
+};
+
+class Graph {
+ public:
+  // Iterable view over one node's adjacency list, sorted by endpoint id.
+  class NeighborRange {
+   public:
+    NeighborRange(const NeighborEntry* begin, const NeighborEntry* end)
+        : begin_(begin), end_(end) {}
+    const NeighborEntry* begin() const { return begin_; }
+    const NeighborEntry* end() const { return end_; }
+    int64_t size() const { return end_ - begin_; }
+    bool empty() const { return begin_ == end_; }
+
+   private:
+    const NeighborEntry* begin_;
+    const NeighborEntry* end_;
+  };
+
+  Graph() = default;
+
+  // Builds a graph from arc triples.
+  //
+  // If `undirected` is true, each input edge {u,v} with u != v is stored as
+  // the two arcs (u,v) and (v,u); self-loops are stored once. Duplicate
+  // arcs are coalesced by summing weights; arcs whose aggregate weight is
+  // exactly zero are dropped (paper convention: edge exists iff w != 0).
+  static Graph FromEdges(NodeId num_nodes, const std::vector<EdgeTriple>& edges,
+                         bool undirected);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  // Number of stored directed arcs (for undirected graphs, twice the number
+  // of non-loop edges plus the number of loops).
+  int64_t num_arcs() const { return static_cast<int64_t>(out_dst_.size()); }
+
+  // Number of logical edges: arcs for directed graphs; for undirected
+  // graphs, symmetric arc pairs count once.
+  int64_t num_edges() const;
+
+  bool undirected() const { return undirected_; }
+
+  NeighborRange OutNeighbors(NodeId u) const {
+    QSC_DCHECK(u >= 0 && u < num_nodes_);
+    return NeighborRange(out_adj_.data() + out_offsets_[u],
+                         out_adj_.data() + out_offsets_[u + 1]);
+  }
+  NeighborRange InNeighbors(NodeId u) const {
+    QSC_DCHECK(u >= 0 && u < num_nodes_);
+    return NeighborRange(in_adj_.data() + in_offsets_[u],
+                         in_adj_.data() + in_offsets_[u + 1]);
+  }
+
+  int64_t OutDegree(NodeId u) const { return OutNeighbors(u).size(); }
+  int64_t InDegree(NodeId u) const { return InNeighbors(u).size(); }
+
+  // Total outgoing / incoming weight of a node, i.e. w({u}, X) and
+  // w(X, {u}) in the paper's notation (1).
+  double OutWeight(NodeId u) const { return out_weight_[u]; }
+  double InWeight(NodeId u) const { return in_weight_[u]; }
+
+  // Sum of all arc weights.
+  double TotalWeight() const { return total_weight_; }
+
+  // True iff the arc (u,v) is present. O(log deg(u)).
+  bool HasArc(NodeId u, NodeId v) const;
+
+  // Weight of arc (u,v); 0 when absent. O(log deg(u)).
+  double ArcWeight(NodeId u, NodeId v) const;
+
+  // Materializes all stored arcs (src, dst, weight).
+  std::vector<EdgeTriple> Arcs() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  bool undirected_ = false;
+  int64_t num_edges_ = 0;
+
+  std::vector<int64_t> out_offsets_;  // size num_nodes_ + 1
+  std::vector<NeighborEntry> out_adj_;
+  std::vector<NodeId> out_dst_;  // parallel to out_adj_, for cheap scans
+
+  std::vector<int64_t> in_offsets_;
+  std::vector<NeighborEntry> in_adj_;
+
+  std::vector<double> out_weight_;
+  std::vector<double> in_weight_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_GRAPH_GRAPH_H_

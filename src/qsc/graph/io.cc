@@ -1,0 +1,128 @@
+#include "qsc/graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+// fopen wrapper with RAII close.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  std::fprintf(f.get(), "# nodes %d directed %d\n", g.num_nodes(),
+               g.undirected() ? 0 : 1);
+  for (const EdgeTriple& a : g.Arcs()) {
+    if (g.undirected() && a.src > a.dst) continue;
+    std::fprintf(f.get(), "%d %d %.17g\n", a.src, a.dst, a.weight);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  int num_nodes = 0;
+  int directed = 0;
+  if (std::fscanf(f.get(), "# nodes %d directed %d\n", &num_nodes,
+                  &directed) != 2) {
+    return Status::InvalidArgument("bad edge-list header in " + path);
+  }
+  std::vector<EdgeTriple> edges;
+  int u = 0, v = 0;
+  double w = 0.0;
+  while (std::fscanf(f.get(), "%d %d %lf", &u, &v, &w) == 3) {
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range in " + path);
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+  }
+  return Graph::FromEdges(static_cast<NodeId>(num_nodes), edges,
+                          directed == 0);
+}
+
+Status WriteDimacsMaxFlow(const Graph& g, NodeId source, NodeId sink,
+                          const std::string& path) {
+  if (g.undirected()) {
+    return Status::InvalidArgument(
+        "DIMACS max-flow expects a directed network");
+  }
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  std::fprintf(f.get(), "p max %d %" PRId64 "\n", g.num_nodes(),
+               g.num_arcs());
+  std::fprintf(f.get(), "n %d s\n", source + 1);
+  std::fprintf(f.get(), "n %d t\n", sink + 1);
+  for (const EdgeTriple& a : g.Arcs()) {
+    std::fprintf(f.get(), "a %d %d %.17g\n", a.src + 1, a.dst + 1, a.weight);
+  }
+  return Status::Ok();
+}
+
+StatusOr<DimacsMaxFlowProblem> ReadDimacsMaxFlow(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  int num_nodes = -1;
+  int64_t num_arcs = -1;
+  NodeId source = -1, sink = -1;
+  std::vector<EdgeTriple> arcs;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (line[0] == 'c' || line[0] == '\n') continue;
+    if (line[0] == 'p') {
+      if (std::sscanf(line, "p max %d %" SCNd64, &num_nodes, &num_arcs) != 2) {
+        return Status::InvalidArgument("bad DIMACS problem line");
+      }
+    } else if (line[0] == 'n') {
+      int id = 0;
+      char kind = 0;
+      if (std::sscanf(line, "n %d %c", &id, &kind) != 2) {
+        return Status::InvalidArgument("bad DIMACS node line");
+      }
+      if (kind == 's') {
+        source = id - 1;
+      } else if (kind == 't') {
+        sink = id - 1;
+      } else {
+        return Status::InvalidArgument("bad DIMACS node kind");
+      }
+    } else if (line[0] == 'a') {
+      int u = 0, v = 0;
+      double cap = 0.0;
+      if (std::sscanf(line, "a %d %d %lf", &u, &v, &cap) != 3) {
+        return Status::InvalidArgument("bad DIMACS arc line");
+      }
+      arcs.push_back({static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1),
+                      cap});
+    }
+  }
+  if (num_nodes < 0 || source < 0 || sink < 0) {
+    return Status::InvalidArgument("incomplete DIMACS file: " + path);
+  }
+  return DimacsMaxFlowProblem{
+      Graph::FromEdges(static_cast<NodeId>(num_nodes), arcs,
+                       /*undirected=*/false),
+      source, sink};
+}
+
+}  // namespace qsc

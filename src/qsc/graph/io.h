@@ -1,0 +1,34 @@
+// Graph serialization: weighted edge lists and DIMACS max-flow files.
+
+#ifndef QSC_GRAPH_IO_H_
+#define QSC_GRAPH_IO_H_
+
+#include <string>
+
+#include "qsc/graph/graph.h"
+#include "qsc/util/status.h"
+
+namespace qsc {
+
+// Writes one "src dst weight" line per stored arc, preceded by a header
+// line "# nodes <n> directed <0|1>". Undirected graphs write each edge once
+// (src <= dst).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+// Reads the format produced by WriteEdgeList.
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+// DIMACS max-flow format ("p max <n> <m>", "n <id> s|t", "a <u> <v> <cap>",
+// 1-based ids). The returned graph is directed with capacities as weights.
+struct DimacsMaxFlowProblem {
+  Graph graph;
+  NodeId source;
+  NodeId sink;
+};
+Status WriteDimacsMaxFlow(const Graph& g, NodeId source, NodeId sink,
+                          const std::string& path);
+StatusOr<DimacsMaxFlowProblem> ReadDimacsMaxFlow(const std::string& path);
+
+}  // namespace qsc
+
+#endif  // QSC_GRAPH_IO_H_

@@ -1,0 +1,67 @@
+#include "qsc/graph/perturb.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+uint64_t DirectedKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Graph AddRandomEdges(const Graph& g, int64_t count, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  QSC_CHECK_GE(n, 2);
+  std::vector<EdgeTriple> edges;
+  std::unordered_set<uint64_t> present;
+  if (g.undirected()) {
+    for (const EdgeTriple& a : g.Arcs()) {
+      if (a.src <= a.dst) {
+        edges.push_back(a);
+        present.insert(DirectedKey(a.src, a.dst));
+      }
+    }
+  } else {
+    for (const EdgeTriple& a : g.Arcs()) {
+      edges.push_back(a);
+      present.insert(DirectedKey(a.src, a.dst));
+    }
+  }
+  int64_t added = 0;
+  while (added < count) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (g.undirected() && u > v) std::swap(u, v);
+    if (!present.insert(DirectedKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+    ++added;
+  }
+  return Graph::FromEdges(n, edges, g.undirected());
+}
+
+Graph RemoveRandomEdges(const Graph& g, int64_t count, Rng& rng) {
+  std::vector<EdgeTriple> edges;
+  if (g.undirected()) {
+    for (const EdgeTriple& a : g.Arcs()) {
+      if (a.src <= a.dst) edges.push_back(a);
+    }
+  } else {
+    edges = g.Arcs();
+  }
+  QSC_CHECK_LE(count, static_cast<int64_t>(edges.size()));
+  // Partial Fisher-Yates: move `count` random edges to the back and drop.
+  const int64_t m = static_cast<int64_t>(edges.size());
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = i + static_cast<int64_t>(rng.NextBounded(m - i));
+    std::swap(edges[i], edges[j]);
+  }
+  edges.erase(edges.begin(), edges.begin() + count);
+  return Graph::FromEdges(g.num_nodes(), edges, g.undirected());
+}
+
+}  // namespace qsc

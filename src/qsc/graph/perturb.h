@@ -1,0 +1,24 @@
+// Random graph perturbations (paper Figure 2 / Sec 6.3 robustness study).
+
+#ifndef QSC_GRAPH_PERTURB_H_
+#define QSC_GRAPH_PERTURB_H_
+
+#include <cstdint>
+
+#include "qsc/graph/graph.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+
+// Returns a copy of `g` with `count` additional distinct random edges (no
+// self-loops, no duplicates of existing edges), each with weight 1. For
+// undirected graphs the new edges are undirected.
+Graph AddRandomEdges(const Graph& g, int64_t count, Rng& rng);
+
+// Returns a copy of `g` with `count` randomly chosen existing edges removed
+// (for undirected graphs, both arc directions are removed together).
+Graph RemoveRandomEdges(const Graph& g, int64_t count, Rng& rng);
+
+}  // namespace qsc
+
+#endif  // QSC_GRAPH_PERTURB_H_

@@ -1,0 +1,152 @@
+#include "qsc/lp/generators.h"
+
+#include <vector>
+
+#include "qsc/util/random.h"
+
+namespace qsc {
+
+LpProblem MakeBlockLp(const BlockLpSpec& spec) {
+  QSC_CHECK_GE(spec.num_row_groups, 1);
+  QSC_CHECK_GE(spec.num_col_groups, 1);
+  QSC_CHECK_GE(spec.rows_per_group, 1);
+  QSC_CHECK_GE(spec.cols_per_group, 1);
+  Rng rng(spec.seed);
+  LpProblem lp;
+  lp.num_rows = spec.num_row_groups * spec.rows_per_group;
+  lp.num_cols = spec.num_col_groups * spec.cols_per_group;
+
+  // Pick active blocks; make sure every column group is covered so the LP
+  // stays bounded, and every row group is covered so no row is vacuous.
+  std::vector<std::vector<bool>> active(
+      spec.num_row_groups, std::vector<bool>(spec.num_col_groups, false));
+  for (int32_t g = 0; g < spec.num_row_groups; ++g) {
+    for (int32_t h = 0; h < spec.num_col_groups; ++h) {
+      active[g][h] = rng.Bernoulli(spec.density);
+    }
+  }
+  for (int32_t h = 0; h < spec.num_col_groups; ++h) {
+    bool covered = false;
+    for (int32_t g = 0; g < spec.num_row_groups; ++g) covered |= active[g][h];
+    if (!covered) {
+      active[rng.NextBounded(spec.num_row_groups)][h] = true;
+    }
+  }
+  for (int32_t g = 0; g < spec.num_row_groups; ++g) {
+    bool covered = false;
+    for (int32_t h = 0; h < spec.num_col_groups; ++h) covered |= active[g][h];
+    if (!covered) {
+      active[g][rng.NextBounded(spec.num_col_groups)] = true;
+    }
+  }
+
+  std::vector<double> row_weight(lp.num_rows, 0.0);
+  for (int32_t g = 0; g < spec.num_row_groups; ++g) {
+    for (int32_t h = 0; h < spec.num_col_groups; ++h) {
+      if (!active[g][h]) continue;
+      const double base = rng.UniformDouble(1.0, 10.0);
+      for (int32_t i = 0; i < spec.rows_per_group; ++i) {
+        const int32_t row = g * spec.rows_per_group + i;
+        for (int32_t j = 0; j < spec.cols_per_group; ++j) {
+          const int32_t col = h * spec.cols_per_group + j;
+          const double value =
+              base * (1.0 + spec.noise * rng.UniformDouble(-1.0, 1.0));
+          lp.entries.push_back({row, col, value});
+          row_weight[row] += value;
+        }
+      }
+    }
+  }
+
+  // b sized to the row weight so the optimum has O(1)-scale variables;
+  // c per column group with the same noise model.
+  lp.b.resize(lp.num_rows);
+  for (int32_t i = 0; i < lp.num_rows; ++i) {
+    lp.b[i] = row_weight[i] * rng.UniformDouble(0.8, 1.2) /
+              static_cast<double>(spec.cols_per_group);
+  }
+  lp.c.resize(lp.num_cols);
+  for (int32_t h = 0; h < spec.num_col_groups; ++h) {
+    const double base = rng.UniformDouble(1.0, 10.0);
+    for (int32_t j = 0; j < spec.cols_per_group; ++j) {
+      lp.c[h * spec.cols_per_group + j] =
+          base * (1.0 + spec.noise * rng.UniformDouble(-1.0, 1.0));
+    }
+  }
+  CanonicalizeLp(lp);
+  return lp;
+}
+
+LpProblem MakeQapLikeLp(int32_t scale, uint64_t seed) {
+  // qap15: 6331 rows x 22275 cols. Shape: cols ~ 3.5x rows, block symmetry
+  // from the facility/location structure.
+  BlockLpSpec spec;
+  spec.num_row_groups = scale;
+  spec.rows_per_group = 2 * scale;
+  spec.num_col_groups = scale;
+  spec.cols_per_group = 7 * scale;
+  spec.density = 0.35;
+  spec.noise = 0.05;
+  spec.seed = seed;
+  return MakeBlockLp(spec);
+}
+
+LpProblem MakeNugentLikeLp(int32_t scale, uint64_t seed) {
+  // nug08-3rd: 19728 x 20448 (near-square), denser.
+  BlockLpSpec spec;
+  spec.num_row_groups = scale;
+  spec.rows_per_group = 3 * scale;
+  spec.num_col_groups = scale;
+  spec.cols_per_group = 3 * scale;
+  spec.density = 0.5;
+  spec.noise = 0.02;
+  spec.seed = seed;
+  return MakeBlockLp(spec);
+}
+
+LpProblem MakeWideSupportLp(int32_t scale, uint64_t seed) {
+  // supportcase10: 10713 rows x 1.43M cols (wide), sparse.
+  BlockLpSpec spec;
+  spec.num_row_groups = scale;
+  spec.rows_per_group = scale;
+  spec.num_col_groups = 8 * scale;
+  spec.cols_per_group = 4 * scale;
+  spec.density = 0.15;
+  spec.noise = 0.08;
+  spec.seed = seed;
+  return MakeBlockLp(spec);
+}
+
+LpProblem MakeTallLp(int32_t scale, uint64_t seed) {
+  // ex10: 69609 rows x 17680 cols (tall).
+  BlockLpSpec spec;
+  spec.num_row_groups = 6 * scale;
+  spec.rows_per_group = 2 * scale;
+  spec.num_col_groups = scale;
+  spec.cols_per_group = scale;
+  spec.density = 0.3;
+  spec.noise = 0.05;
+  spec.seed = seed;
+  return MakeBlockLp(spec);
+}
+
+LpProblem Figure3Lp() {
+  LpProblem lp;
+  lp.num_rows = 5;
+  lp.num_cols = 3;
+  const double a[5][3] = {{4, 8, 2},
+                          {6, 5, 1},
+                          {7, 4, 2},
+                          {3, 1, 22},
+                          {2, 3, 21}};
+  for (int32_t i = 0; i < 5; ++i) {
+    for (int32_t j = 0; j < 3; ++j) {
+      lp.entries.push_back({i, j, a[i][j]});
+    }
+  }
+  lp.b = {20, 20, 21, 50, 51};
+  lp.c = {9, 10, 50};
+  return lp;
+}
+
+}  // namespace qsc

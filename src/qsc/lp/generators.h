@@ -1,0 +1,51 @@
+// Synthetic LP generators standing in for the paper's Table-3 instances
+// (qap15, nug08-3rd, supportcase10, ex10); see DESIGN.md §3. All
+// generators produce well-behaved LPs: b > 0 (x = 0 feasible) and every
+// column carries positive weight in some row (bounded).
+
+#ifndef QSC_LP_GENERATORS_H_
+#define QSC_LP_GENERATORS_H_
+
+#include <cstdint>
+
+#include "qsc/lp/model.h"
+
+namespace qsc {
+
+// Block-structured LP: rows are grouped into `num_row_groups` groups of
+// `rows_per_group` (columns analogously); each (row group, col group) block
+// is active with probability `density`, and active blocks are dense with
+// entries base * (1 + noise * U(-1,1)). The block structure is what
+// quasi-stable coloring exploits; `noise` controls how far from exactly
+// compressible the instance is.
+struct BlockLpSpec {
+  int32_t num_row_groups = 10;
+  int32_t num_col_groups = 10;
+  int32_t rows_per_group = 10;
+  int32_t cols_per_group = 10;
+  double density = 0.4;
+  double noise = 0.05;
+  uint64_t seed = 1;
+};
+LpProblem MakeBlockLp(const BlockLpSpec& spec);
+
+// qap15 stand-in: assignment-polytope-like shape, columns outnumber rows
+// ~3.5x, strong block symmetry. `scale` = number of facilities (paper
+// instance: 15); rows/cols grow quadratically/cubically with it.
+LpProblem MakeQapLikeLp(int32_t scale, uint64_t seed);
+
+// nug08-3rd stand-in: near-square, denser blocks, low noise.
+LpProblem MakeNugentLikeLp(int32_t scale, uint64_t seed);
+
+// supportcase10 stand-in: wide (cols >> rows), sparse blocks.
+LpProblem MakeWideSupportLp(int32_t scale, uint64_t seed);
+
+// ex10 stand-in: tall (rows >> cols).
+LpProblem MakeTallLp(int32_t scale, uint64_t seed);
+
+// The exact 5x3 example LP of the paper's Figure 3 (optimal 128.157...).
+LpProblem Figure3Lp();
+
+}  // namespace qsc
+
+#endif  // QSC_LP_GENERATORS_H_

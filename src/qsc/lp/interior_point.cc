@@ -1,0 +1,214 @@
+#include "qsc/lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "qsc/util/timer.h"
+
+namespace qsc {
+namespace {
+
+// Dense symmetric positive-definite solve via Cholesky, in place.
+// Returns false if the factorization breaks down.
+bool CholeskySolve(std::vector<double>& h, int32_t m,
+                   std::vector<double>& rhs) {
+  auto at = [&h, m](int32_t i, int32_t j) -> double& {
+    return h[static_cast<size_t>(i) * m + j];
+  };
+  for (int32_t k = 0; k < m; ++k) {
+    double d = at(k, k);
+    for (int32_t p = 0; p < k; ++p) d -= at(k, p) * at(k, p);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double l = std::sqrt(d);
+    at(k, k) = l;
+    for (int32_t i = k + 1; i < m; ++i) {
+      double v = at(i, k);
+      for (int32_t p = 0; p < k; ++p) v -= at(i, p) * at(k, p);
+      at(i, k) = v / l;
+    }
+  }
+  // Forward substitution L z = rhs.
+  for (int32_t i = 0; i < m; ++i) {
+    double v = rhs[i];
+    for (int32_t p = 0; p < i; ++p) v -= at(i, p) * rhs[p];
+    rhs[i] = v / at(i, i);
+  }
+  // Back substitution L^T x = z.
+  for (int32_t i = m - 1; i >= 0; --i) {
+    double v = rhs[i];
+    for (int32_t p = i + 1; p < m; ++p) v -= at(p, i) * rhs[p];
+    rhs[i] = v / at(i, i);
+  }
+  return true;
+}
+
+}  // namespace
+
+IpmResult SolveInteriorPoint(const LpProblem& lp, const IpmOptions& options) {
+  QSC_CHECK_OK(ValidateLp(lp));
+  const int32_t m = lp.num_rows;
+  const int32_t n = lp.num_cols;
+  const int32_t big_n = n + m;  // x variables + slacks w
+  IpmResult result;
+  WallTimer timer;
+
+  if (m == 0 || n == 0) {
+    result.x.assign(n, 0.0);
+    result.status = LpStatus::kOptimal;
+    return result;
+  }
+
+  const LpColumns cols = BuildColumns(lp);
+
+  // Standard-form cost q = (-c, 0).
+  std::vector<double> q(big_n, 0.0);
+  for (int32_t j = 0; j < n; ++j) q[j] = -lp.c[j];
+
+  // M z: A x + w.
+  auto apply_m = [&](const std::vector<double>& z, std::vector<double>& out) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      const double zj = z[j];
+      if (zj == 0.0) continue;
+      for (int64_t p = cols.offsets[j]; p < cols.offsets[j + 1]; ++p) {
+        out[cols.rows[p]] += cols.values[p] * zj;
+      }
+    }
+    for (int32_t i = 0; i < m; ++i) out[i] += z[n + i];
+  };
+  // M^T y: (A^T y, y).
+  auto apply_mt = [&](const std::vector<double>& y, std::vector<double>& out) {
+    for (int32_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (int64_t p = cols.offsets[j]; p < cols.offsets[j + 1]; ++p) {
+        v += cols.values[p] * y[cols.rows[p]];
+      }
+      out[j] = v;
+    }
+    for (int32_t i = 0; i < m; ++i) out[n + i] = y[i];
+  };
+
+  double scale = 1.0;
+  for (double v : lp.b) scale = std::max(scale, std::abs(v));
+  for (double v : q) scale = std::max(scale, std::abs(v));
+  const double init = std::sqrt(scale);
+
+  std::vector<double> z(big_n, init), s(big_n, init), y(m, 0.0);
+  std::vector<double> rp(m), rd(big_n), mt_y(big_n), v(big_n), d(big_n);
+  std::vector<double> h(static_cast<size_t>(m) * m);
+  std::vector<double> dy(m), dz(big_n), ds(big_n), mv(m);
+
+  double bmax = 0.0;
+  for (double bi : lp.b) bmax = std::max(bmax, std::abs(bi));
+  const double bnorm = 1.0 + bmax;
+
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Residuals.
+    apply_m(z, rp);
+    for (int32_t i = 0; i < m; ++i) rp[i] = lp.b[i] - rp[i];
+    apply_mt(y, mt_y);
+    for (int32_t j = 0; j < big_n; ++j) rd[j] = q[j] - mt_y[j] - s[j];
+    double mu = 0.0;
+    for (int32_t j = 0; j < big_n; ++j) mu += z[j] * s[j];
+    mu /= big_n;
+
+    // Telemetry.
+    double primal_obj = 0.0;
+    for (int32_t j = 0; j < n; ++j) primal_obj += lp.c[j] * z[j];
+    double dual_obj = 0.0;
+    for (int32_t i = 0; i < m; ++i) dual_obj += lp.b[i] * y[i];
+    // For the max problem the dual objective is -b^T y of the min form;
+    // with q = -c, the min-form dual is max -b^T y, so the max-form dual
+    // bound is b^T (-y)... both signs occur during the run; report the
+    // certified bound |b^T y|.
+    dual_obj = std::abs(dual_obj);
+    double pinf = 0.0;
+    for (int32_t i = 0; i < m; ++i) pinf = std::max(pinf, std::abs(rp[i]));
+    double rel_gap = std::numeric_limits<double>::infinity();
+    if (primal_obj > 0.0 && dual_obj > 0.0) {
+      rel_gap = std::max(primal_obj / dual_obj, dual_obj / primal_obj);
+    }
+    result.history.push_back({iter, primal_obj, dual_obj, rel_gap,
+                              pinf, timer.ElapsedSeconds()});
+
+    double dinf = 0.0;
+    for (int32_t j = 0; j < big_n; ++j) dinf = std::max(dinf, std::abs(rd[j]));
+    const bool primal_ok = pinf <= options.tolerance * bnorm;
+    if (primal_ok && dinf <= options.tolerance * scale &&
+        mu <= options.tolerance * scale) {
+      result.status = LpStatus::kOptimal;
+      break;
+    }
+    if (options.early_stop_rel_gap > 1.0 &&
+        pinf <= 1e-6 * bnorm && rel_gap <= options.early_stop_rel_gap) {
+      result.status = LpStatus::kOptimal;
+      result.early_stopped = true;
+      break;
+    }
+
+    // Newton direction with centering sigma*mu.
+    const double target = options.sigma * mu;
+    for (int32_t j = 0; j < big_n; ++j) {
+      d[j] = z[j] / s[j];
+      v[j] = target / s[j] - z[j];
+    }
+    // H = A D_x A^T + D_w (+ tiny regularization).
+    std::fill(h.begin(), h.end(), 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      const double dj = d[j];
+      for (int64_t p = cols.offsets[j]; p < cols.offsets[j + 1]; ++p) {
+        const int32_t r1 = cols.rows[p];
+        const double a1 = cols.values[p] * dj;
+        for (int64_t p2 = cols.offsets[j]; p2 < cols.offsets[j + 1]; ++p2) {
+          h[static_cast<size_t>(r1) * m + cols.rows[p2]] +=
+              a1 * cols.values[p2];
+        }
+      }
+    }
+    double trace = 0.0;
+    for (int32_t i = 0; i < m; ++i) {
+      h[static_cast<size_t>(i) * m + i] += d[n + i];
+      trace += h[static_cast<size_t>(i) * m + i];
+    }
+    const double reg = 1e-12 * std::max(trace / m, 1.0);
+    for (int32_t i = 0; i < m; ++i) {
+      h[static_cast<size_t>(i) * m + i] += reg;
+    }
+
+    // rhs = rp - M v + M D rd.
+    std::vector<double> tmp(big_n);
+    for (int32_t j = 0; j < big_n; ++j) tmp[j] = d[j] * rd[j] - v[j];
+    apply_m(tmp, mv);
+    for (int32_t i = 0; i < m; ++i) dy[i] = rp[i] + mv[i];
+    if (!CholeskySolve(h, m, dy)) {
+      result.status = LpStatus::kIterationLimit;
+      break;
+    }
+
+    apply_mt(dy, ds);
+    for (int32_t j = 0; j < big_n; ++j) ds[j] = rd[j] - ds[j];
+    for (int32_t j = 0; j < big_n; ++j) dz[j] = v[j] - d[j] * ds[j];
+
+    // Fraction-to-boundary steps.
+    double alpha_p = 1.0, alpha_d = 1.0;
+    for (int32_t j = 0; j < big_n; ++j) {
+      if (dz[j] < 0.0) alpha_p = std::min(alpha_p, -z[j] / dz[j]);
+      if (ds[j] < 0.0) alpha_d = std::min(alpha_d, -s[j] / ds[j]);
+    }
+    alpha_p = std::min(1.0, 0.995 * alpha_p);
+    alpha_d = std::min(1.0, 0.995 * alpha_d);
+    for (int32_t j = 0; j < big_n; ++j) z[j] += alpha_p * dz[j];
+    for (int32_t i = 0; i < m; ++i) y[i] += alpha_d * dy[i];
+    for (int32_t j = 0; j < big_n; ++j) s[j] += alpha_d * ds[j];
+    ++result.iterations;
+  }
+
+  result.x.assign(z.begin(), z.begin() + n);
+  for (double& xi : result.x) xi = std::max(xi, 0.0);
+  result.objective = Objective(lp, result.x);
+  return result;
+}
+
+}  // namespace qsc

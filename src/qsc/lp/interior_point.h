@@ -1,0 +1,58 @@
+// Primal-dual path-following interior-point solver for
+// `maximize c^T x, Ax <= b, x >= 0`.
+//
+// This is the exact LP baseline of the paper's evaluation (Tulip, an
+// interior-point solver) and, through `early_stop_rel_gap`, the
+// "early-stopping" baseline of Table 1: iterate until the relative
+// primal-dual gap certifies the requested relative error, then stop.
+//
+// Internally the problem is converted to standard form
+//   min (-c)^T x  s.t.  Ax + w = b,  x, w >= 0
+// and solved with Newton steps on the perturbed KKT system, using dense
+// Cholesky on the normal equations A D A^T + D_w.
+
+#ifndef QSC_LP_INTERIOR_POINT_H_
+#define QSC_LP_INTERIOR_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/lp/model.h"
+#include "qsc/lp/simplex.h"  // LpStatus / LpResult
+
+namespace qsc {
+
+struct IpmIterate {
+  int32_t iteration;
+  double primal_objective;  // c^T x (maximization sign)
+  double dual_objective;    // b^T y
+  double rel_gap;           // max(p/d, d/p) when both positive, else inf
+  double primal_infeasibility;
+  double elapsed_seconds;
+};
+
+struct IpmOptions {
+  int32_t max_iterations = 200;
+  double tolerance = 1e-8;  // convergence: residuals and complementarity
+  // If > 1.0, stop as soon as the iterate is nearly primal feasible and
+  // max(primal/dual, dual/primal) <= early_stop_rel_gap (the Table-1
+  // early-stopping baseline). 0 disables early stopping.
+  double early_stop_rel_gap = 0.0;
+  double sigma = 0.2;  // centering parameter
+};
+
+struct IpmResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  int32_t iterations = 0;
+  bool early_stopped = false;
+  std::vector<IpmIterate> history;
+};
+
+IpmResult SolveInteriorPoint(const LpProblem& lp,
+                             const IpmOptions& options = {});
+
+}  // namespace qsc
+
+#endif  // QSC_LP_INTERIOR_POINT_H_

@@ -1,0 +1,80 @@
+#include "qsc/lp/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace qsc {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteLpText(const LpProblem& lp, const std::string& path) {
+  QSC_RETURN_IF_ERROR(ValidateLp(lp));
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  std::fprintf(f.get(), "lp %d %d %" PRId64 "\n", lp.num_rows, lp.num_cols,
+               lp.NumNonzeros());
+  std::fprintf(f.get(), "c");
+  for (double v : lp.c) std::fprintf(f.get(), " %.17g", v);
+  std::fprintf(f.get(), "\nb");
+  for (double v : lp.b) std::fprintf(f.get(), " %.17g", v);
+  std::fprintf(f.get(), "\n");
+  for (const LpEntry& e : lp.entries) {
+    std::fprintf(f.get(), "%d %d %.17g\n", e.row, e.col, e.value);
+  }
+  return Status::Ok();
+}
+
+StatusOr<LpProblem> ReadLpText(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  LpProblem lp;
+  int64_t num_entries = 0;
+  if (std::fscanf(f.get(), "lp %d %d %" SCNd64, &lp.num_rows, &lp.num_cols,
+                  &num_entries) != 3) {
+    return Status::InvalidArgument("bad LP header in " + path);
+  }
+  char tag[4];
+  if (std::fscanf(f.get(), " %1s", tag) != 1 || tag[0] != 'c') {
+    return Status::InvalidArgument("expected c line in " + path);
+  }
+  lp.c.resize(lp.num_cols);
+  for (double& v : lp.c) {
+    if (std::fscanf(f.get(), "%lf", &v) != 1) {
+      return Status::InvalidArgument("truncated c line in " + path);
+    }
+  }
+  if (std::fscanf(f.get(), " %1s", tag) != 1 || tag[0] != 'b') {
+    return Status::InvalidArgument("expected b line in " + path);
+  }
+  lp.b.resize(lp.num_rows);
+  for (double& v : lp.b) {
+    if (std::fscanf(f.get(), "%lf", &v) != 1) {
+      return Status::InvalidArgument("truncated b line in " + path);
+    }
+  }
+  lp.entries.reserve(num_entries);
+  for (int64_t i = 0; i < num_entries; ++i) {
+    LpEntry e;
+    if (std::fscanf(f.get(), "%d %d %lf", &e.row, &e.col, &e.value) != 3) {
+      return Status::InvalidArgument("truncated entries in " + path);
+    }
+    lp.entries.push_back(e);
+  }
+  QSC_RETURN_IF_ERROR(ValidateLp(lp));
+  return lp;
+}
+
+}  // namespace qsc

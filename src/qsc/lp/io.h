@@ -1,0 +1,22 @@
+// LP serialization in a minimal text format:
+//   lp <num_rows> <num_cols> <num_entries>
+//   c  <num_cols values>
+//   b  <num_rows values>
+//   <row> <col> <value>   (one line per entry)
+
+#ifndef QSC_LP_IO_H_
+#define QSC_LP_IO_H_
+
+#include <string>
+
+#include "qsc/lp/model.h"
+#include "qsc/util/status.h"
+
+namespace qsc {
+
+Status WriteLpText(const LpProblem& lp, const std::string& path);
+StatusOr<LpProblem> ReadLpText(const std::string& path);
+
+}  // namespace qsc
+
+#endif  // QSC_LP_IO_H_

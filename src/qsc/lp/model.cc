@@ -1,0 +1,95 @@
+#include "qsc/lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsc {
+
+Status ValidateLp(const LpProblem& lp) {
+  if (lp.num_rows < 0 || lp.num_cols < 0) {
+    return Status::InvalidArgument("negative LP dimensions");
+  }
+  if (static_cast<int32_t>(lp.b.size()) != lp.num_rows) {
+    return Status::InvalidArgument("b size mismatch");
+  }
+  if (static_cast<int32_t>(lp.c.size()) != lp.num_cols) {
+    return Status::InvalidArgument("c size mismatch");
+  }
+  for (const LpEntry& e : lp.entries) {
+    if (e.row < 0 || e.row >= lp.num_rows || e.col < 0 ||
+        e.col >= lp.num_cols) {
+      return Status::InvalidArgument("entry index out of range");
+    }
+    if (!std::isfinite(e.value)) {
+      return Status::InvalidArgument("non-finite entry value");
+    }
+  }
+  for (double v : lp.b) {
+    if (!std::isfinite(v)) return Status::InvalidArgument("non-finite b");
+  }
+  for (double v : lp.c) {
+    if (!std::isfinite(v)) return Status::InvalidArgument("non-finite c");
+  }
+  return Status::Ok();
+}
+
+void CanonicalizeLp(LpProblem& lp) {
+  std::sort(lp.entries.begin(), lp.entries.end(),
+            [](const LpEntry& a, const LpEntry& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<LpEntry> out;
+  out.reserve(lp.entries.size());
+  for (const LpEntry& e : lp.entries) {
+    if (!out.empty() && out.back().row == e.row && out.back().col == e.col) {
+      out.back().value += e.value;
+    } else {
+      out.push_back(e);
+    }
+  }
+  std::erase_if(out, [](const LpEntry& e) { return e.value == 0.0; });
+  lp.entries = std::move(out);
+}
+
+LpColumns BuildColumns(const LpProblem& lp) {
+  LpColumns cols;
+  cols.offsets.assign(lp.num_cols + 1, 0);
+  for (const LpEntry& e : lp.entries) ++cols.offsets[e.col + 1];
+  for (int32_t j = 0; j < lp.num_cols; ++j) {
+    cols.offsets[j + 1] += cols.offsets[j];
+  }
+  cols.rows.resize(lp.entries.size());
+  cols.values.resize(lp.entries.size());
+  std::vector<int64_t> pos(cols.offsets.begin(), cols.offsets.end() - 1);
+  for (const LpEntry& e : lp.entries) {
+    cols.rows[pos[e.col]] = e.row;
+    cols.values[pos[e.col]] = e.value;
+    ++pos[e.col];
+  }
+  return cols;
+}
+
+double Objective(const LpProblem& lp, const std::vector<double>& x) {
+  QSC_CHECK_EQ(static_cast<int32_t>(x.size()), lp.num_cols);
+  double obj = 0.0;
+  for (int32_t j = 0; j < lp.num_cols; ++j) obj += lp.c[j] * x[j];
+  return obj;
+}
+
+double MaxConstraintViolation(const LpProblem& lp,
+                              const std::vector<double>& x) {
+  QSC_CHECK_EQ(static_cast<int32_t>(x.size()), lp.num_cols);
+  std::vector<double> row_activity(lp.num_rows, 0.0);
+  for (const LpEntry& e : lp.entries) {
+    row_activity[e.row] += e.value * x[e.col];
+  }
+  double violation = 0.0;
+  for (int32_t i = 0; i < lp.num_rows; ++i) {
+    violation = std::max(violation, row_activity[i] - lp.b[i]);
+  }
+  for (double v : x) violation = std::max(violation, -v);
+  return violation;
+}
+
+}  // namespace qsc

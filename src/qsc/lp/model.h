@@ -1,0 +1,58 @@
+// Linear program model (paper Eq. 2):
+//
+//     maximize c^T x   subject to   A x <= b,  x >= 0
+//
+// with a sparse A given as (row, col, value) entries.
+
+#ifndef QSC_LP_MODEL_H_
+#define QSC_LP_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/util/status.h"
+
+namespace qsc {
+
+struct LpEntry {
+  int32_t row;
+  int32_t col;
+  double value;
+};
+
+struct LpProblem {
+  int32_t num_rows = 0;
+  int32_t num_cols = 0;
+  std::vector<LpEntry> entries;  // sparse A
+  std::vector<double> b;         // size num_rows
+  std::vector<double> c;         // size num_cols
+
+  int64_t NumNonzeros() const {
+    return static_cast<int64_t>(entries.size());
+  }
+};
+
+// Checks index ranges, vector sizes and finiteness of all coefficients.
+Status ValidateLp(const LpProblem& lp);
+
+// Sorts entries by (row, col) and sums duplicates; drops exact zeros.
+void CanonicalizeLp(LpProblem& lp);
+
+// Column-major view used by the solvers.
+struct LpColumns {
+  std::vector<int64_t> offsets;  // size num_cols + 1
+  std::vector<int32_t> rows;
+  std::vector<double> values;
+};
+LpColumns BuildColumns(const LpProblem& lp);
+
+// Objective value c^T x.
+double Objective(const LpProblem& lp, const std::vector<double>& x);
+
+// Largest violation of Ax <= b, x >= 0 (0 when feasible).
+double MaxConstraintViolation(const LpProblem& lp,
+                              const std::vector<double>& x);
+
+}  // namespace qsc
+
+#endif  // QSC_LP_MODEL_H_

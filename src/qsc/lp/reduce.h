@@ -1,0 +1,92 @@
+// LP dimensionality reduction via quasi-stable coloring (paper Sec 4.1).
+//
+// The LP is encoded as the weighted bipartite graph of its extended matrix
+//   A_ext = [ A  b ]
+//           [ c^T . ]
+// whose rows and columns are colored by Rothko with two constraints: row
+// and column nodes never share a color, and the objective row / rhs column
+// are pinned to singleton colors. The reduced LP follows Eq. (6)
+// (sqrt-normalized) or the Grohe et al. [16] variant; Theorem 2 bounds
+// |OPT - OPT_reduced| by q * Delta.
+
+#ifndef QSC_LP_REDUCE_H_
+#define QSC_LP_REDUCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/lp/model.h"
+
+namespace qsc {
+
+enum class LpReduction {
+  kSqrtNormalized,  // Eq. (6): A^(r,s) = A(P_r,Q_s)/sqrt(|P_r||Q_s|)
+  kGrohe,           // [16]:    A^(r,s) = A(P_r,Q_s)/|Q_s|, b^ = b(P_r)
+};
+
+struct LpReduceOptions {
+  // Total number of colors for the bipartite matrix graph, including the
+  // two pinned singletons (objective row, rhs column). Must be >= 4.
+  ColorId max_colors = 40;
+  double q_tolerance = 0.0;
+  // Witness weighting; the paper uses alpha=1, beta=0 for LPs.
+  double alpha = 1.0;
+  double beta = 0.0;
+  LpReduction variant = LpReduction::kSqrtNormalized;
+};
+
+struct ReducedLp {
+  LpProblem lp;  // the reduced LP
+  // Color of each original row / column, as indices into the reduced LP
+  // (0..reduced.num_rows-1 / 0..reduced.num_cols-1).
+  std::vector<int32_t> row_color;
+  std::vector<int32_t> col_color;
+  std::vector<int64_t> row_color_size;
+  std::vector<int64_t> col_color_size;
+  LpReduction variant = LpReduction::kSqrtNormalized;
+  double max_q = 0.0;  // q-error of the coloring on the matrix graph
+  double coloring_seconds = 0.0;
+};
+
+ReducedLp ReduceLp(const LpProblem& lp, const LpReduceOptions& options);
+
+// Anytime variant (paper Sec 5.2: Rothko as a co-routine). Holds the
+// matrix-graph coloring across calls so successive budgets refine the same
+// partition instead of recoloring from scratch:
+//
+//   LpColoringRefiner refiner(lp, options);
+//   for (ColorId k : {10, 20, 50}) {
+//     ReducedLp reduced = refiner.ReduceTo(k);
+//     ... solve, check the approximation, stop when good enough ...
+//   }
+class LpColoringRefiner {
+ public:
+  LpColoringRefiner(const LpProblem& lp, const LpReduceOptions& options);
+  ~LpColoringRefiner();
+
+  LpColoringRefiner(const LpColoringRefiner&) = delete;
+  LpColoringRefiner& operator=(const LpColoringRefiner&) = delete;
+
+  // Refines until the matrix graph has `max_colors` colors (or the
+  // coloring converges) and extracts the reduced LP. Budgets must be
+  // non-decreasing across calls.
+  ReducedLp ReduceTo(ColorId max_colors);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Lifts a reduced solution x^ back to the original variable space
+// (x_j = x^_s / sqrt(|Q_s|) for Eq. (6), x_j = x^_s / |Q_s| for Grohe).
+// The lifted point reproduces the reduced objective value but is not
+// necessarily feasible for the original LP (Theorem 2 bounds the value,
+// not the point).
+std::vector<double> LiftSolution(const ReducedLp& reduced,
+                                 const std::vector<double>& reduced_x);
+
+}  // namespace qsc
+
+#endif  // QSC_LP_REDUCE_H_

@@ -1,0 +1,261 @@
+#include "qsc/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+// Dense tableau simplex, minimization form. Columns: the problem variables
+// (original + slack [+ artificial]); rows: constraints with b >= 0 after
+// sign normalization. basis_[i] is the variable occupying row i.
+class Tableau {
+ public:
+  Tableau(int32_t num_rows, int32_t num_vars)
+      : m_(num_rows),
+        n_(num_vars),
+        a_(static_cast<size_t>(num_rows) * num_vars, 0.0),
+        rhs_(num_rows, 0.0),
+        cost_(num_vars, 0.0),
+        reduced_(num_vars, 0.0),
+        basis_(num_rows, -1) {}
+
+  double& At(int32_t i, int32_t j) {
+    return a_[static_cast<size_t>(i) * n_ + j];
+  }
+  double At(int32_t i, int32_t j) const {
+    return a_[static_cast<size_t>(i) * n_ + j];
+  }
+
+  int32_t num_rows() const { return m_; }
+  int32_t num_vars() const { return n_; }
+  std::vector<double>& rhs() { return rhs_; }
+  std::vector<double>& cost() { return cost_; }
+  std::vector<int32_t>& basis() { return basis_; }
+  const std::vector<int32_t>& basis() const { return basis_; }
+
+  // Recomputes the reduced-cost row from the current basis:
+  //   reduced_j = cost_j - cost_B^T B^{-1} A_j,
+  // which for the maintained (already pivoted) tableau is simply cost_j
+  // minus the basic costs times the tableau column.
+  void PriceFromScratch() {
+    std::vector<double> basic_cost(m_);
+    for (int32_t i = 0; i < m_; ++i) basic_cost[i] = cost_[basis_[i]];
+    for (int32_t j = 0; j < n_; ++j) {
+      double r = cost_[j];
+      for (int32_t i = 0; i < m_; ++i) {
+        const double aij = At(i, j);
+        if (aij != 0.0) r -= basic_cost[i] * aij;
+      }
+      reduced_[j] = r;
+    }
+    objective_ = 0.0;
+    for (int32_t i = 0; i < m_; ++i) objective_ += cost_[basis_[i]] * rhs_[i];
+  }
+
+  double reduced(int32_t j) const { return reduced_[j]; }
+  double objective() const { return objective_; }
+
+  // Gauss-Jordan pivot on (row, col); updates the reduced-cost row too.
+  void Pivot(int32_t row, int32_t col) {
+    const double pivot = At(row, col);
+    QSC_CHECK(std::abs(pivot) > 1e-13);
+    const double inv = 1.0 / pivot;
+    for (int32_t j = 0; j < n_; ++j) At(row, j) *= inv;
+    rhs_[row] *= inv;
+    At(row, col) = 1.0;  // exact
+    for (int32_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = At(i, col);
+      if (factor == 0.0) continue;
+      for (int32_t j = 0; j < n_; ++j) At(i, j) -= factor * At(row, j);
+      At(i, col) = 0.0;  // exact
+      rhs_[i] -= factor * rhs_[row];
+    }
+    const double rfactor = reduced_[col];
+    if (rfactor != 0.0) {
+      for (int32_t j = 0; j < n_; ++j) reduced_[j] -= rfactor * At(row, j);
+      reduced_[col] = 0.0;
+      objective_ += rfactor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  int32_t m_;
+  int32_t n_;
+  std::vector<double> a_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;
+  std::vector<double> reduced_;
+  std::vector<int32_t> basis_;
+  double objective_ = 0.0;
+};
+
+// Runs the simplex loop on `t` (minimization). `allowed` limits the
+// entering candidates (used to exclude artificials in phase 2).
+LpStatus Iterate(Tableau& t, const SimplexOptions& options, int32_t num_legal,
+                 int64_t* iterations) {
+  const double tol = options.tolerance;
+  int64_t degenerate_run = 0;
+  while (true) {
+    if (*iterations >= options.max_iterations) {
+      return LpStatus::kIterationLimit;
+    }
+    const bool bland = degenerate_run >= options.degenerate_switch;
+    // Entering variable: most negative reduced cost (Dantzig) or first
+    // negative (Bland).
+    int32_t enter = -1;
+    double best = -tol;
+    for (int32_t j = 0; j < num_legal; ++j) {
+      const double r = t.reduced(j);
+      if (r < best) {
+        enter = j;
+        if (bland) break;
+        best = r;
+      }
+    }
+    if (enter == -1) return LpStatus::kOptimal;
+
+    // Leaving row: minimum ratio rhs_i / a_ij over a_ij > tol; Bland
+    // tie-break on the basic variable index.
+    int32_t leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int32_t i = 0; i < t.num_rows(); ++i) {
+      const double aij = t.At(i, enter);
+      if (aij <= tol) continue;
+      const double ratio = t.rhs()[i] / aij;
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && leave != -1 &&
+           t.basis()[i] < t.basis()[leave])) {
+        best_ratio = ratio;
+        leave = i;
+      }
+    }
+    if (leave == -1) return LpStatus::kUnbounded;
+
+    degenerate_run = best_ratio <= tol ? degenerate_run + 1 : 0;
+    t.Pivot(leave, enter);
+    ++(*iterations);
+  }
+}
+
+}  // namespace
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "OPTIMAL";
+    case LpStatus::kInfeasible:
+      return "INFEASIBLE";
+    case LpStatus::kUnbounded:
+      return "UNBOUNDED";
+    case LpStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+LpResult SolveSimplex(const LpProblem& lp, const SimplexOptions& options) {
+  QSC_CHECK_OK(ValidateLp(lp));
+  const int32_t m = lp.num_rows;
+  const int32_t n = lp.num_cols;
+  LpResult result;
+
+  if (m == 0) {
+    // No constraints: optimum is 0 at x = 0 unless some c_j > 0.
+    result.x.assign(n, 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      if (lp.c[j] > options.tolerance) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = LpStatus::kOptimal;
+    result.objective = 0.0;
+    return result;
+  }
+
+  // Sign-normalize rows so b >= 0. Row i keeps a slack with coefficient
+  // sign_i; rows whose slack became -1 need an artificial variable.
+  std::vector<double> sign(m, 1.0);
+  int32_t num_artificial = 0;
+  for (int32_t i = 0; i < m; ++i) {
+    if (lp.b[i] < 0.0) {
+      sign[i] = -1.0;
+      ++num_artificial;
+    }
+  }
+  const int32_t num_vars = n + m + num_artificial;
+  Tableau t(m, num_vars);
+  for (const LpEntry& e : lp.entries) {
+    t.At(e.row, e.col) += sign[e.row] * e.value;
+  }
+  {
+    int32_t art = 0;
+    for (int32_t i = 0; i < m; ++i) {
+      t.rhs()[i] = sign[i] * lp.b[i];
+      t.At(i, n + i) = sign[i];  // slack
+      if (sign[i] < 0.0) {
+        t.At(i, n + m + art) = 1.0;  // artificial
+        t.basis()[i] = n + m + art;
+        ++art;
+      } else {
+        t.basis()[i] = n + i;
+      }
+    }
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificial > 0) {
+    for (int32_t j = n + m; j < num_vars; ++j) t.cost()[j] = 1.0;
+    t.PriceFromScratch();
+    const LpStatus phase1 =
+        Iterate(t, options, num_vars, &result.iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = phase1;
+      return result;
+    }
+    QSC_CHECK(phase1 != LpStatus::kUnbounded);  // Phase 1 is bounded below.
+    if (t.objective() > 1e-7) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive any lingering (degenerate) artificials out of the basis.
+    for (int32_t i = 0; i < m; ++i) {
+      if (t.basis()[i] < n + m) continue;
+      int32_t pivot_col = -1;
+      for (int32_t j = 0; j < n + m; ++j) {
+        if (std::abs(t.At(i, j)) > 1e-9) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col != -1) {
+        t.Pivot(i, pivot_col);
+        ++result.iterations;
+      }
+      // A fully-zero row is redundant; its artificial stays basic at zero
+      // and never re-enters because phase 2 excludes artificial columns.
+    }
+  }
+
+  // Phase 2: minimize -c^T x over the original + slack variables.
+  for (int32_t j = 0; j < num_vars; ++j) t.cost()[j] = 0.0;
+  for (int32_t j = 0; j < n; ++j) t.cost()[j] = -lp.c[j];
+  t.PriceFromScratch();
+  const LpStatus phase2 = Iterate(t, options, n + m, &result.iterations);
+  result.status = phase2;
+  if (phase2 != LpStatus::kOptimal) return result;
+
+  result.x.assign(n, 0.0);
+  for (int32_t i = 0; i < m; ++i) {
+    if (t.basis()[i] < n) result.x[t.basis()[i]] = t.rhs()[i];
+  }
+  result.objective = -t.objective();
+  return result;
+}
+
+}  // namespace qsc

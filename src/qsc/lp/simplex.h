@@ -1,0 +1,47 @@
+// Dense two-phase primal simplex for `maximize c^T x, Ax <= b, x >= 0`.
+//
+// Textbook tableau implementation with Dantzig pricing and a Bland's-rule
+// fallback after a run of degenerate pivots (guaranteeing termination).
+// Intended for the small reduced LPs the coloring produces and as the
+// reference solver in tests; the interior-point solver handles the larger
+// exact baselines.
+
+#ifndef QSC_LP_SIMPLEX_H_
+#define QSC_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/lp/model.h"
+
+namespace qsc {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (size num_cols) when optimal
+  int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  int64_t max_iterations = 200000;
+  double tolerance = 1e-9;
+  // Switch from Dantzig to Bland pricing after this many consecutive
+  // degenerate pivots (anti-cycling).
+  int64_t degenerate_switch = 200;
+};
+
+LpResult SolveSimplex(const LpProblem& lp, const SimplexOptions& options = {});
+
+}  // namespace qsc
+
+#endif  // QSC_LP_SIMPLEX_H_

@@ -1,0 +1,40 @@
+// Umbrella header: the full public API of the quasi-stable coloring
+// library. Include individual headers for faster builds.
+
+#ifndef QSC_QSC_H_
+#define QSC_QSC_H_
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/centrality/path_sampling.h"
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/q_error.h"
+#include "qsc/coloring/reduced_graph.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/coloring/wl2.h"
+#include "qsc/flow/approx_flow.h"
+#include "qsc/flow/dinic.h"
+#include "qsc/flow/edmonds_karp.h"
+#include "qsc/flow/min_cut.h"
+#include "qsc/flow/network.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/flow/uniform_flow.h"
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/graph.h"
+#include "qsc/graph/io.h"
+#include "qsc/graph/perturb.h"
+#include "qsc/lp/generators.h"
+#include "qsc/lp/interior_point.h"
+#include "qsc/lp/io.h"
+#include "qsc/lp/model.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/random.h"
+#include "qsc/util/stats.h"
+#include "qsc/util/status.h"
+#include "qsc/util/table.h"
+#include "qsc/util/timer.h"
+
+#endif  // QSC_QSC_H_

@@ -1,0 +1,53 @@
+// Lightweight fatal-assertion macros.
+//
+// The library does not use C++ exceptions (recoverable errors are reported
+// through qsc::Status); QSC_CHECK* guard against programming errors and
+// abort the process with a diagnostic when violated.
+
+#ifndef QSC_UTIL_CHECK_H_
+#define QSC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsc {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "QSC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace qsc
+
+// Aborts the process if `cond` evaluates to false.
+#define QSC_CHECK(cond)                                   \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::qsc::internal::CheckFail(__FILE__, __LINE__, #cond); \
+    }                                                     \
+  } while (false)
+
+#define QSC_CHECK_EQ(a, b) QSC_CHECK((a) == (b))
+#define QSC_CHECK_NE(a, b) QSC_CHECK((a) != (b))
+#define QSC_CHECK_LT(a, b) QSC_CHECK((a) < (b))
+#define QSC_CHECK_LE(a, b) QSC_CHECK((a) <= (b))
+#define QSC_CHECK_GT(a, b) QSC_CHECK((a) > (b))
+#define QSC_CHECK_GE(a, b) QSC_CHECK((a) >= (b))
+
+// Aborts if a qsc::Status (or StatusOr) expression is not OK.
+#define QSC_CHECK_OK(expr) QSC_CHECK((expr).ok())
+
+// Debug-only check; compiled out in release builds.
+#ifndef NDEBUG
+#define QSC_DCHECK(cond) QSC_CHECK(cond)
+#else
+#define QSC_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif
+
+#endif  // QSC_UTIL_CHECK_H_

@@ -1,0 +1,100 @@
+#include "qsc/util/random.h"
+
+#include <unordered_set>
+
+namespace qsc {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  QSC_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  QSC_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range (hi - lo == UINT64_MAX).
+  if (span == 0) {
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  QSC_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  QSC_CHECK_GE(n, 0);
+  QSC_CHECK_GE(k, 0);
+  QSC_CHECK_LE(k, n);
+  // For dense requests use a partial Fisher-Yates; for sparse use a set.
+  if (k * 3 >= n) {
+    std::vector<int64_t> all(n);
+    for (int64_t i = 0; i < n; ++i) all[i] = i;
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = i + static_cast<int64_t>(NextBounded(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<int64_t> chosen;
+  std::vector<int64_t> out;
+  out.reserve(k);
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t candidate = static_cast<int64_t>(NextBounded(n));
+    if (chosen.insert(candidate).second) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace qsc

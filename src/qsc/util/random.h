@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. Rng wraps xoshiro256** seeded through SplitMix64, so the
+// same seed yields the same workload on every platform.
+
+#ifndef QSC_UTIL_RANDOM_H_
+#define QSC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+
+// Small, fast, reproducible PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform on the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  // sampling, so the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace qsc
+
+#endif  // QSC_UTIL_RANDOM_H_

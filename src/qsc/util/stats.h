@@ -1,0 +1,50 @@
+// Statistical helpers used by the evaluation harness: summary statistics,
+// rank transforms and Spearman's rank correlation (the paper's accuracy
+// metric for betweenness centrality), and the paper's relative-error metric
+// max(v/v_hat, v_hat/v) for max-flow and LP tasks.
+
+#ifndef QSC_UTIL_STATS_H_
+#define QSC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qsc {
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Geometric mean; requires all entries > 0. 0 for empty input.
+double GeometricMean(const std::vector<double>& xs);
+
+// Median (average of the two middle elements for even sizes); 0 for empty.
+double Median(std::vector<double> xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+// Fractional ranks (1-based, ties get the average rank), as used by
+// Spearman's rho.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+// Pearson correlation coefficient; 0 if either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+// Spearman's rank correlation coefficient, with tie handling (Pearson
+// correlation of fractional ranks). 1.0 means identical rankings.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+// The paper's relative-error metric: max(actual/predicted,
+// predicted/actual). Ideal score is 1.0. If the values have different signs
+// or one is zero (and the other is not), returns +infinity; 1.0 if both are
+// zero.
+double RelativeError(double actual, double predicted);
+
+}  // namespace qsc
+
+#endif  // QSC_UTIL_STATS_H_

@@ -1,0 +1,121 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// Mirrors the absl::Status idiom at a much smaller scale. Functions that can
+// fail for data-dependent reasons (bad input file, infeasible LP, ...)
+// return Status or StatusOr<T>; contract violations abort via QSC_CHECK.
+
+#ifndef QSC_UTIL_STATUS_H_
+#define QSC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or an error Status. Accessing the value of a
+// non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    QSC_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QSC_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    QSC_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    QSC_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qsc
+
+// Propagates a non-OK status to the caller.
+#define QSC_RETURN_IF_ERROR(expr)       \
+  do {                                  \
+    ::qsc::Status qsc_status_ = (expr); \
+    if (!qsc_status_.ok()) {            \
+      return qsc_status_;               \
+    }                                   \
+  } while (false)
+
+#endif  // QSC_UTIL_STATUS_H_

@@ -1,0 +1,102 @@
+#include "qsc/util/table.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  QSC_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  for (size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    const int rem = static_cast<int>(seconds - 60.0 * minutes);
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", minutes, rem);
+  }
+  return buf;
+}
+
+std::string FormatCount(int64_t count) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%" PRId64, count);
+  std::string raw = digits;
+  std::string out;
+  const bool negative = !raw.empty() && raw[0] == '-';
+  const size_t start = negative ? 1 : 0;
+  const size_t len = raw.size() - start;
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ' ';
+    out += raw[start + i];
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string FormatRatio(double ratio) {
+  if (ratio >= 10.0) {
+    return FormatCount(static_cast<int64_t>(std::llround(ratio))) + ":1";
+  }
+  return FormatDouble(ratio, 2) + ":1";
+}
+
+}  // namespace qsc

@@ -1,0 +1,157 @@
+#include "qsc/centrality/brandes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+// Brute-force betweenness via explicit shortest-path enumeration (BFS path
+// counting per pair), used as ground truth on tiny graphs.
+std::vector<double> BruteForceBetweenness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> scores(n, 0.0);
+  // all-pairs sigma via BFS from each source
+  std::vector<std::vector<int32_t>> dist(n, std::vector<int32_t>(n, -1));
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<NodeId> queue{s};
+    dist[s][s] = 0;
+    sigma[s][s] = 1.0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const NeighborEntry& e : g.OutNeighbors(u)) {
+        if (dist[s][e.node] == -1) {
+          dist[s][e.node] = dist[s][u] + 1;
+          queue.push_back(e.node);
+        }
+        if (dist[s][e.node] == dist[s][u] + 1) {
+          sigma[s][e.node] += sigma[s][u];
+        }
+      }
+    }
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t || sigma[s][t] == 0.0) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist[s][v] != -1 && dist[v][t] != -1 &&
+            dist[s][v] + dist[v][t] == dist[s][t]) {
+          scores[v] += sigma[s][v] * sigma[v][t] / sigma[s][t];
+        }
+      }
+    }
+  }
+  return scores;
+}
+
+TEST(BrandesTest, PathGraphCenters) {
+  // P5 (0-1-2-3-4): betweenness of middle node 2 is 2*(2*2)=8 (ordered
+  // pairs), node 1 is 2*3 = 6, endpoints 0.
+  const auto scores = BetweennessExact(PathGraph(5));
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[4], 0.0);
+  EXPECT_DOUBLE_EQ(scores[2], 8.0);
+  EXPECT_DOUBLE_EQ(scores[1], 6.0);
+  EXPECT_DOUBLE_EQ(scores[3], 6.0);
+}
+
+TEST(BrandesTest, StarHub) {
+  // Star with 5 leaves: hub lies on all 5*4 ordered leaf pairs.
+  const auto scores = BetweennessExact(StarGraph(5));
+  EXPECT_DOUBLE_EQ(scores[0], 20.0);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_DOUBLE_EQ(scores[v], 0.0);
+}
+
+TEST(BrandesTest, CompleteGraphAllZero) {
+  const auto scores = BetweennessExact(CompleteGraph(5));
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(BrandesTest, CycleEqualScores) {
+  const auto scores = BetweennessExact(CycleGraph(7));
+  for (NodeId v = 1; v < 7; ++v) {
+    EXPECT_NEAR(scores[v], scores[0], 1e-9);
+  }
+  EXPECT_GT(scores[0], 0.0);
+}
+
+TEST(BrandesTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ErdosRenyiGnm(25, 60, rng);
+    const auto fast = BetweennessExact(g);
+    const auto slow = BruteForceBetweenness(g);
+    for (NodeId v = 0; v < 25; ++v) {
+      EXPECT_NEAR(fast[v], slow[v], 1e-9) << "trial " << trial << " v " << v;
+    }
+  }
+}
+
+TEST(BrandesTest, MatchesBruteForceOnDirected) {
+  Rng rng(4);
+  std::vector<EdgeTriple> arcs;
+  for (int e = 0; e < 60; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(20));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(20));
+    if (u != v) arcs.push_back({u, v, 1.0});
+  }
+  const Graph g = Graph::FromEdges(20, arcs, false);
+  const auto fast = BetweennessExact(g);
+  const auto slow = BruteForceBetweenness(g);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_NEAR(fast[v], slow[v], 1e-9);
+}
+
+TEST(BrandesTest, DisconnectedComponentsIndependent) {
+  // Two P3s: middle nodes get betweenness 2 each (ordered pairs within
+  // their component), no cross-component contribution.
+  const Graph g = Graph::FromEdges(
+      6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}}, true);
+  const auto scores = BetweennessExact(g);
+  EXPECT_DOUBLE_EQ(scores[1], 2.0);
+  EXPECT_DOUBLE_EQ(scores[4], 2.0);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(BrandesTest, Figure5PhenomenonSameColorDifferentCentrality) {
+  // The stable coloring merges u and v (see coloring_stable_test), yet
+  // their centralities differ — the paper's Figure-5 negative result.
+  const auto ce = Figure5Graph();
+  const auto scores = BetweennessExact(ce.graph);
+  EXPECT_GT(scores[ce.u], scores[ce.v]);
+  EXPECT_DOUBLE_EQ(scores[ce.v], 0.0);  // triangle node
+}
+
+TEST(BrandesWorkspaceTest, SingleSourceScaling) {
+  const Graph g = PathGraph(4);
+  std::vector<double> once(4, 0.0), twice(4, 0.0);
+  BrandesWorkspace ws(g);
+  ws.AccumulateDependencies(0, 1.0, once);
+  ws.AccumulateDependencies(0, 2.0, twice);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(twice[v], 2.0 * once[v]);
+  }
+}
+
+TEST(BrandesWorkspaceTest, SumOverSourcesIsExact) {
+  Rng rng(5);
+  const Graph g = ErdosRenyiGnm(20, 50, rng);
+  std::vector<double> accumulated(20, 0.0);
+  BrandesWorkspace ws(g);
+  for (NodeId s = 0; s < 20; ++s) {
+    ws.AccumulateDependencies(s, 1.0, accumulated);
+  }
+  const auto exact = BetweennessExact(g);
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_NEAR(accumulated[v], exact[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,104 @@
+#include "qsc/coloring/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qsc {
+namespace {
+
+TEST(PartitionTest, Trivial) {
+  const Partition p = Partition::Trivial(5);
+  EXPECT_EQ(p.num_nodes(), 5);
+  EXPECT_EQ(p.num_colors(), 1);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(p.ColorOf(v), 0);
+  EXPECT_EQ(p.ColorSize(0), 5);
+  EXPECT_DOUBLE_EQ(p.CompressionRatio(), 5.0);
+}
+
+TEST(PartitionTest, Discrete) {
+  const Partition p = Partition::Discrete(4);
+  EXPECT_EQ(p.num_colors(), 4);
+  EXPECT_EQ(p.NumSingletons(), 4);
+  EXPECT_DOUBLE_EQ(p.CompressionRatio(), 1.0);
+}
+
+TEST(PartitionTest, FromColorIdsDensifies) {
+  const Partition p = Partition::FromColorIds({7, 3, 7, 9, 3});
+  EXPECT_EQ(p.num_colors(), 3);
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(2));
+  EXPECT_EQ(p.ColorOf(1), p.ColorOf(4));
+  EXPECT_NE(p.ColorOf(0), p.ColorOf(3));
+  // First appearance order: 7 -> 0, 3 -> 1, 9 -> 2.
+  EXPECT_EQ(p.ColorOf(0), 0);
+  EXPECT_EQ(p.ColorOf(1), 1);
+  EXPECT_EQ(p.ColorOf(3), 2);
+}
+
+TEST(PartitionTest, MembersConsistent) {
+  const Partition p = Partition::FromColorIds({0, 1, 0, 1, 0});
+  EXPECT_EQ(p.ColorSize(0), 3);
+  EXPECT_EQ(p.ColorSize(1), 2);
+  for (ColorId c = 0; c < p.num_colors(); ++c) {
+    for (NodeId v : p.Members(c)) EXPECT_EQ(p.ColorOf(v), c);
+  }
+}
+
+TEST(PartitionTest, SplitColor) {
+  Partition p = Partition::Trivial(6);
+  const ColorId fresh = p.SplitColor(0, {1, 3, 5});
+  EXPECT_EQ(fresh, 1);
+  EXPECT_EQ(p.num_colors(), 2);
+  EXPECT_EQ(p.ColorSize(0), 3);
+  EXPECT_EQ(p.ColorSize(1), 3);
+  EXPECT_EQ(p.ColorOf(1), 1);
+  EXPECT_EQ(p.ColorOf(0), 0);
+  // Old members list no longer contains moved nodes.
+  for (NodeId v : p.Members(0)) EXPECT_EQ(v % 2, 0);
+}
+
+TEST(PartitionTest, SplitEntireColorDies) {
+  Partition p = Partition::Trivial(3);
+  EXPECT_DEATH(p.SplitColor(0, {0, 1, 2}), "QSC_CHECK");
+}
+
+TEST(PartitionTest, SplitWrongColorDies) {
+  Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  EXPECT_DEATH(p.SplitColor(0, {2}), "QSC_CHECK");
+}
+
+TEST(PartitionTest, RefinementChecks) {
+  const Partition fine = Partition::FromColorIds({0, 1, 2, 2});
+  const Partition coarse = Partition::FromColorIds({0, 0, 1, 1});
+  EXPECT_TRUE(fine.IsRefinementOf(coarse));
+  EXPECT_FALSE(coarse.IsRefinementOf(fine));
+  EXPECT_TRUE(fine.IsRefinementOf(fine));
+  EXPECT_TRUE(Partition::Discrete(4).IsRefinementOf(coarse));
+  EXPECT_TRUE(coarse.IsRefinementOf(Partition::Trivial(4)));
+}
+
+TEST(PartitionTest, CrossingPartitionsNotRefinements) {
+  const Partition a = Partition::FromColorIds({0, 0, 1, 1});
+  const Partition b = Partition::FromColorIds({0, 1, 1, 0});
+  EXPECT_FALSE(a.IsRefinementOf(b));
+  EXPECT_FALSE(b.IsRefinementOf(a));
+}
+
+TEST(PartitionTest, EqualityIgnoresLabeling) {
+  const Partition a = Partition::FromColorIds({0, 0, 1, 2});
+  const Partition b = Partition::FromColorIds({5, 5, 9, 7});
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PartitionTest, ColorSizes) {
+  const Partition p = Partition::FromColorIds({0, 0, 1, 0, 2});
+  const auto sizes = p.ColorSizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 1);
+  EXPECT_EQ(sizes[2], 1);
+  EXPECT_EQ(p.NumSingletons(), 2);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,114 @@
+#include "qsc/coloring/q_error.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(QErrorTest, DiscretePartitionIsZero) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(20, 60, rng);
+  const QErrorStats stats = ComputeQError(g, Partition::Discrete(20));
+  EXPECT_DOUBLE_EQ(stats.max_q, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_q, 0.0);
+}
+
+TEST(QErrorTest, StableColoringIsZero) {
+  Rng rng(2);
+  const Graph g = ErdosRenyiGnm(50, 120, rng);
+  const Partition p = StableColoring(g);
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 0.0);
+}
+
+TEST(QErrorTest, StarTrivialPartition) {
+  // Star with 5 leaves, all nodes one color: hub degree 5, leaf degree 1.
+  const Graph g = StarGraph(5);
+  const QErrorStats stats = ComputeQError(g, Partition::Trivial(6));
+  EXPECT_DOUBLE_EQ(stats.max_q, 4.0);
+}
+
+TEST(QErrorTest, AbsentMemberCountsAsZero) {
+  // Color {0,1} -> color {2}: node 0 has an edge, node 1 does not, so the
+  // spread is 1 - 0 = 1.
+  const Graph g = Graph::FromEdges(3, {{0, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1});
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 1.0);
+}
+
+TEST(QErrorTest, NegativeWeightsSpread) {
+  // Weights +2 and -3 toward the same color: spread 5.
+  const Graph g =
+      Graph::FromEdges(4, {{0, 2, 2.0}, {1, 2, -3.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 5.0);
+}
+
+TEST(QErrorTest, NegativeWeightWithAbsentMember) {
+  // One member at -3, the other absent (0): spread 3, not -3.
+  const Graph g = Graph::FromEdges(3, {{0, 2, -3.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1});
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 3.0);
+}
+
+TEST(QErrorTest, InDirectionDetected) {
+  // Directed graph where out-profiles agree but in-profiles differ:
+  // a -> x, b -> x, a -> y. Colors {a,b}, {x,y}:
+  //   out: a has 2 toward {x,y}, b has 1 -> spread 1.
+  // Make out equal by adding b -> y2... simpler: check in-direction via a
+  // case where the in spread exceeds the out spread.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {1, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  // Out-direction: both sources send 1 -> spread 0. In-direction: x gets
+  // 2, y gets 0 -> spread 2.
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 2.0);
+}
+
+TEST(QErrorTest, IntraColorPairCounted) {
+  // Directed edge within a single color: 0 -> 1, both in color 0.
+  const Graph g = Graph::FromEdges(2, {{0, 1, 1.0}}, false);
+  const QErrorStats stats = ComputeQError(g, Partition::Trivial(2));
+  EXPECT_DOUBLE_EQ(stats.max_q, 1.0);
+}
+
+TEST(QErrorTest, MeanLeqMax) {
+  Rng rng(7);
+  const Graph g = BarabasiAlbert(200, 3, rng);
+  const Partition p = Partition::FromColorIds(
+      [&] {
+        std::vector<int32_t> labels(200);
+        for (int i = 0; i < 200; ++i) labels[i] = i % 7;
+        return labels;
+      }());
+  const QErrorStats stats = ComputeQError(g, p);
+  EXPECT_GT(stats.max_q, 0.0);
+  EXPECT_LE(stats.mean_q, stats.max_q);
+  EXPECT_GT(stats.num_active_entries, 0);
+}
+
+TEST(QErrorTest, BlockBiregularGroupPartitionIsStable) {
+  Rng rng(8);
+  const Graph g = BlockBiregularGraph(10, 6, 20, rng);
+  std::vector<int32_t> labels(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) labels[v] = v / 6;
+  const QErrorStats stats =
+      ComputeQError(g, Partition::FromColorIds(labels));
+  EXPECT_DOUBLE_EQ(stats.max_q, 0.0);
+}
+
+TEST(QErrorTest, WeightedSpreadUsesSums) {
+  // Node 0 sends weight 1+2=3 into {2,3}; node 1 sends 1.5. Spread 1.5.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 2.0}, {1, 2, 1.5}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  // In-direction: node 2 receives 2.5, node 3 receives 2 -> spread 0.5;
+  // out-direction spread 1.5 dominates.
+  EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 1.5);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,103 @@
+#include "qsc/coloring/reduced_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(ReducedGraphTest, SumWeights) {
+  // Colors {0,1} and {2,3} with three unit arcs across.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kSum);
+  EXPECT_EQ(r.num_nodes(), 2);
+  EXPECT_DOUBLE_EQ(r.ArcWeight(0, 1), 3.0);
+  EXPECT_FALSE(r.HasArc(1, 0));
+}
+
+TEST(ReducedGraphTest, MeanWeights) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kMean);
+  EXPECT_DOUBLE_EQ(r.ArcWeight(0, 1), 3.0 / 4.0);
+}
+
+TEST(ReducedGraphTest, SqrtNormalizedWeights) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1, 1});
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kSqrtNormalized);
+  EXPECT_DOUBLE_EQ(r.ArcWeight(0, 1), 3.0 / 2.0);
+}
+
+TEST(ReducedGraphTest, DiscretePartitionIsIdentity) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(20, 50, rng);
+  const Graph r =
+      BuildReducedGraph(g, Partition::Discrete(20), ReducedWeight::kSum);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_arcs(), g.num_arcs());
+  for (const EdgeTriple& a : g.Arcs()) {
+    EXPECT_DOUBLE_EQ(r.ArcWeight(a.src, a.dst), a.weight);
+  }
+}
+
+TEST(ReducedGraphTest, TrivialPartitionIsOneNode) {
+  Rng rng(2);
+  const Graph g = ErdosRenyiGnm(20, 50, rng);
+  const Graph r =
+      BuildReducedGraph(g, Partition::Trivial(20), ReducedWeight::kSum);
+  EXPECT_EQ(r.num_nodes(), 1);
+  // One self-loop carrying the total weight (each undirected edge counted
+  // in both arc directions).
+  EXPECT_DOUBLE_EQ(r.ArcWeight(0, 0), g.TotalWeight());
+}
+
+TEST(ReducedGraphTest, TotalWeightPreservedUnderSum) {
+  Rng rng(3);
+  const Graph g = BarabasiAlbert(100, 3, rng);
+  RothkoOptions options;
+  options.max_colors = 12;
+  const Partition p = RothkoColoring(g, options);
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kSum);
+  EXPECT_NEAR(r.TotalWeight(), g.TotalWeight(), 1e-6);
+}
+
+TEST(ReducedGraphTest, UndirectedStaysUndirected) {
+  Rng rng(4);
+  const Graph g = ErdosRenyiGnm(30, 80, rng);
+  const Partition p = StableColoring(g);
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kSum);
+  EXPECT_TRUE(r.undirected());
+  for (const EdgeTriple& a : r.Arcs()) {
+    EXPECT_DOUBLE_EQ(r.ArcWeight(a.dst, a.src), a.weight);
+  }
+}
+
+TEST(ReducedGraphTest, EdgeExistsIffMembersConnect) {
+  Rng rng(5);
+  const Graph g = BlockBiregularGraph(8, 4, 12, rng);
+  std::vector<int32_t> labels(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) labels[v] = v / 4;
+  const Partition p = Partition::FromColorIds(labels);
+  const Graph r = BuildReducedGraph(g, p, ReducedWeight::kSum);
+  for (ColorId i = 0; i < 8; ++i) {
+    for (ColorId j = 0; j < 8; ++j) {
+      bool any = false;
+      for (NodeId u : p.Members(i)) {
+        for (NodeId v : p.Members(j)) any |= g.HasArc(u, v);
+      }
+      EXPECT_EQ(r.HasArc(i, j), any) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,113 @@
+// Tests for the alternative similarity relations of paper Sec 3.1:
+// epsilon-relative coloring error and the bisimulation relation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qsc/coloring/q_error.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(RelativeErrorTest, StableColoringHasZeroRelativeError) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(40, 120, rng);
+  const Partition p = StableColoring(g);
+  EXPECT_DOUBLE_EQ(ComputeRelativeError(g, p), 0.0);
+}
+
+TEST(RelativeErrorTest, RatioBecomesLogEps) {
+  // Weights 2 and 6 toward the same color: eps = ln 3.
+  const Graph g =
+      Graph::FromEdges(4, {{0, 2, 2.0}, {1, 2, 6.0}}, false);
+  // In-direction at node 2 is within one color; nodes 2,3: node 3 has no
+  // in-edge -> that pair is (0,0,2)... keep 3 isolated in its own color.
+  const Partition p = Partition::FromColorIds({0, 0, 1, 2});
+  EXPECT_NEAR(ComputeRelativeError(g, p), std::log(3.0), 1e-12);
+}
+
+TEST(RelativeErrorTest, MissingEdgeIsInfinite) {
+  // Zero is similar only to itself (paper Sec 3.1): node 1 has no edge.
+  const Graph g = Graph::FromEdges(3, {{0, 2, 1.0}}, false);
+  const Partition p = Partition::FromColorIds({0, 0, 1});
+  EXPECT_TRUE(std::isinf(ComputeRelativeError(g, p)));
+}
+
+TEST(RelativeErrorTest, Figure6Quantities) {
+  // Paper Figure 6's quantitative claim, in weighted form: bottom nodes
+  // with total weights n, n+1, n+2 toward the top. Grouping {n, n+1}
+  // leaves absolute error 1 (a maximal 1-stable split) and relative error
+  // ln((n+1)/n) <= 1/n (a maximal 1/n-relative split); grouping
+  // {n+1, n+2} is the other maximal choice.
+  const int n = 10;
+  for (int group_start : {0, 1}) {
+    const Graph g = Graph::FromEdges(4,
+                                     {{0, 3, static_cast<double>(n)},
+                                      {1, 3, static_cast<double>(n + 1)},
+                                      {2, 3, static_cast<double>(n + 2)}},
+                                     false);
+    std::vector<int32_t> labels{2, 2, 2, 9};
+    labels[group_start] = 0;
+    labels[group_start + 1] = 0;
+    labels[(group_start + 2) % 3] = 1;
+    const Partition p = Partition::FromColorIds(labels);
+    EXPECT_DOUBLE_EQ(ComputeQError(g, p).max_q, 1.0);
+    const double eps = ComputeRelativeError(g, p);
+    EXPECT_LE(eps, 1.0 / n);
+    EXPECT_GT(eps, 0.0);
+  }
+}
+
+TEST(BisimulationTest, IgnoresMultiplicity) {
+  // Star with different leaf counts per hub: hubs 0 and 1 have 2 and 3
+  // leaves. Stable coloring separates the hubs (different counts);
+  // bisimulation keeps them together (same presence profile).
+  const Graph g = Graph::FromEdges(7,
+                                   {{0, 2, 1.0},
+                                    {0, 3, 1.0},
+                                    {1, 4, 1.0},
+                                    {1, 5, 1.0},
+                                    {1, 6, 1.0}},
+                                   false);
+  const Partition stable = StableColoring(g);
+  EXPECT_NE(stable.ColorOf(0), stable.ColorOf(1));
+  const Partition bisim = BisimulationColoring(g);
+  EXPECT_EQ(bisim.ColorOf(0), bisim.ColorOf(1));
+  EXPECT_EQ(bisim.ColorOf(2), bisim.ColorOf(6));
+  EXPECT_EQ(bisim.num_colors(), 2);
+}
+
+TEST(BisimulationTest, CoarserThanStable) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = BarabasiAlbert(80, 2, rng);
+    const Partition stable = StableColoring(g);
+    const Partition bisim = BisimulationColoring(g);
+    EXPECT_TRUE(stable.IsRefinementOf(bisim)) << trial;
+  }
+}
+
+TEST(BisimulationTest, DirectedChainSeparatesByDepth) {
+  // 0 -> 1 -> 2: distinct colors (source/middle/sink presence profiles).
+  const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}, false);
+  EXPECT_EQ(BisimulationColoring(g).num_colors(), 3);
+}
+
+TEST(BisimulationTest, RegularGraphOneColor) {
+  EXPECT_EQ(BisimulationColoring(CycleGraph(8)).num_colors(), 1);
+}
+
+TEST(BisimulationTest, WeightsIrrelevant) {
+  const Graph weighted = Graph::FromEdges(
+      4, {{0, 1, 5.0}, {2, 3, 0.25}}, true);
+  const Partition bisim = BisimulationColoring(weighted);
+  // All four nodes have one neighbor in the same (single) class.
+  EXPECT_EQ(bisim.num_colors(), 1);
+}
+
+}  // namespace
+}  // namespace qsc

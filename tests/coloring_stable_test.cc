@@ -1,0 +1,149 @@
+#include "qsc/coloring/stable.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/coloring/q_error.h"
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(StableColoringTest, RegularGraphIsOneColor) {
+  // Every node of a cycle has the same degree profile: coarsest stable
+  // coloring is the trivial partition.
+  const Partition p = StableColoring(CycleGraph(8));
+  EXPECT_EQ(p.num_colors(), 1);
+  EXPECT_TRUE(IsStableColoring(CycleGraph(8), p));
+}
+
+TEST(StableColoringTest, CompleteGraphIsOneColor) {
+  EXPECT_EQ(StableColoring(CompleteGraph(6)).num_colors(), 1);
+}
+
+TEST(StableColoringTest, StarSplitsHubFromLeaves) {
+  const Graph g = StarGraph(5);
+  const Partition p = StableColoring(g);
+  EXPECT_EQ(p.num_colors(), 2);
+  EXPECT_EQ(p.ColorSize(p.ColorOf(0)), 1);  // hub alone
+  EXPECT_TRUE(IsStableColoring(g, p));
+}
+
+TEST(StableColoringTest, PathColorsByDistanceToEnds) {
+  // P5: colors {0,4}, {1,3}, {2}.
+  const Partition p = StableColoring(PathGraph(5));
+  EXPECT_EQ(p.num_colors(), 3);
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(4));
+  EXPECT_EQ(p.ColorOf(1), p.ColorOf(3));
+  EXPECT_NE(p.ColorOf(0), p.ColorOf(2));
+  EXPECT_NE(p.ColorOf(1), p.ColorOf(2));
+}
+
+TEST(StableColoringTest, PathEvenLength) {
+  // P4: {0,3}, {1,2}.
+  const Partition p = StableColoring(PathGraph(4));
+  EXPECT_EQ(p.num_colors(), 2);
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(3));
+  EXPECT_EQ(p.ColorOf(1), p.ColorOf(2));
+}
+
+TEST(StableColoringTest, KarateClubMatchesPaperFigure1) {
+  // The paper reports 27 colors for the stable coloring of the karate
+  // club graph.
+  const Graph g = KarateClub();
+  const Partition p = StableColoring(g);
+  EXPECT_EQ(p.num_colors(), 27);
+  EXPECT_TRUE(IsStableColoring(g, p));
+}
+
+TEST(StableColoringTest, ResultIsAlwaysStable) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ErdosRenyiGnm(60, 150 + 30 * trial, rng);
+    const Partition p = StableColoring(g);
+    EXPECT_TRUE(IsStableColoring(g, p)) << "trial " << trial;
+  }
+}
+
+TEST(StableColoringTest, RandomGraphShattersToSingletons) {
+  // Paper Sec 2 / [30, Sec 3.3]: random graphs have discrete stable
+  // colorings with high probability.
+  Rng rng(4);
+  const Graph g = ErdosRenyiGnm(100, 600, rng);
+  const Partition p = StableColoring(g);
+  EXPECT_GT(p.num_colors(), 95);
+}
+
+TEST(StableColoringTest, BlockBiregularCompresses) {
+  // The Figure-2 synthetic graph compresses to ~num_groups colors.
+  Rng rng(5);
+  const Graph g = BlockBiregularGraph(20, 8, 40, rng);
+  const Partition p = StableColoring(g);
+  EXPECT_LE(p.num_colors(), 20 + 2);
+  EXPECT_TRUE(IsStableColoring(g, p));
+}
+
+TEST(StableColoringTest, RefinesInitialPartition) {
+  const Graph g = CycleGraph(6);
+  // Force nodes {0} vs rest apart initially.
+  const Partition initial = Partition::FromColorIds({0, 1, 1, 1, 1, 1});
+  const Partition p = StableColoring(g, initial);
+  EXPECT_TRUE(p.IsRefinementOf(initial));
+  EXPECT_TRUE(IsStableColoring(g, p));
+  // Symmetry around node 0: nodes 1 and 5 pair up, 2 and 4 pair up.
+  EXPECT_EQ(p.ColorOf(1), p.ColorOf(5));
+  EXPECT_EQ(p.ColorOf(2), p.ColorOf(4));
+  EXPECT_EQ(p.num_colors(), 4);
+}
+
+TEST(StableColoringTest, WeightsDistinguish) {
+  // Two nodes with equal degree but different incident weights must split.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 1.0}, {2, 3, 2.0}}, true);
+  const Partition p = StableColoring(g);
+  EXPECT_NE(p.ColorOf(0), p.ColorOf(2));
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(1));
+  EXPECT_EQ(p.ColorOf(2), p.ColorOf(3));
+}
+
+TEST(StableColoringTest, DirectionMatters) {
+  // Directed path 0 -> 1 -> 2: all three nodes differ (source, middle,
+  // sink).
+  const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}, false);
+  const Partition p = StableColoring(g);
+  EXPECT_EQ(p.num_colors(), 3);
+}
+
+TEST(StableColoringTest, DirectedCycleIsOneColor) {
+  std::vector<EdgeTriple> arcs;
+  for (NodeId i = 0; i < 6; ++i) {
+    arcs.push_back({i, static_cast<NodeId>((i + 1) % 6), 1.0});
+  }
+  const Graph g = Graph::FromEdges(6, arcs, false);
+  EXPECT_EQ(StableColoring(g).num_colors(), 1);
+}
+
+TEST(StableColoringTest, CoarsestAmongTested) {
+  // The coarsest stable coloring must be no finer than any hand-built
+  // stable coloring. For the complete bipartite graph K_{2,3} the
+  // two-sides partition is stable, and so is the coarsest one.
+  const Graph g = CompleteBipartiteGraph(2, 3);
+  const Partition sides = Partition::FromColorIds({0, 0, 1, 1, 1});
+  EXPECT_TRUE(IsStableColoring(g, sides));
+  const Partition coarsest = StableColoring(g);
+  EXPECT_TRUE(sides.IsRefinementOf(coarsest));
+  EXPECT_EQ(coarsest.num_colors(), 2);
+}
+
+TEST(StableColoringTest, Figure5NodesShareColor) {
+  // The counterexample: u (6-cycle) and v (triangle) share the stable
+  // color because every node is 2-regular.
+  const auto ce = Figure5Graph();
+  const Partition p = StableColoring(ce.graph);
+  EXPECT_EQ(p.num_colors(), 1);
+  EXPECT_EQ(p.ColorOf(ce.u), p.ColorOf(ce.v));
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,89 @@
+#include "qsc/coloring/wl2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(Wl2Test, CycleIsOneColor) {
+  // Vertex-transitive: all diagonal colors equal.
+  EXPECT_EQ(Wl2NodeColoring(CycleGraph(7)).num_colors(), 1);
+}
+
+TEST(Wl2Test, PathMatchesSymmetry) {
+  // P5: {0,4}, {1,3}, {2} — 2-WL cannot beat the actual automorphisms.
+  const Partition p = Wl2NodeColoring(PathGraph(5));
+  EXPECT_EQ(p.num_colors(), 3);
+  EXPECT_EQ(p.ColorOf(0), p.ColorOf(4));
+  EXPECT_EQ(p.ColorOf(1), p.ColorOf(3));
+}
+
+TEST(Wl2Test, RefinesStableColoring) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = ErdosRenyiGnm(25, 60, rng);
+    const Partition wl2 = Wl2NodeColoring(g);
+    const Partition wl1 = StableColoring(g);
+    EXPECT_TRUE(wl2.IsRefinementOf(wl1)) << trial;
+  }
+}
+
+TEST(Wl2Test, SeparatesFigure5Nodes) {
+  // 1-WL merges the 6-cycle node u and triangle node v (one stable
+  // color); 2-WL tells them apart — consistent with Theorem 11, since
+  // their centralities differ.
+  const auto ce = Figure5Graph();
+  const Partition wl1 = StableColoring(ce.graph);
+  EXPECT_EQ(wl1.ColorOf(ce.u), wl1.ColorOf(ce.v));
+  const Partition wl2 = Wl2NodeColoring(ce.graph);
+  EXPECT_NE(wl2.ColorOf(ce.u), wl2.ColorOf(ce.v));
+}
+
+// Theorem 11: nodes with the same 2-WL color have the same betweenness
+// centrality.
+class Wl2CentralityTest : public testing::TestWithParam<int> {};
+
+TEST_P(Wl2CentralityTest, SameColorImpliesSameCentrality) {
+  Rng rng(GetParam());
+  const Graph g = ErdosRenyiGnm(22, 50 + 5 * GetParam(), rng);
+  const Partition wl2 = Wl2NodeColoring(g);
+  const auto centrality = BetweennessExact(g);
+  for (ColorId c = 0; c < wl2.num_colors(); ++c) {
+    const auto& members = wl2.Members(c);
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_NEAR(centrality[members[i]], centrality[members[0]], 1e-8)
+          << "color " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Wl2CentralityTest,
+                         testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Wl2Test, KarateRefinesToDiscreteLikeStable) {
+  // On the karate club, 2-WL is at least as fine as the 27-color stable
+  // coloring.
+  const Graph g = KarateClub();
+  const Partition wl2 = Wl2NodeColoring(g);
+  EXPECT_GE(wl2.num_colors(), 27);
+  EXPECT_TRUE(wl2.IsRefinementOf(StableColoring(g)));
+}
+
+TEST(Wl2Test, WeightsDistinguishPairs) {
+  // Two otherwise-identical components with different edge weights.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 1.0}, {2, 3, 2.0}}, true);
+  const Partition wl2 = Wl2NodeColoring(g);
+  EXPECT_NE(wl2.ColorOf(0), wl2.ColorOf(2));
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsc/flow/dinic.h"
+#include "qsc/flow/edmonds_karp.h"
+#include "qsc/flow/min_cut.h"
+#include "qsc/flow/network.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+Graph ClassicNetwork() {
+  // CLRS-style example with max-flow 23.
+  return Graph::FromEdges(6,
+                          {{0, 1, 16},
+                           {0, 2, 13},
+                           {1, 2, 10},
+                           {2, 1, 4},
+                           {1, 3, 12},
+                           {3, 2, 9},
+                           {2, 4, 14},
+                           {4, 3, 7},
+                           {3, 5, 20},
+                           {4, 5, 4}},
+                          false);
+}
+
+TEST(MaxFlowTest, ClassicExampleAllSolvers) {
+  const Graph g = ClassicNetwork();
+  EXPECT_DOUBLE_EQ(MaxFlowEdmondsKarp(g, 0, 5), 23.0);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 5), 23.0);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, SingleArc) {
+  const Graph g = Graph::FromEdges(2, {{0, 1, 7.5}}, false);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 1), 7.5);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 1), 7.5);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  const Graph g = Graph::FromEdges(4, {{0, 1, 3.0}, {2, 3, 4.0}}, false);
+  EXPECT_DOUBLE_EQ(MaxFlowEdmondsKarp(g, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 3), 0.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 10.0}, {1, 2, 2.5}, {2, 3, 10.0}}, false);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 3), 2.5);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 3), 2.5);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 3.0}, {1, 3, 3.0}, {0, 2, 4.0}, {2, 3, 4.0}}, false);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 3), 7.0);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 3), 7.0);
+}
+
+TEST(MaxFlowTest, AntiparallelArcs) {
+  const Graph g = Graph::FromEdges(
+      3, {{0, 1, 5.0}, {1, 0, 9.0}, {1, 2, 3.0}}, false);
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(MaxFlowPushRelabel(g, 0, 2), 3.0);
+}
+
+TEST(MaxFlowTest, LayeredDiagonalHasFlowTwo) {
+  // Paper Example 7 / Figure 4: with layer_width = num_layers + 1 the true
+  // max-flow is 2 regardless of size, while every inter-layer capacity is
+  // layer_width - 1.
+  for (int layers : {3, 5, 8}) {
+    const FlowInstance inst = LayeredDiagonalNetwork(layers, layers + 1);
+    EXPECT_DOUBLE_EQ(
+        MaxFlowDinic(inst.graph, inst.source, inst.sink), 2.0)
+        << layers;
+  }
+}
+
+TEST(MaxFlowTest, SolversAgreeOnRandomGrids) {
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const FlowInstance inst = GridFlowNetwork(6 + trial, 5, 10, 15, rng);
+    const double ek = MaxFlowEdmondsKarp(inst.graph, inst.source, inst.sink);
+    const double dinic = MaxFlowDinic(inst.graph, inst.source, inst.sink);
+    const double pr = MaxFlowPushRelabel(inst.graph, inst.source, inst.sink);
+    EXPECT_NEAR(ek, dinic, 1e-6) << trial;
+    EXPECT_NEAR(ek, pr, 1e-6) << trial;
+  }
+}
+
+TEST(MaxFlowTest, SolversAgreeOnRandomSparseDigraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<EdgeTriple> arcs;
+    const NodeId n = 30;
+    for (int e = 0; e < 150; ++e) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (u == v) continue;
+      arcs.push_back({u, v, static_cast<double>(rng.UniformInt(1, 20))});
+    }
+    const Graph g = Graph::FromEdges(n, arcs, false);
+    const double ek = MaxFlowEdmondsKarp(g, 0, n - 1);
+    EXPECT_NEAR(ek, MaxFlowDinic(g, 0, n - 1), 1e-6) << trial;
+    EXPECT_NEAR(ek, MaxFlowPushRelabel(g, 0, n - 1), 1e-6) << trial;
+  }
+}
+
+TEST(MaxFlowTest, FlowConservationInResidual) {
+  const Graph g = ClassicNetwork();
+  ResidualNetwork net = ResidualNetwork::FromGraph(g);
+  const double value = MaxFlowDinic(net, 0, 5);
+  // Net flow out of every interior node is zero.
+  std::vector<double> net_out(g.num_nodes(), 0.0);
+  for (int64_t id = 0; id < net.num_arcs(); id += 2) {
+    const double flow = net.Flow(id);
+    EXPECT_GE(flow, -1e-9);
+    const NodeId head = net.arc(id).head;
+    const NodeId tail = net.arc(id + 1).head;
+    net_out[tail] += flow;
+    net_out[head] -= flow;
+  }
+  EXPECT_NEAR(net_out[0], value, 1e-9);
+  EXPECT_NEAR(net_out[5], -value, 1e-9);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_NEAR(net_out[v], 0.0, 1e-9);
+}
+
+TEST(MinCutTest, ClassicExample) {
+  const MinCutResult cut = MinCut(ClassicNetwork(), 0, 5);
+  EXPECT_DOUBLE_EQ(cut.value, 23.0);
+  EXPECT_TRUE(cut.in_source_side[0]);
+  EXPECT_FALSE(cut.in_source_side[5]);
+  double cap = 0.0;
+  for (const EdgeTriple& a : cut.cut_arcs) cap += a.weight;
+  EXPECT_DOUBLE_EQ(cap, cut.value);
+}
+
+TEST(MinCutTest, CutCapacityEqualsFlowOnRandomInstances) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const FlowInstance inst = GridFlowNetwork(7, 4, 8, 12, rng);
+    const MinCutResult cut = MinCut(inst.graph, inst.source, inst.sink);
+    double cap = 0.0;
+    for (const EdgeTriple& a : cut.cut_arcs) cap += a.weight;
+    EXPECT_NEAR(cap, cut.value, 1e-6);
+    // Removing the cut arcs must disconnect source from sink: verify via a
+    // second max-flow on the remaining graph.
+    std::vector<EdgeTriple> remaining;
+    for (const EdgeTriple& a : inst.graph.Arcs()) {
+      bool is_cut = false;
+      for (const EdgeTriple& c : cut.cut_arcs) {
+        if (a.src == c.src && a.dst == c.dst) {
+          is_cut = true;
+          break;
+        }
+      }
+      if (!is_cut) remaining.push_back(a);
+    }
+    const Graph rest =
+        Graph::FromEdges(inst.graph.num_nodes(), remaining, false);
+    EXPECT_NEAR(MaxFlowDinic(rest, inst.source, inst.sink), 0.0, 1e-9);
+  }
+}
+
+TEST(ResidualNetworkTest, PushUpdatesBothDirections) {
+  ResidualNetwork net(2);
+  const int64_t id = net.AddArc(0, 1, 5.0);
+  net.Push(id, 2.0);
+  EXPECT_DOUBLE_EQ(net.arc(id).residual, 3.0);
+  EXPECT_DOUBLE_EQ(net.arc(id ^ 1).residual, 2.0);
+  EXPECT_DOUBLE_EQ(net.Flow(id), 2.0);
+}
+
+TEST(ResidualNetworkTest, NegativeCapacityDies) {
+  ResidualNetwork net(2);
+  EXPECT_DEATH(net.AddArc(0, 1, -1.0), "QSC_CHECK");
+}
+
+}  // namespace
+}  // namespace qsc

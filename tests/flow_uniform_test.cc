@@ -1,0 +1,78 @@
+#include "qsc/flow/uniform_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsc/graph/generators.h"
+
+namespace qsc {
+namespace {
+
+TEST(MaxUniformFlowTest, CompleteBipartiteCarriesEverything) {
+  // K_{2,2} with unit capacities is (2,2)-biregular: by Corollary 9 the
+  // maximum uniform flow equals the total capacity.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}}, false);
+  EXPECT_NEAR(MaxUniformFlow(g, {0, 1}, {2, 3}), 4.0, 1e-5);
+}
+
+TEST(MaxUniformFlowTest, BiregularReachesTotalCapacity) {
+  // 3-regular bipartite graph on 4+4 nodes (cyclic pattern).
+  std::vector<EdgeTriple> arcs;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      arcs.push_back({i, static_cast<NodeId>(4 + (i + d) % 4), 1.0});
+    }
+  }
+  const Graph g = Graph::FromEdges(8, arcs, false);
+  EXPECT_NEAR(MaxUniformFlow(g, {0, 1, 2, 3}, {4, 5, 6, 7}), 12.0, 1e-5);
+}
+
+TEST(MaxUniformFlowTest, IsolatedSourceForcesZero) {
+  // Source 1 has no edges: the uniform share F/|X| must be 0.
+  const Graph g = Graph::FromEdges(4, {{0, 2, 5.0}, {0, 3, 5.0}}, false);
+  EXPECT_DOUBLE_EQ(MaxUniformFlow(g, {0, 1}, {2, 3}), 0.0);
+}
+
+TEST(MaxUniformFlowTest, ShiftedDiagonalIsZero) {
+  // Paper Example 7's uniformity contradiction: X = {0,1}, Y = {2,3,4}
+  // with 0 -> {2,3} and 1 -> {4}. Target uniformity forces every target to
+  // receive F/3, source uniformity forces node 1 to send F/2; but node 1's
+  // outflow equals target 4's inflow, so F/2 = F/3 and F = 0.
+  const Graph g = Graph::FromEdges(
+      5, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 4, 1.0}}, false);
+  EXPECT_NEAR(MaxUniformFlow(g, {0, 1}, {2, 3, 4}), 0.0, 1e-4);
+}
+
+TEST(MaxUniformFlowTest, AsymmetricSidesLimitedByPerNodeShare) {
+  // X = {0}, Y = {1, 2}: c(0,1)=1, c(0,2)=3. Uniform flow needs equal
+  // inflow at 1 and 2, so F <= 2 * 1 = 2; F=2 is feasible (1 to each).
+  const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {0, 2, 3.0}}, false);
+  EXPECT_NEAR(MaxUniformFlow(g, {0}, {1, 2}), 2.0, 1e-5);
+}
+
+TEST(MaxUniformFlowTest, BottleneckScalesDown) {
+  // K_{2,2} but one edge has capacity 0.25: each target can still pull
+  // equal shares until the weak edge's side saturates.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {1, 3, 0.25}}, false);
+  const double f = MaxUniformFlow(g, {0, 1}, {2, 3});
+  // Node 1's capacity is 1.25, so F <= 2.5; also feasibility requires
+  // routing F/2 into node 3 with c(.,3) = 1.25 -> F <= 2.5.
+  EXPECT_NEAR(f, 2.5, 1e-4);
+}
+
+TEST(MaxUniformFlowTest, UniformFlowAtMostTotalCapacity) {
+  Rng rng(1);
+  const Graph g = CompleteBipartiteGraph(4, 6);
+  const std::vector<NodeId> xs{0, 1, 2, 3};
+  std::vector<NodeId> ys;
+  for (NodeId v = 4; v < 10; ++v) ys.push_back(v);
+  const double f = MaxUniformFlow(g, xs, ys);
+  EXPECT_LE(f, g.num_edges() + 1e-6);
+  EXPECT_NEAR(f, 24.0, 1e-4);  // complete bipartite is biregular
+}
+
+}  // namespace
+}  // namespace qsc

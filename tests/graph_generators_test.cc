@@ -1,0 +1,171 @@
+#include "qsc/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qsc {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(50, 200, rng);
+  EXPECT_EQ(g.num_nodes(), 50);
+  EXPECT_EQ(g.num_edges(), 200);
+  EXPECT_TRUE(g.undirected());
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Rng rng(2);
+  const Graph g = ErdosRenyiGnm(20, 100, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FALSE(g.HasArc(v, v));
+  }
+}
+
+TEST(ErdosRenyiTest, CompleteGraphEdgeBudget) {
+  Rng rng(3);
+  const Graph g = ErdosRenyiGnm(10, 45, rng);  // complete K10
+  EXPECT_EQ(g.num_edges(), 45);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(4);
+  const int32_t m = 3, n = 200;
+  const Graph g = BarabasiAlbert(n, m, rng);
+  // Seed clique of m+1 nodes plus m edges per additional node.
+  const int64_t expected =
+      static_cast<int64_t>(m) * (m + 1) / 2 + static_cast<int64_t>(m) * (n - m - 1);
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  Rng rng(5);
+  const Graph g = BarabasiAlbert(2000, 2, rng);
+  int64_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  // Preferential attachment should produce hubs far above the mean (~4).
+  EXPECT_GT(max_deg, 40);
+}
+
+TEST(PowerLawTest, ApproximateEdgeCount) {
+  Rng rng(6);
+  const Graph g = PowerLawGraph(1000, 5000, 2.5, rng);
+  EXPECT_EQ(g.num_nodes(), 1000);
+  EXPECT_GT(g.num_edges(), 4000);
+  EXPECT_LE(g.num_edges(), 5000);
+}
+
+TEST(WeightedHubGraphTest, DirectedIntegerWeights) {
+  Rng rng(7);
+  const Graph g = WeightedHubGraph(100, 3, 50, rng);
+  EXPECT_FALSE(g.undirected());
+  for (const EdgeTriple& a : g.Arcs()) {
+    EXPECT_GE(a.weight, 1.0);
+    EXPECT_LE(a.weight, 50.0);
+    EXPECT_DOUBLE_EQ(a.weight, std::floor(a.weight));
+  }
+}
+
+TEST(BlockBiregularTest, PaperFigure2Shape) {
+  Rng rng(8);
+  const Graph g = BlockBiregularGraph(100, 10, 216, rng);
+  EXPECT_EQ(g.num_nodes(), 1000);
+  EXPECT_EQ(g.num_edges(), 21600);
+}
+
+TEST(BlockBiregularTest, GroupDegreesUniform) {
+  Rng rng(9);
+  const int32_t group_size = 5;
+  const Graph g = BlockBiregularGraph(10, group_size, 12, rng);
+  // All nodes of one group have identical degree (biregular blocks).
+  for (int32_t group = 0; group < 10; ++group) {
+    const int64_t d0 = g.OutDegree(group * group_size);
+    for (int32_t i = 1; i < group_size; ++i) {
+      EXPECT_EQ(g.OutDegree(group * group_size + i), d0);
+    }
+  }
+}
+
+TEST(GridFlowNetworkTest, Structure) {
+  Rng rng(10);
+  const FlowInstance inst = GridFlowNetwork(8, 5, 10, 20, rng);
+  EXPECT_EQ(inst.graph.num_nodes(), 8 * 5 + 2);
+  EXPECT_EQ(inst.source, 40);
+  EXPECT_EQ(inst.sink, 41);
+  EXPECT_EQ(inst.graph.OutDegree(inst.source), 5);  // first column
+  EXPECT_EQ(inst.graph.InDegree(inst.sink), 5);     // last column
+  EXPECT_EQ(inst.graph.OutDegree(inst.sink), 0);
+}
+
+TEST(LayeredDiagonalNetworkTest, ShapeAndCapacity) {
+  const FlowInstance inst = LayeredDiagonalNetwork(4, 6);
+  EXPECT_EQ(inst.graph.num_nodes(), 4 * 6 + 2);
+  // Source feeds the full first layer.
+  EXPECT_EQ(inst.graph.OutDegree(inst.source), 6);
+  // Strict diagonal: interior node forwards to one node, top node to none.
+  EXPECT_EQ(inst.graph.OutDegree(0), 1);
+  EXPECT_EQ(inst.graph.OutDegree(5), 0);
+  // Last layer feeds the sink.
+  EXPECT_EQ(inst.graph.InDegree(inst.sink), 6);
+}
+
+TEST(SegmentationGridNetworkTest, Structure) {
+  Rng rng(11);
+  const FlowInstance inst = SegmentationGridNetwork(20, 12, 2, rng);
+  EXPECT_EQ(inst.graph.num_nodes(), 20 * 12 + 2);
+  // Every pixel has a source arc and a sink arc.
+  EXPECT_EQ(inst.graph.OutDegree(inst.source), 20 * 12);
+  EXPECT_EQ(inst.graph.InDegree(inst.sink), 20 * 12);
+  // Interior pixel: 4 smoothness arcs + sink arc out, 4 + source arc in.
+  const NodeId interior = 5 * 20 + 10;
+  EXPECT_EQ(inst.graph.OutDegree(interior), 5);
+  EXPECT_EQ(inst.graph.InDegree(interior), 5);
+}
+
+TEST(SegmentationGridNetworkTest, DataTermsInRange) {
+  Rng rng(12);
+  const FlowInstance inst = SegmentationGridNetwork(16, 10, 2, rng);
+  for (const NeighborEntry& e : inst.graph.OutNeighbors(inst.source)) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 10.0);
+  }
+  for (const NeighborEntry& e : inst.graph.InNeighbors(inst.sink)) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 10.0);
+  }
+}
+
+TEST(DeterministicGraphsTest, Shapes) {
+  EXPECT_EQ(PathGraph(5).num_edges(), 4);
+  EXPECT_EQ(CycleGraph(5).num_edges(), 5);
+  EXPECT_EQ(StarGraph(6).num_edges(), 6);
+  EXPECT_EQ(CompleteGraph(6).num_edges(), 15);
+  EXPECT_EQ(CompleteBipartiteGraph(3, 4).num_edges(), 12);
+}
+
+TEST(DeterministicGraphsTest, StarDegrees) {
+  const Graph g = StarGraph(5);
+  EXPECT_EQ(g.OutDegree(0), 5);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_EQ(g.OutDegree(v), 1);
+}
+
+TEST(GeneratorsTest, SeedsReproduce) {
+  Rng rng1(42), rng2(42);
+  const Graph a = BarabasiAlbert(100, 2, rng1);
+  const Graph b = BarabasiAlbert(100, 2, rng2);
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  const auto arcs_a = a.Arcs();
+  const auto arcs_b = b.Arcs();
+  for (size_t i = 0; i < arcs_a.size(); ++i) {
+    EXPECT_EQ(arcs_a[i].src, arcs_b[i].src);
+    EXPECT_EQ(arcs_a[i].dst, arcs_b[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,92 @@
+#include "qsc/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeListIoTest, DirectedRoundTrip) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 1.5}, {2, 3, -2.25}, {3, 0, 7.0}}, false);
+  const std::string path = TempPath("directed.el");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  const auto back = ReadEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 4);
+  EXPECT_EQ(back->num_arcs(), 3);
+  EXPECT_DOUBLE_EQ(back->ArcWeight(2, 3), -2.25);
+  EXPECT_FALSE(back->undirected());
+}
+
+TEST(EdgeListIoTest, UndirectedRoundTrip) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(30, 100, rng);
+  const std::string path = TempPath("undirected.el");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  const auto back = ReadEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->undirected());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  for (const EdgeTriple& a : g.Arcs()) {
+    EXPECT_DOUBLE_EQ(back->ArcWeight(a.src, a.dst), a.weight);
+  }
+}
+
+TEST(EdgeListIoTest, MissingFileIsNotFound) {
+  const auto result = ReadEdgeList("/nonexistent/path/file.el");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EdgeListIoTest, BadHeaderIsInvalidArgument) {
+  const std::string path = TempPath("bad_header.el");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("garbage\n", f);
+  std::fclose(f);
+  const auto result = ReadEdgeList(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DimacsIoTest, RoundTrip) {
+  Rng rng(2);
+  const FlowInstance inst = GridFlowNetwork(5, 4, 9, 9, rng);
+  const std::string path = TempPath("flow.dimacs");
+  ASSERT_TRUE(
+      WriteDimacsMaxFlow(inst.graph, inst.source, inst.sink, path).ok());
+  const auto back = ReadDimacsMaxFlow(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->source, inst.source);
+  EXPECT_EQ(back->sink, inst.sink);
+  EXPECT_EQ(back->graph.num_arcs(), inst.graph.num_arcs());
+  for (const EdgeTriple& a : inst.graph.Arcs()) {
+    EXPECT_DOUBLE_EQ(back->graph.ArcWeight(a.src, a.dst), a.weight);
+  }
+}
+
+TEST(DimacsIoTest, RejectsUndirected) {
+  const Graph g = Graph::FromEdges(2, {{0, 1, 1.0}}, true);
+  EXPECT_FALSE(WriteDimacsMaxFlow(g, 0, 1, TempPath("x.dimacs")).ok());
+}
+
+TEST(DimacsIoTest, IncompleteFileRejected) {
+  const std::string path = TempPath("incomplete.dimacs");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("p max 4 2\na 1 2 3\n", f);  // no source/sink lines
+  std::fclose(f);
+  const auto result = ReadDimacsMaxFlow(path);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace qsc

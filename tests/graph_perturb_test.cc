@@ -1,0 +1,66 @@
+#include "qsc/graph/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/graph/generators.h"
+
+namespace qsc {
+namespace {
+
+TEST(AddRandomEdgesTest, CountsAndContainment) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(40, 100, rng);
+  const Graph h = AddRandomEdges(g, 25, rng);
+  EXPECT_EQ(h.num_edges(), 125);
+  EXPECT_TRUE(h.undirected());
+  // Every original edge survives.
+  for (const EdgeTriple& a : g.Arcs()) {
+    EXPECT_TRUE(h.HasArc(a.src, a.dst));
+  }
+}
+
+TEST(AddRandomEdgesTest, NoDuplicatesOrLoops) {
+  Rng rng(2);
+  const Graph g = CompleteGraph(8);  // only 28 possible edges, all present
+  const Graph h = AddRandomEdges(g, 0, rng);
+  EXPECT_EQ(h.num_edges(), 28);
+}
+
+TEST(AddRandomEdgesTest, DirectedGraph) {
+  Rng rng(3);
+  const Graph g = Graph::FromEdges(5, {{0, 1, 1.0}, {1, 2, 1.0}}, false);
+  const Graph h = AddRandomEdges(g, 5, rng);
+  EXPECT_EQ(h.num_arcs(), 7);
+  EXPECT_FALSE(h.undirected());
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    EXPECT_FALSE(h.HasArc(v, v));
+  }
+}
+
+TEST(RemoveRandomEdgesTest, Counts) {
+  Rng rng(4);
+  const Graph g = ErdosRenyiGnm(40, 100, rng);
+  const Graph h = RemoveRandomEdges(g, 30, rng);
+  EXPECT_EQ(h.num_edges(), 70);
+  // Every remaining edge came from g.
+  for (const EdgeTriple& a : h.Arcs()) {
+    EXPECT_TRUE(g.HasArc(a.src, a.dst));
+  }
+}
+
+TEST(RemoveRandomEdgesTest, RemoveAll) {
+  Rng rng(5);
+  const Graph g = CycleGraph(10);
+  const Graph h = RemoveRandomEdges(g, 10, rng);
+  EXPECT_EQ(h.num_edges(), 0);
+  EXPECT_EQ(h.num_nodes(), 10);
+}
+
+TEST(RemoveRandomEdgesTest, TooManyDies) {
+  Rng rng(6);
+  const Graph g = CycleGraph(10);
+  EXPECT_DEATH(RemoveRandomEdges(g, 11, rng), "QSC_CHECK");
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,131 @@
+#include "qsc/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsc/graph/datasets.h"
+
+namespace qsc {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {}, false);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_arcs(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, DirectedArcsStoredOnce) {
+  const Graph g = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, false);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.undirected());
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.InDegree(1), 1);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(1, 0), 0.0);
+}
+
+TEST(GraphTest, UndirectedEdgesMirrored) {
+  const Graph g = Graph::FromEdges(3, {{0, 1, 2.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.undirected());
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(1, 0), 2.0);
+}
+
+TEST(GraphTest, ParallelEdgesCoalesced) {
+  const Graph g =
+      Graph::FromEdges(2, {{0, 1, 1.0}, {0, 1, 2.5}}, false);
+  EXPECT_EQ(g.num_arcs(), 1);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), 3.5);
+}
+
+TEST(GraphTest, ZeroAggregateWeightDropped) {
+  const Graph g =
+      Graph::FromEdges(2, {{0, 1, 1.0}, {0, 1, -1.0}}, false);
+  EXPECT_EQ(g.num_arcs(), 0);
+  EXPECT_FALSE(g.HasArc(0, 1));
+}
+
+TEST(GraphTest, SelfLoopUndirectedStoredOnce) {
+  const Graph g = Graph::FromEdges(2, {{0, 0, 4.0}, {0, 1, 1.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 3);  // loop + two mirrored arcs
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 0), 4.0);
+}
+
+TEST(GraphTest, WeightCaches) {
+  const Graph g = Graph::FromEdges(
+      3, {{0, 1, 2.0}, {0, 2, 3.0}, {1, 2, 4.0}}, false);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.InWeight(2), 7.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 9.0);
+}
+
+TEST(GraphTest, NegativeWeightsAllowed) {
+  const Graph g = Graph::FromEdges(2, {{0, 1, -2.5}}, false);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), -2.5);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), -2.5);
+}
+
+TEST(GraphTest, AdjacencySortedByEndpoint) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 3, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}}, false);
+  NodeId prev = -1;
+  for (const NeighborEntry& e : g.OutNeighbors(0)) {
+    EXPECT_GT(e.node, prev);
+    prev = e.node;
+  }
+}
+
+TEST(GraphTest, ArcsRoundTrip) {
+  const std::vector<EdgeTriple> edges{{0, 1, 1.5}, {2, 0, 2.5}};
+  const Graph g = Graph::FromEdges(3, edges, false);
+  const auto arcs = g.Arcs();
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].src, 0);
+  EXPECT_EQ(arcs[0].dst, 1);
+  EXPECT_EQ(arcs[1].src, 2);
+  EXPECT_EQ(arcs[1].dst, 0);
+}
+
+TEST(GraphTest, InNeighborsMatchOutArcs) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {1, 2, 5.0}, {3, 2, 2.0}}, false);
+  double total_in = 0.0;
+  int64_t count = 0;
+  for (const NeighborEntry& e : g.InNeighbors(2)) {
+    total_in += e.weight;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(total_in, 8.0);
+}
+
+TEST(GraphTest, OutOfRangeEndpointDies) {
+  EXPECT_DEATH(Graph::FromEdges(2, {{0, 2, 1.0}}, false), "QSC_CHECK");
+}
+
+TEST(KarateClubTest, MatchesPaperStats) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(g.num_nodes(), 34);
+  EXPECT_EQ(g.num_edges(), 78);
+  EXPECT_TRUE(g.undirected());
+  // Leaders: node 1 (id 0) has degree 16, node 34 (id 33) degree 17.
+  EXPECT_EQ(g.OutDegree(0), 16);
+  EXPECT_EQ(g.OutDegree(33), 17);
+}
+
+TEST(Figure5GraphTest, EveryNodeDegreeTwo) {
+  const auto ce = Figure5Graph();
+  for (NodeId v = 0; v < ce.graph.num_nodes(); ++v) {
+    EXPECT_EQ(ce.graph.OutDegree(v), 2);
+  }
+}
+
+}  // namespace
+}  // namespace qsc

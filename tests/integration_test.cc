@@ -1,0 +1,156 @@
+// Cross-module integration tests: the full pipelines the paper evaluates,
+// at small scale — coloring + reduced graph + solver for each of the three
+// applications, plus the paper's headline robustness claim (Figure 2).
+
+#include <gtest/gtest.h>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/q_error.h"
+#include "qsc/coloring/reduced_graph.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/flow/approx_flow.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/perturb.h"
+#include "qsc/lp/generators.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/stats.h"
+
+namespace qsc {
+namespace {
+
+TEST(IntegrationTest, KarateFigure1) {
+  // Stable coloring needs 27 colors; a quasi-stable coloring with q <= 3
+  // gets by with ~6. The two leaders (nodes 0 and 33) end up separated
+  // from the rank-and-file in the coarse coloring.
+  const Graph g = KarateClub();
+  EXPECT_EQ(StableColoring(g).num_colors(), 27);
+
+  RothkoOptions options;
+  options.max_colors = 6;
+  const Partition p = RothkoColoring(g, options);
+  EXPECT_EQ(p.num_colors(), 6);
+  const double q = ComputeQError(g, p).max_q;
+  EXPECT_LE(q, 6.0);  // small residual error at 6 colors
+  // The leaders (highest-degree nodes) share a small color without the
+  // low-degree members.
+  EXPECT_LE(p.ColorSize(p.ColorOf(0)), 4);
+  EXPECT_LE(p.ColorSize(p.ColorOf(33)), 4);
+}
+
+TEST(IntegrationTest, Figure2RobustnessClaim) {
+  // Stable coloring shatters after perturbing a compressible graph with a
+  // few random edges; q-stable coloring keeps compressing.
+  Rng rng(21);
+  const Graph g = BlockBiregularGraph(50, 10, 110, rng);  // n=500
+  EXPECT_LE(StableColoring(g).num_colors(), 55);
+
+  const Graph noisy = AddRandomEdges(g, 150, rng);  // ~1.4% of edges
+  const ColorId stable_colors = StableColoring(noisy).num_colors();
+  EXPECT_GT(stable_colors, 250);  // stable coloring degenerates
+
+  RothkoOptions options;
+  options.max_colors = 1000;
+  options.q_tolerance = 4.0;
+  const Partition q4 = RothkoColoring(noisy, options);
+  EXPECT_LT(q4.num_colors(), 150);  // q-stable keeps compressing
+  EXPECT_LE(ComputeQError(noisy, q4).max_q, 4.0);
+}
+
+TEST(IntegrationTest, MaxFlowPipelineAccuracy) {
+  Rng rng(22);
+  const FlowInstance inst = GridFlowNetwork(16, 8, 10, 30, rng);
+  const double exact =
+      MaxFlowPushRelabel(inst.graph, inst.source, inst.sink);
+  FlowApproxOptions options;
+  options.rothko.max_colors = 40;
+  const FlowApproxResult approx =
+      ApproximateMaxFlow(inst.graph, inst.source, inst.sink, options);
+  const double rel = RelativeError(exact, approx.upper_bound);
+  EXPECT_GE(approx.upper_bound, exact - 1e-6);  // upper bound
+  EXPECT_LE(rel, 2.0);  // and a sane approximation at 40 colors
+}
+
+TEST(IntegrationTest, LpPipelineAccuracy) {
+  const LpProblem lp = MakeQapLikeLp(5, 31);
+  const LpResult exact = SolveSimplex(lp);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+
+  LpReduceOptions options;
+  options.max_colors = 30;
+  const ReducedLp reduced = ReduceLp(lp, options);
+  EXPECT_LT(reduced.lp.num_rows, lp.num_rows / 2);
+  EXPECT_LT(reduced.lp.num_cols, lp.num_cols / 2);
+  const LpResult red = SolveSimplex(reduced.lp);
+  ASSERT_EQ(red.status, LpStatus::kOptimal);
+  EXPECT_LE(RelativeError(exact.objective, red.objective), 1.6);
+}
+
+TEST(IntegrationTest, CentralityPipelineAccuracy) {
+  Rng rng(23);
+  const Graph g = PowerLawGraph(600, 2400, 2.6, rng);
+  const auto exact = BetweennessExact(g);
+  ColorPivotOptions options;
+  options.rothko.max_colors = 80;
+  const auto approx = ApproximateBetweenness(g, options);
+  EXPECT_GT(SpearmanCorrelation(approx.scores, exact), 0.8);
+}
+
+TEST(IntegrationTest, AnytimeRefinementImprovesFlowBound) {
+  // Paper Sec 5.2: Rothko as a co-routine — every few extra colors can
+  // only improve (never invalidate) the approximation.
+  Rng rng(24);
+  const FlowInstance inst = GridFlowNetwork(12, 6, 10, 20, rng);
+  const double exact = MaxFlowPushRelabel(inst.graph, inst.source,
+                                          inst.sink);
+  std::vector<int32_t> labels(inst.graph.num_nodes(), 2);
+  labels[inst.source] = 0;
+  labels[inst.sink] = 1;
+  RothkoOptions options;
+  RothkoRefiner refiner(inst.graph, Partition::FromColorIds(labels),
+                        options);
+  double first_bound = -1.0, last_bound = -1.0;
+  for (int round = 0; round < 6; ++round) {
+    for (int step = 0; step < 8; ++step) {
+      if (!refiner.Step()) break;
+    }
+    const Graph reduced = BuildReducedGraph(inst.graph, refiner.partition(),
+                                            ReducedWeight::kSum);
+    const double bound = MaxFlowPushRelabel(
+        reduced, refiner.partition().ColorOf(inst.source),
+        refiner.partition().ColorOf(inst.sink));
+    EXPECT_GE(bound, exact - 1e-6);
+    if (first_bound < 0) first_bound = bound;
+    last_bound = bound;
+  }
+  EXPECT_LE(last_bound, first_bound + 1e-9);
+}
+
+TEST(IntegrationTest, StableColoringSolvesLpExactly) {
+  // q = 0 end-to-end: Grohe et al. dimensionality reduction recovers the
+  // exact optimum on a perfectly block-structured LP.
+  BlockLpSpec spec;
+  spec.num_row_groups = 4;
+  spec.num_col_groups = 4;
+  spec.rows_per_group = 6;
+  spec.cols_per_group = 6;
+  spec.noise = 0.0;
+  spec.seed = 42;
+  LpProblem lp = MakeBlockLp(spec);
+  for (int32_t i = 0; i < lp.num_rows; ++i) lp.b[i] = lp.b[(i / 6) * 6];
+  const LpResult exact = SolveSimplex(lp);
+  LpReduceOptions options;
+  options.max_colors = 12;
+  options.q_tolerance = 0.0;
+  const ReducedLp reduced = ReduceLp(lp, options);
+  ASSERT_NEAR(reduced.max_q, 0.0, 1e-9);
+  const LpResult red = SolveSimplex(reduced.lp);
+  EXPECT_NEAR(RelativeError(exact.objective, red.objective), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,95 @@
+#include "qsc/lp/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsc/lp/simplex.h"
+
+namespace qsc {
+namespace {
+
+TEST(BlockLpTest, DimensionsMatchSpec) {
+  BlockLpSpec spec;
+  spec.num_row_groups = 3;
+  spec.num_col_groups = 4;
+  spec.rows_per_group = 5;
+  spec.cols_per_group = 6;
+  const LpProblem lp = MakeBlockLp(spec);
+  EXPECT_EQ(lp.num_rows, 15);
+  EXPECT_EQ(lp.num_cols, 24);
+  EXPECT_TRUE(ValidateLp(lp).ok());
+}
+
+TEST(BlockLpTest, WellBehaved) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    BlockLpSpec spec;
+    spec.seed = seed;
+    const LpProblem lp = MakeBlockLp(spec);
+    // b > 0 (x = 0 strictly feasible) and c > 0.
+    for (double v : lp.b) EXPECT_GT(v, 0.0);
+    for (double v : lp.c) EXPECT_GT(v, 0.0);
+    // Every column has a positive entry somewhere (boundedness).
+    std::vector<bool> covered(lp.num_cols, false);
+    for (const LpEntry& e : lp.entries) {
+      if (e.value > 0.0) covered[e.col] = true;
+    }
+    for (int32_t j = 0; j < lp.num_cols; ++j) {
+      EXPECT_TRUE(covered[j]) << "col " << j << " seed " << seed;
+    }
+  }
+}
+
+TEST(BlockLpTest, SolvableAndBounded) {
+  BlockLpSpec spec;
+  spec.seed = 3;
+  const LpProblem lp = MakeBlockLp(spec);
+  const LpResult r = SolveSimplex(lp);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_GT(r.objective, 0.0);
+}
+
+TEST(BlockLpTest, Deterministic) {
+  BlockLpSpec spec;
+  spec.seed = 7;
+  const LpProblem a = MakeBlockLp(spec);
+  const LpProblem b = MakeBlockLp(spec);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.entries[i].value, b.entries[i].value);
+  }
+}
+
+TEST(StandInTest, QapShapeWide) {
+  const LpProblem lp = MakeQapLikeLp(6, 1);
+  EXPECT_EQ(lp.num_rows, 6 * 12);
+  EXPECT_EQ(lp.num_cols, 6 * 42);
+  EXPECT_GT(lp.num_cols, 3 * lp.num_rows);  // qap15 is ~3.5x wide
+}
+
+TEST(StandInTest, NugentShapeSquare) {
+  const LpProblem lp = MakeNugentLikeLp(6, 1);
+  EXPECT_EQ(lp.num_rows, lp.num_cols);
+}
+
+TEST(StandInTest, SupportShapeVeryWide) {
+  const LpProblem lp = MakeWideSupportLp(5, 1);
+  EXPECT_GT(lp.num_cols, 10 * lp.num_rows);  // supportcase10 is ~130x wide
+}
+
+TEST(StandInTest, TallShape) {
+  const LpProblem lp = MakeTallLp(5, 1);
+  EXPECT_GT(lp.num_rows, 2 * lp.num_cols);  // ex10 is ~4x tall
+}
+
+TEST(Figure3LpTest, MatchesPaperText) {
+  const LpProblem lp = Figure3Lp();
+  EXPECT_EQ(lp.num_rows, 5);
+  EXPECT_EQ(lp.num_cols, 3);
+  EXPECT_EQ(lp.NumNonzeros(), 15);
+  EXPECT_DOUBLE_EQ(lp.b[3], 50.0);
+  EXPECT_DOUBLE_EQ(lp.c[2], 50.0);
+}
+
+}  // namespace
+}  // namespace qsc

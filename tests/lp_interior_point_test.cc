@@ -1,0 +1,94 @@
+#include "qsc/lp/interior_point.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/lp/generators.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/stats.h"
+
+namespace qsc {
+namespace {
+
+TEST(InteriorPointTest, TextbookTwoVariable) {
+  LpProblem lp;
+  lp.num_rows = 3;
+  lp.num_cols = 2;
+  lp.entries = {{0, 0, 1}, {1, 1, 2}, {2, 0, 3}, {2, 1, 2}};
+  lp.b = {4, 12, 18};
+  lp.c = {3, 5};
+  const IpmResult r = SolveInteriorPoint(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-4);
+}
+
+TEST(InteriorPointTest, Figure3MatchesSimplex) {
+  const LpProblem lp = Figure3Lp();
+  const IpmResult ipm = SolveInteriorPoint(lp);
+  const LpResult simplex = SolveSimplex(lp);
+  ASSERT_EQ(ipm.status, LpStatus::kOptimal);
+  EXPECT_NEAR(ipm.objective, simplex.objective,
+              1e-4 * (1 + simplex.objective));
+}
+
+TEST(InteriorPointTest, AgreesWithSimplexOnBlockLps) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    BlockLpSpec spec;
+    spec.num_row_groups = 3;
+    spec.num_col_groups = 4;
+    spec.rows_per_group = 5;
+    spec.cols_per_group = 4;
+    spec.density = 0.5;
+    spec.noise = 0.1;
+    spec.seed = seed;
+    const LpProblem lp = MakeBlockLp(spec);
+    const IpmResult ipm = SolveInteriorPoint(lp);
+    const LpResult simplex = SolveSimplex(lp);
+    ASSERT_EQ(simplex.status, LpStatus::kOptimal);
+    ASSERT_EQ(ipm.status, LpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(RelativeError(simplex.objective, ipm.objective), 1.0, 1e-3)
+        << "seed " << seed;
+  }
+}
+
+TEST(InteriorPointTest, HistoryIsRecorded) {
+  const IpmResult r = SolveInteriorPoint(Figure3Lp());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_GT(r.history.size(), 2u);
+  // Elapsed time is non-decreasing across iterations.
+  for (size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_GE(r.history[i].elapsed_seconds,
+              r.history[i - 1].elapsed_seconds);
+  }
+}
+
+TEST(InteriorPointTest, EarlyStoppingIsFasterAndCoarser) {
+  BlockLpSpec spec;
+  spec.num_row_groups = 5;
+  spec.num_col_groups = 6;
+  spec.rows_per_group = 10;
+  spec.cols_per_group = 8;
+  spec.seed = 99;
+  const LpProblem lp = MakeBlockLp(spec);
+
+  const IpmResult exact = SolveInteriorPoint(lp);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+
+  IpmOptions early;
+  early.early_stop_rel_gap = 2.0;
+  const IpmResult stopped = SolveInteriorPoint(lp, early);
+  ASSERT_EQ(stopped.status, LpStatus::kOptimal);
+  EXPECT_TRUE(stopped.early_stopped);
+  EXPECT_LE(stopped.iterations, exact.iterations);
+  // The certified gap guarantees the early answer is within 2x.
+  EXPECT_LE(RelativeError(exact.objective, stopped.objective), 2.0 + 1e-6);
+}
+
+TEST(InteriorPointTest, EmptyLp) {
+  LpProblem lp;
+  lp.num_rows = 0;
+  lp.num_cols = 0;
+  EXPECT_EQ(SolveInteriorPoint(lp).status, LpStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,113 @@
+#include "qsc/lp/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qsc/lp/generators.h"
+#include "qsc/lp/io.h"
+
+namespace qsc {
+namespace {
+
+TEST(ValidateLpTest, AcceptsWellFormed) {
+  const LpProblem lp = Figure3Lp();
+  EXPECT_TRUE(ValidateLp(lp).ok());
+}
+
+TEST(ValidateLpTest, RejectsBadSizes) {
+  LpProblem lp;
+  lp.num_rows = 2;
+  lp.num_cols = 1;
+  lp.b = {1.0};  // wrong size
+  lp.c = {1.0};
+  EXPECT_FALSE(ValidateLp(lp).ok());
+}
+
+TEST(ValidateLpTest, RejectsOutOfRangeEntry) {
+  LpProblem lp;
+  lp.num_rows = 1;
+  lp.num_cols = 1;
+  lp.b = {1.0};
+  lp.c = {1.0};
+  lp.entries = {{0, 5, 1.0}};
+  EXPECT_FALSE(ValidateLp(lp).ok());
+}
+
+TEST(ValidateLpTest, RejectsNonFinite) {
+  LpProblem lp;
+  lp.num_rows = 1;
+  lp.num_cols = 1;
+  lp.b = {std::numeric_limits<double>::infinity()};
+  lp.c = {1.0};
+  EXPECT_FALSE(ValidateLp(lp).ok());
+}
+
+TEST(CanonicalizeLpTest, MergesDuplicatesDropsZeros) {
+  LpProblem lp;
+  lp.num_rows = 2;
+  lp.num_cols = 2;
+  lp.b = {1, 1};
+  lp.c = {1, 1};
+  lp.entries = {{1, 1, 2.0}, {0, 0, 1.0}, {1, 1, 3.0}, {0, 1, 4.0},
+                {0, 1, -4.0}};
+  CanonicalizeLp(lp);
+  ASSERT_EQ(lp.entries.size(), 2u);
+  EXPECT_EQ(lp.entries[0].row, 0);
+  EXPECT_EQ(lp.entries[0].col, 0);
+  EXPECT_DOUBLE_EQ(lp.entries[1].value, 5.0);
+}
+
+TEST(BuildColumnsTest, ColumnMajorView) {
+  const LpProblem lp = Figure3Lp();
+  const LpColumns cols = BuildColumns(lp);
+  ASSERT_EQ(cols.offsets.size(), 4u);
+  EXPECT_EQ(cols.offsets[3], 15);  // dense 5x3
+  // Column 2 holds A(:,2) = {2,1,2,22,21}.
+  double sum = 0.0;
+  for (int64_t p = cols.offsets[2]; p < cols.offsets[2 + 1]; ++p) {
+    sum += cols.values[p];
+  }
+  EXPECT_DOUBLE_EQ(sum, 48.0);
+}
+
+TEST(ObjectiveTest, Figure3AtOnes) {
+  const LpProblem lp = Figure3Lp();
+  EXPECT_DOUBLE_EQ(Objective(lp, {1.0, 1.0, 1.0}), 69.0);
+}
+
+TEST(MaxConstraintViolationTest, FeasibleAndInfeasible) {
+  const LpProblem lp = Figure3Lp();
+  EXPECT_DOUBLE_EQ(MaxConstraintViolation(lp, {0.0, 0.0, 0.0}), 0.0);
+  // x = (10,0,0): row 2 gives 7*10 = 70 > 21 -> violation 49.
+  EXPECT_DOUBLE_EQ(MaxConstraintViolation(lp, {10.0, 0.0, 0.0}), 49.0);
+  // Negative variables are violations too.
+  EXPECT_DOUBLE_EQ(MaxConstraintViolation(lp, {-2.0, 0.0, 0.0}), 2.0);
+}
+
+TEST(LpIoTest, RoundTrip) {
+  const LpProblem lp = MakeBlockLp({});
+  const std::string path = testing::TempDir() + "/block.lp";
+  ASSERT_TRUE(WriteLpText(lp, path).ok());
+  const auto back = ReadLpText(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows, lp.num_rows);
+  EXPECT_EQ(back->num_cols, lp.num_cols);
+  ASSERT_EQ(back->entries.size(), lp.entries.size());
+  for (size_t i = 0; i < lp.entries.size(); ++i) {
+    EXPECT_EQ(back->entries[i].row, lp.entries[i].row);
+    EXPECT_EQ(back->entries[i].col, lp.entries[i].col);
+    EXPECT_DOUBLE_EQ(back->entries[i].value, lp.entries[i].value);
+  }
+  for (int32_t i = 0; i < lp.num_rows; ++i) {
+    EXPECT_DOUBLE_EQ(back->b[i], lp.b[i]);
+  }
+}
+
+TEST(LpIoTest, MissingFile) {
+  EXPECT_EQ(ReadLpText("/no/such/file.lp").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,138 @@
+#include "qsc/lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/lp/generators.h"
+
+namespace qsc {
+namespace {
+
+LpProblem SmallLp(int32_t rows, int32_t cols,
+                  const std::vector<std::vector<double>>& a,
+                  std::vector<double> b, std::vector<double> c) {
+  LpProblem lp;
+  lp.num_rows = rows;
+  lp.num_cols = cols;
+  for (int32_t i = 0; i < rows; ++i) {
+    for (int32_t j = 0; j < cols; ++j) {
+      if (a[i][j] != 0.0) lp.entries.push_back({i, j, a[i][j]});
+    }
+  }
+  lp.b = std::move(b);
+  lp.c = std::move(c);
+  return lp;
+}
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2,6).
+  const LpProblem lp = SmallLp(3, 2, {{1, 0}, {0, 2}, {3, 2}}, {4, 12, 18},
+                               {3, 5});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, Figure3MatchesPaper) {
+  const LpResult r = SolveSimplex(Figure3Lp());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 128.157, 1e-3);  // paper: 128.157
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with no binding constraint on x (only -x <= 1).
+  const LpProblem lp = SmallLp(1, 1, {{-1}}, {1}, {1});
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= -1 with x >= 0 is infeasible.
+  const LpProblem lp = SmallLp(1, 1, {{1}}, {-1}, {1});
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeBFeasibleViaPhase1) {
+  // -x <= -2 (x >= 2), x <= 5, max -x -> optimum -2 at x = 2.
+  const LpProblem lp = SmallLp(2, 1, {{-1}, {1}}, {-2, 5}, {-1});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjective) {
+  const LpProblem lp = SmallLp(1, 2, {{1, 1}}, {10}, {0, 0});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(SimplexTest, NoConstraints) {
+  LpProblem lp;
+  lp.num_rows = 0;
+  lp.num_cols = 2;
+  lp.c = {0.0, -1.0};
+  const LpResult r = SolveSimplex(lp);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+  lp.c = {1.0, 0.0};
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Classic degeneracy: three constraints meeting at one vertex.
+  const LpProblem lp = SmallLp(3, 2, {{1, 0}, {0, 1}, {1, 1}}, {1, 1, 1},
+                               {1, 1});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionIsFeasible) {
+  const LpProblem lp = MakeBlockLp({});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_LE(MaxConstraintViolation(lp, r.x), 1e-6);
+  EXPECT_NEAR(Objective(lp, r.x), r.objective, 1e-6 * (1 + r.objective));
+}
+
+TEST(SimplexTest, AssignmentLpIntegralOptimum) {
+  // 2x2 assignment relaxation: max 3x00 + x01 + x10 + 3x11 with row/col
+  // sums <= 1; LP optimum = 6 (diagonal).
+  const LpProblem lp = SmallLp(
+      4, 4,
+      {{1, 1, 0, 0}, {0, 0, 1, 1}, {1, 0, 1, 0}, {0, 1, 0, 1}},
+      {1, 1, 1, 1}, {3, 1, 1, 3});
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-9);
+}
+
+// Property sweep over generated block LPs: simplex must find a feasible
+// optimum whose objective matches the returned value.
+class SimplexPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, OptimalFeasibleConsistent) {
+  BlockLpSpec spec;
+  spec.num_row_groups = 4;
+  spec.num_col_groups = 5;
+  spec.rows_per_group = 6;
+  spec.cols_per_group = 4;
+  spec.density = 0.5;
+  spec.noise = 0.1;
+  spec.seed = GetParam();
+  const LpProblem lp = MakeBlockLp(spec);
+  const LpResult r = SolveSimplex(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_LE(MaxConstraintViolation(lp, r.x), 1e-6);
+  EXPECT_NEAR(Objective(lp, r.x), r.objective,
+              1e-6 * (1.0 + std::abs(r.objective)));
+  EXPECT_GT(r.objective, 0.0);  // c > 0 and b > 0 admit positive value
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,122 @@
+#include "qsc/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-1, 1}), 0.0);
+}
+
+TEST(GeometricMeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4, 9}), 6.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(GeometricMeanTest, NonPositiveDies) {
+  EXPECT_DEATH(GeometricMean({1.0, 0.0}), "QSC_CHECK");
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(MinMaxTest, Basic) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3.0);
+}
+
+TEST(StdDevTest, Basic) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}),
+                   std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(FractionalRanksTest, NoTies) {
+  const auto r = FractionalRanks({30, 10, 20});
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  const auto r = FractionalRanks({10, 20, 10, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(SpearmanTest, PerfectAgreement) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0,
+              1e-12);
+}
+
+TEST(SpearmanTest, PerfectReversal) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0,
+              1e-12);
+}
+
+TEST(SpearmanTest, MonotoneTransformInvariance) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.UniformDouble(0.0, 10.0);
+    x.push_back(v);
+    y.push_back(std::exp(v));  // monotone transform preserves ranks
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentSeriesNearZero) {
+  Rng rng(6);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.UniformDouble());
+    y.push_back(rng.UniformDouble());
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(SpearmanTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, LinearRelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {-2, -4, -6}), -1.0, 1e-12);
+}
+
+TEST(RelativeErrorTest, IdealScoreIsOne) {
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 1.0);
+}
+
+TEST(RelativeErrorTest, SymmetricRatio) {
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 10.0), 2.0);
+}
+
+TEST(RelativeErrorTest, SignMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(RelativeError(1.0, -1.0)));
+  EXPECT_TRUE(std::isinf(RelativeError(0.0, 3.0)));
+}
+
+TEST(RelativeErrorTest, BothNegative) {
+  EXPECT_DOUBLE_EQ(RelativeError(-10.0, -5.0), 2.0);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -1,0 +1,48 @@
+#include "qsc/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace qsc {
+namespace {
+
+TEST(TablePrinterTest, CsvRoundsTrip) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,x\n2,y\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, MismatchedRowDies) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "QSC_CHECK");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(FormatSecondsTest, Ranges) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0us");
+  EXPECT_EQ(FormatSeconds(0.0005), "500us");
+  EXPECT_EQ(FormatSeconds(0.25), "250.0ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(158.0), "2m38s");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(7), "7");
+  EXPECT_EQ(FormatCount(1234), "1 234");
+  EXPECT_EQ(FormatCount(1234567), "1 234 567");
+  EXPECT_EQ(FormatCount(-1234), "-1 234");
+}
+
+TEST(FormatRatioTest, SmallAndLarge) {
+  EXPECT_EQ(FormatRatio(1.29), "1.29:1");
+  EXPECT_EQ(FormatRatio(87.4), "87:1");
+  EXPECT_EQ(FormatRatio(3500.0), "3 500:1");
+}
+
+}  // namespace
+}  // namespace qsc
