@@ -1,6 +1,6 @@
 // Edmonds-Karp max-flow (BFS augmenting paths). O(V * E^2); used as the
-// simple reference implementation that the faster solvers are tested
-// against.
+// simple reference implementation that the faster solvers (Dinic,
+// push-relabel — the paper's exact baseline of Sec 6.1) are tested against.
 
 #ifndef QSC_FLOW_EDMONDS_KARP_H_
 #define QSC_FLOW_EDMONDS_KARP_H_

@@ -1,4 +1,6 @@
-// Residual network representation shared by the max-flow solvers.
+// Residual network representation shared by the max-flow solvers — both the
+// exact baselines and the reduced-graph solves of the paper's max-flow
+// application (Sec 4.2 / 6.1).
 //
 // Arcs are stored in pairs: arc 2k is the forward arc, arc 2k+1 its
 // reverse. Pushing flow decreases one residual capacity and increases the

@@ -22,7 +22,9 @@ std::vector<EdgeTriple> Coalesce(std::vector<EdgeTriple> arcs) {
       out.push_back(arc);
     }
   }
-  std::erase_if(out, [](const EdgeTriple& a) { return a.weight == 0.0; });
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const EdgeTriple& a) { return a.weight == 0.0; }),
+            out.end());
   return out;
 }
 

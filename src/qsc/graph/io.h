@@ -1,4 +1,5 @@
-// Graph serialization: weighted edge lists and DIMACS max-flow files.
+// Graph serialization: weighted edge lists and DIMACS max-flow files (the
+// format of the paper's Table 2 flow instances, e.g. the vision benchmarks).
 
 #ifndef QSC_GRAPH_IO_H_
 #define QSC_GRAPH_IO_H_

@@ -1,4 +1,5 @@
-// LP serialization in a minimal text format:
+// LP serialization for exchanging instances like the paper's Table 3 LPs,
+// in a minimal text format:
 //   lp <num_rows> <num_cols> <num_entries>
 //   c  <num_cols values>
 //   b  <num_rows values>

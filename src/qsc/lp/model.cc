@@ -48,7 +48,9 @@ void CanonicalizeLp(LpProblem& lp) {
       out.push_back(e);
     }
   }
-  std::erase_if(out, [](const LpEntry& e) { return e.value == 0.0; });
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const LpEntry& e) { return e.value == 0.0; }),
+            out.end());
   lp.entries = std::move(out);
 }
 

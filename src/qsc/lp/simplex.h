@@ -2,9 +2,9 @@
 //
 // Textbook tableau implementation with Dantzig pricing and a Bland's-rule
 // fallback after a run of degenerate pivots (guaranteeing termination).
-// Intended for the small reduced LPs the coloring produces and as the
-// reference solver in tests; the interior-point solver handles the larger
-// exact baselines.
+// Intended for the small reduced LPs the coloring produces (paper Sec 4.1)
+// and as the reference solver in tests; the interior-point solver handles
+// the larger exact baselines of the Table 3 experiments.
 
 #ifndef QSC_LP_SIMPLEX_H_
 #define QSC_LP_SIMPLEX_H_

@@ -1,5 +1,7 @@
 // Umbrella header: the full public API of the quasi-stable coloring
-// library. Include individual headers for faster builds.
+// library, a reproduction of Kayali & Suciu, "Quasi-stable Coloring for
+// Graph Compression: Approximating Max-Flow, Linear Programs, and
+// Centrality" (PVLDB 2022). Include individual headers for faster builds.
 
 #ifndef QSC_QSC_H_
 #define QSC_QSC_H_

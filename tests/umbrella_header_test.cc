@@ -1,0 +1,41 @@
+// Guarantees the public API umbrella stays self-contained: this translation
+// unit includes qsc/qsc.h and nothing else from the library, so any public
+// header that stops compiling standalone (missing include, stale
+// declaration) breaks this target.
+
+#include "qsc/qsc.h"
+
+#include <gtest/gtest.h>
+
+namespace qsc {
+namespace {
+
+TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
+  // Touch one symbol from each module (graph, coloring, flow, lp,
+  // centrality, util) to ensure the umbrella actually pulls in the full
+  // public API, not just empty headers.
+  const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}, true);
+  EXPECT_EQ(g.num_nodes(), 3);
+
+  const Partition stable = StableColoring(g);
+  EXPECT_GE(stable.num_colors(), 1);
+
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 2), 1.0);
+
+  LpProblem lp;
+  lp.num_rows = 1;
+  lp.num_cols = 1;
+  lp.entries = {{0, 0, 1.0}};
+  lp.b = {1.0};
+  lp.c = {1.0};
+  const LpResult lp_result = SolveSimplex(lp);
+  EXPECT_DOUBLE_EQ(lp_result.objective, 1.0);
+
+  const std::vector<double> bc = BetweennessExact(g);
+  EXPECT_GT(bc[1], 0.0);
+
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+}  // namespace
+}  // namespace qsc
