@@ -1,18 +1,17 @@
 // Figure 7(c): speed-accuracy trade-off for betweenness centrality across
-// the five centrality datasets. Exact baseline is Brandes; ours runs the
-// color-pivot estimator at growing color budgets. Accuracy is Spearman's
-// rank correlation against the exact scores.
+// the five centrality datasets, driven by the qsc/eval pipeline. Exact
+// baseline is Brandes; ours runs the color-pivot estimator at growing
+// color budgets. Accuracy is Spearman's rank correlation against the
+// exact scores.
 //
 // Shape targets: rho > 0.9 within ~1-10% of the exact runtime; larger
 // datasets trade off more favorably.
 
 #include <cstdio>
 
-#include "qsc/centrality/brandes.h"
-#include "qsc/centrality/color_pivot.h"
+#include "qsc/eval/pipelines.h"
 #include "qsc/util/stats.h"
 #include "qsc/util/table.h"
-#include "qsc/util/timer.h"
 #include "workloads.h"
 
 int main() {
@@ -21,25 +20,21 @@ int main() {
               "give rho > 0.948\n\n");
   qsc::TablePrinter table({"dataset", "exact time", "colors", "spearman",
                            "time", "% of exact"});
+  qsc::eval::EvalOptions options;
+  options.seed = 17;  // pivot-sampling seed (matches ColorPivotOptions)
+  const std::vector<qsc::ColorId> budgets{10, 25, 50, 100};
   std::vector<double> rho_at_50;
   for (const auto& dataset : qsc::bench::CentralityDatasets()) {
-    qsc::WallTimer timer;
-    const std::vector<double> exact = qsc::BetweennessExact(dataset.graph);
-    const double exact_seconds = timer.ElapsedSeconds();
-
-    for (qsc::ColorId colors : {10, 25, 50, 100}) {
-      qsc::ColorPivotOptions options;
-      options.rothko.max_colors = colors;
-      timer.Reset();
-      const auto approx = qsc::ApproximateBetweenness(dataset.graph,
-                                                      options);
-      const double seconds = timer.ElapsedSeconds();
-      const double rho = qsc::SpearmanCorrelation(approx.scores, exact);
-      if (colors == 50) rho_at_50.push_back(rho);
-      table.AddRow({dataset.name, qsc::FormatSeconds(exact_seconds),
-                    std::to_string(colors), qsc::FormatDouble(rho, 3),
-                    qsc::FormatSeconds(seconds),
-                    qsc::FormatDouble(100.0 * seconds / exact_seconds, 1)});
+    const auto runs =
+        qsc::eval::RunCentralityPipeline(dataset.graph, options, budgets);
+    for (const qsc::eval::RunMetrics& m : runs) {
+      if (m.color_budget == 50) rho_at_50.push_back(m.rank_correlation);
+      table.AddRow({dataset.name, qsc::FormatSeconds(m.exact_seconds),
+                    std::to_string(m.color_budget),
+                    qsc::FormatDouble(m.rank_correlation, 3),
+                    qsc::FormatSeconds(m.approx_seconds),
+                    qsc::FormatDouble(
+                        100.0 * m.approx_seconds / m.exact_seconds, 1)});
     }
   }
   table.Print(stdout);

@@ -1,19 +1,16 @@
-// Figure 7(b): speed-accuracy trade-off for linear optimization. Exact
-// baseline is the interior-point solver (the paper's Tulip); the
-// approximation reduces the LP via q-stable coloring and solves the small
-// LP with simplex. End-to-end time includes coloring + reduction + solve.
+// Figure 7(b): speed-accuracy trade-off for linear optimization, driven by
+// the qsc/eval pipeline. Exact baseline is the interior-point solver (the
+// paper's Tulip); the approximation reduces the LP via q-stable coloring
+// (anytime across the budget sweep) and solves the small LP with simplex.
 //
 // Shape targets: rel.err ~1.1-1.5 within a small fraction of the exact
 // runtime; error need not be monotone in the number of colors.
 
 #include <cstdio>
 
-#include "qsc/lp/interior_point.h"
-#include "qsc/lp/reduce.h"
-#include "qsc/lp/simplex.h"
+#include "qsc/eval/pipelines.h"
 #include "qsc/util/stats.h"
 #include "qsc/util/table.h"
-#include "qsc/util/timer.h"
 #include "workloads.h"
 
 int main() {
@@ -22,27 +19,21 @@ int main() {
               "exact runtime\n\n");
   qsc::TablePrinter table({"dataset", "exact obj", "exact time", "colors",
                            "approx obj", "rel.err", "time", "% of exact"});
+  const qsc::eval::EvalOptions options;  // interior-point oracle
+  const std::vector<qsc::ColorId> budgets{10, 25, 50, 100};
   std::vector<double> errors_at_100;
   for (const auto& dataset : qsc::bench::LpDatasets()) {
-    qsc::WallTimer timer;
-    const qsc::IpmResult exact = qsc::SolveInteriorPoint(dataset.lp);
-    const double exact_seconds = timer.ElapsedSeconds();
-
-    for (qsc::ColorId colors : {10, 25, 50, 100}) {
-      qsc::LpReduceOptions options;
-      options.max_colors = colors;
-      timer.Reset();
-      const qsc::ReducedLp reduced = qsc::ReduceLp(dataset.lp, options);
-      const qsc::LpResult red = qsc::SolveSimplex(reduced.lp);
-      const double seconds = timer.ElapsedSeconds();
-      const double rel = qsc::RelativeError(exact.objective, red.objective);
-      if (colors == 100) errors_at_100.push_back(rel);
-      table.AddRow({dataset.name, qsc::FormatDouble(exact.objective, 1),
-                    qsc::FormatSeconds(exact_seconds),
-                    std::to_string(colors),
-                    qsc::FormatDouble(red.objective, 1),
-                    qsc::FormatDouble(rel, 3), qsc::FormatSeconds(seconds),
-                    qsc::FormatDouble(100.0 * seconds / exact_seconds, 2)});
+    const auto runs = qsc::eval::RunLpPipeline(dataset.lp, options, budgets);
+    for (const qsc::eval::RunMetrics& m : runs) {
+      if (m.color_budget == 100) errors_at_100.push_back(m.relative_error);
+      table.AddRow({dataset.name, qsc::FormatDouble(m.exact_value, 1),
+                    qsc::FormatSeconds(m.exact_seconds),
+                    std::to_string(m.color_budget),
+                    qsc::FormatDouble(m.approx_value, 1),
+                    qsc::FormatDouble(m.relative_error, 3),
+                    qsc::FormatSeconds(m.approx_seconds),
+                    qsc::FormatDouble(
+                        100.0 * m.approx_seconds / m.exact_seconds, 2)});
     }
   }
   table.Print(stdout);

@@ -1,18 +1,17 @@
 // Figure 7(a): speed-accuracy trade-off for max-flow across the flow
-// datasets. For each instance: exact push-relabel baseline, then the
-// coloring approximation at growing color budgets; reports end-to-end time
-// (coloring + reduction + solve) and the paper's relative-error metric.
+// datasets, driven by the qsc/eval pipeline: exact push-relabel baseline,
+// then the coloring approximation at growing color budgets; reports
+// end-to-end time (coloring + reduction + solve) and the paper's
+// relative-error metric.
 //
 // Shape targets: error near 1.0 at ~35 colors; runtime a small fraction of
 // the exact solve; error shrinks as colors grow.
 
 #include <cstdio>
 
-#include "qsc/flow/approx_flow.h"
-#include "qsc/flow/push_relabel.h"
+#include "qsc/eval/pipelines.h"
 #include "qsc/util/stats.h"
 #include "qsc/util/table.h"
-#include "qsc/util/timer.h"
 #include "workloads.h"
 
 int main() {
@@ -21,29 +20,22 @@ int main() {
               "runtime at <= 35 colors\n\n");
   qsc::TablePrinter table({"dataset", "exact flow", "exact time", "colors",
                            "approx", "rel.err", "time", "% of exact"});
+  const qsc::eval::EvalOptions options;  // push-relabel oracle
+  const std::vector<qsc::ColorId> budgets{5, 10, 20, 35};
   std::vector<double> errors_at_budget;
   for (const auto& dataset : qsc::bench::FlowDatasets()) {
-    const qsc::Graph& g = dataset.instance.graph;
-    qsc::WallTimer timer;
-    const double exact = qsc::MaxFlowPushRelabel(
-        g, dataset.instance.source, dataset.instance.sink);
-    const double exact_seconds = timer.ElapsedSeconds();
-
-    for (qsc::ColorId colors : {5, 10, 20, 35}) {
-      qsc::FlowApproxOptions options;
-      options.rothko.max_colors = colors;
-      timer.Reset();
-      const qsc::FlowApproxResult approx = qsc::ApproximateMaxFlow(
-          g, dataset.instance.source, dataset.instance.sink, options);
-      const double seconds = timer.ElapsedSeconds();
-      const double rel = qsc::RelativeError(exact, approx.upper_bound);
-      if (colors == 35) errors_at_budget.push_back(rel);
-      table.AddRow({dataset.name, qsc::FormatDouble(exact, 0),
-                    qsc::FormatSeconds(exact_seconds),
-                    std::to_string(colors),
-                    qsc::FormatDouble(approx.upper_bound, 0),
-                    qsc::FormatDouble(rel, 3), qsc::FormatSeconds(seconds),
-                    qsc::FormatDouble(100.0 * seconds / exact_seconds, 1)});
+    const auto runs =
+        qsc::eval::RunMaxFlowPipeline(dataset.instance, options, budgets);
+    for (const qsc::eval::RunMetrics& m : runs) {
+      if (m.color_budget == 35) errors_at_budget.push_back(m.relative_error);
+      table.AddRow({dataset.name, qsc::FormatDouble(m.exact_value, 0),
+                    qsc::FormatSeconds(m.exact_seconds),
+                    std::to_string(m.color_budget),
+                    qsc::FormatDouble(m.approx_value, 0),
+                    qsc::FormatDouble(m.relative_error, 3),
+                    qsc::FormatSeconds(m.approx_seconds),
+                    qsc::FormatDouble(
+                        100.0 * m.approx_seconds / m.exact_seconds, 1)});
     }
   }
   table.Print(stdout);

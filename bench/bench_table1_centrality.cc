@@ -50,7 +50,7 @@ std::vector<double> OursTimes(const qsc::Graph& g,
   for (const Checkpoint& checkpoint : kLadder) {
     qsc::WallTimer step_timer;
     while (refiner.partition().num_colors() < checkpoint.colors) {
-      if (!refiner.Step()) break;
+      if (!refiner.Step(checkpoint.colors)) break;
     }
     coloring_seconds += step_timer.ElapsedSeconds();
 

@@ -1,27 +1,24 @@
 // Shared benchmark workloads: the stand-ins for the paper's Tables 2 and 3
-// datasets (see DESIGN.md §3), scaled to single-core budgets. Every bench
-// binary draws its instances from here so the experiment index stays
-// consistent.
+// datasets (see DESIGN.md §3), scaled to single-core budgets. Since the
+// qsc/eval harness landed, the instance definitions live in
+// qsc/eval/suites.{h,cc}; this header re-exports them under the historical
+// bench names so every bench binary keeps drawing from one experiment
+// index.
 
 #ifndef QSC_BENCH_WORKLOADS_H_
 #define QSC_BENCH_WORKLOADS_H_
 
-#include <string>
 #include <vector>
 
-#include "qsc/graph/generators.h"
-#include "qsc/graph/graph.h"
-#include "qsc/lp/model.h"
+#include "qsc/eval/suites.h"
 
 namespace qsc {
 namespace bench {
 
-struct GraphDataset {
-  std::string name;        // stand-in name (paper dataset it models)
-  std::string paper_name;  // dataset in the paper's Table 2
-  Graph graph;
-  bool real = false;  // true only for the embedded karate club
-};
+// name / paper_name / graph / real flag (see qsc::eval::NamedGraph).
+using GraphDataset = ::qsc::eval::NamedGraph;
+using FlowDataset = ::qsc::eval::NamedFlow;
+using LpDataset = ::qsc::eval::NamedLp;
 
 // The "General evaluation" block of Table 2: Karate (real), OpenFlights
 // and DBLP stand-ins.
@@ -31,21 +28,9 @@ std::vector<GraphDataset> GeneralDatasets();
 // Enron, Epinions stand-ins (power-law graphs with matched density).
 std::vector<GraphDataset> CentralityDatasets();
 
-struct FlowDataset {
-  std::string name;
-  std::string paper_name;
-  FlowInstance instance;
-};
-
 // The "Maximum-flow" block of Table 2: vision-style grid networks standing
 // in for Tsukuba/Venus/Sawtooth/SimCells/Cells.
 std::vector<FlowDataset> FlowDatasets();
-
-struct LpDataset {
-  std::string name;
-  std::string paper_name;
-  LpProblem lp;
-};
 
 // Table 3: qap15, nug08-3rd, supportcase10, ex10 stand-ins.
 std::vector<LpDataset> LpDatasets();

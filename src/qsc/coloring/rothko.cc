@@ -50,19 +50,29 @@ class RothkoRefiner::Impl {
     }
   }
 
-  bool Step() {
+  bool Step(ColorId color_cap) {
     HeapEntry raw_top;
     if (!PeekValid(raw_heap_, &raw_top)) return false;
     if (raw_top.priority <= options_.q_tolerance) return false;
 
-    HeapEntry witness;
-    QSC_CHECK(PeekValid(weighted_heap_, &witness));
-    ApplySplit(witness);
+    // Monotone step (see header): split, then keep splitting while the max
+    // q-error sits strictly above its pre-step value. Terminates because
+    // refinement reaches a stable coloring (error 0) in at most n-1 splits.
+    const double pre_step_error = raw_top.priority;
+    for (;;) {
+      HeapEntry witness;
+      QSC_CHECK(PeekValid(weighted_heap_, &witness));
+      ApplySplit(witness);
+      if (color_cap > 0 && partition_.num_colors() >= color_cap) break;
+      if (!PeekValid(raw_heap_, &raw_top)) break;
+      if (raw_top.priority <= pre_step_error) break;
+    }
     return true;
   }
 
   void Run() {
-    while (partition_.num_colors() < options_.max_colors && Step()) {
+    while (partition_.num_colors() < options_.max_colors &&
+           Step(options_.max_colors)) {
     }
   }
 
@@ -403,7 +413,7 @@ RothkoRefiner::RothkoRefiner(const Graph& g, Partition initial,
 
 RothkoRefiner::~RothkoRefiner() = default;
 
-bool RothkoRefiner::Step() { return impl_->Step(); }
+bool RothkoRefiner::Step(ColorId color_cap) { return impl_->Step(color_cap); }
 void RothkoRefiner::Run() { impl_->Run(); }
 const Partition& RothkoRefiner::partition() const {
   return impl_->partition();

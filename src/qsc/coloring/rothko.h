@@ -77,11 +77,23 @@ class RothkoRefiner {
   RothkoRefiner(const RothkoRefiner&) = delete;
   RothkoRefiner& operator=(const RothkoRefiner&) = delete;
 
-  // Performs one witness split. Returns false (and leaves the partition
-  // unchanged) when converged: the maximum q-error is <= q_tolerance, or no
-  // splittable color remains. Ignores max_colors; the caller owns that
-  // stopping rule.
-  bool Step();
+  // Performs one *monotone* refinement step. Returns false (and leaves the
+  // partition unchanged) when converged: the maximum q-error is <=
+  // q_tolerance, or no splittable color remains.
+  //
+  // A step begins with the witness split of Algorithm 1. A single split can
+  // transiently *raise* the maximum q-error — splitting a color P_k also
+  // splits every neighbor's witness weight w(v, P_k) into two components
+  // whose spreads are not bounded by the old spread — so the step keeps
+  // splitting the new worst witness until the maximum q-error is back at or
+  // below its pre-step value. This makes the anytime guarantee exact:
+  // CurrentMaxError() never increases across Step() calls.
+  //
+  // `color_cap` (0 = unlimited) bounds the monotone continuation: once the
+  // partition reaches `color_cap` colors the step stops even if the error
+  // has not yet recovered. At least one split is always performed. Ignores
+  // options.max_colors; the caller owns that stopping rule.
+  bool Step(ColorId color_cap = 0);
 
   // Runs Step() until convergence or options.max_colors colors.
   void Run();

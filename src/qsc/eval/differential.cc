@@ -1,0 +1,306 @@
+#include "qsc/eval/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "qsc/centrality/brandes.h"
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/flow/approx_flow.h"
+#include "qsc/flow/min_cut.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/util/stats.h"
+
+namespace qsc {
+namespace eval {
+namespace {
+
+// Tolerance for "equal" double-precision objective values of magnitude v.
+double EqTol(double v) { return 1e-9 * std::max(1.0, std::abs(v)); }
+
+std::string Fmt(const char* format, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+struct Checker {
+  DifferentialReport* report;
+
+  void Expect(bool condition, const char* invariant, std::string detail) {
+    ++report->checks;
+    if (!condition) report->violations.push_back({invariant, std::move(detail)});
+  }
+};
+
+}  // namespace
+
+std::string DifferentialReport::Summary() const {
+  if (ok()) {
+    return std::to_string(checks) + " checks, 0 violations";
+  }
+  std::string out = std::to_string(violations.size()) + " violation(s) in " +
+                    std::to_string(checks) + " checks:";
+  for (const InvariantViolation& v : violations) {
+    out += "\n  [" + v.invariant + "] " + v.detail;
+  }
+  return out;
+}
+
+DifferentialRunner::DifferentialRunner(EvalOptions options)
+    : options_(std::move(options)) {}
+
+DifferentialReport DifferentialRunner::Check(const Workload& workload) const {
+  const std::vector<ColorId> budgets =
+      NormalizeBudgets(options_.color_budgets.empty()
+                           ? workload.info().default_budgets
+                           : options_.color_budgets);
+  DifferentialReport report;
+  // Workload is open for subclassing, so an area() tag alone does not
+  // prove the concrete type; a custom subclass we cannot instantiate is a
+  // reported finding, not undefined behavior.
+  if (const auto* flow = dynamic_cast<const FlowWorkload*>(&workload)) {
+    report = CheckMaxFlow(flow->Instantiate(options_.seed), budgets);
+  } else if (const auto* lp = dynamic_cast<const LpWorkload*>(&workload)) {
+    report = CheckLp(lp->Instantiate(options_.seed), budgets);
+  } else if (const auto* cent =
+                 dynamic_cast<const CentralityWorkload*>(&workload)) {
+    report = CheckCentrality(cent->Instantiate(options_.seed), budgets);
+  } else {
+    report.area = workload.area();
+    report.seed = options_.seed;
+    report.violations.push_back(
+        {"differential/unsupported-workload",
+         "workload '" + workload.name() +
+             "' is not a Flow/Lp/CentralityWorkload; no instance to check"});
+  }
+  report.workload = workload.name();
+  return report;
+}
+
+void DifferentialRunner::CheckRothkoAnytime(const Graph& g, double alpha,
+                                            double beta,
+                                            DifferentialReport& report) const {
+  Checker check{&report};
+  RothkoOptions options;
+  options.alpha = alpha;
+  options.beta = beta;
+  options.split_mean = options_.split_mean;
+  RothkoRefiner refiner(g, Partition::Trivial(g.num_nodes()), options);
+  double prev_error = refiner.CurrentMaxError();
+  ColorId prev_colors = refiner.partition().num_colors();
+  for (int step = 0; step < 40; ++step) {
+    if (!refiner.Step()) break;
+    const double error = refiner.CurrentMaxError();
+    check.Expect(error <= prev_error + 1e-9, "rothko/anytime-monotone",
+                 Fmt("Step() raised CurrentMaxError %.12g -> %.12g", prev_error,
+                     error));
+    prev_error = error;
+  }
+  for (const RothkoStep& s : refiner.history()) {
+    check.Expect(s.num_colors > prev_colors && prev_colors >= 0,
+                 "rothko/history-colors-increasing",
+                 Fmt("history color count %.0f after %.0f",
+                     static_cast<double>(s.num_colors),
+                     static_cast<double>(prev_colors)));
+    prev_colors = s.num_colors;
+  }
+}
+
+DifferentialReport DifferentialRunner::CheckMaxFlow(
+    const FlowInstance& instance, std::vector<ColorId> budgets) const {
+  budgets = NormalizeBudgets(std::move(budgets));
+  DifferentialReport report;
+  report.area = Application::kMaxFlow;
+  report.seed = options_.seed;
+  Checker check{&report};
+
+  const Graph& g = instance.graph;
+  const double dinic = SolveMaxFlowExact(FlowSolver::kDinic, g,
+                                         instance.source, instance.sink);
+  const double ek = SolveMaxFlowExact(FlowSolver::kEdmondsKarp, g,
+                                      instance.source, instance.sink);
+  const double pr = SolveMaxFlowExact(FlowSolver::kPushRelabel, g,
+                                      instance.source, instance.sink);
+  check.Expect(std::abs(dinic - ek) <= EqTol(pr), "flow/solver-agreement",
+               Fmt("Dinic %.12g vs Edmonds-Karp %.12g", dinic, ek));
+  check.Expect(std::abs(dinic - pr) <= EqTol(pr), "flow/solver-agreement",
+               Fmt("Dinic %.12g vs push-relabel %.12g", dinic, pr));
+
+  const MinCutResult cut = MinCut(g, instance.source, instance.sink);
+  check.Expect(std::abs(cut.value - pr) <= EqTol(pr), "flow/min-cut-duality",
+               Fmt("min cut %.12g vs max flow %.12g", cut.value, pr));
+
+  double first_bound = 0.0, last_bound = 0.0;
+  bool have_bounds = false;
+  for (const ColorId budget : budgets) {
+    FlowApproxOptions options;
+    options.rothko.max_colors = budget;
+    options.rothko.split_mean = options_.split_mean;
+    options.compute_lower_bound = options_.compute_flow_lower_bound;
+    const FlowApproxResult approx =
+        ApproximateMaxFlow(g, instance.source, instance.sink, options);
+    check.Expect(approx.upper_bound >= pr - EqTol(pr),
+                 "flow/reduced-upper-bound",
+                 Fmt("c^2 bound %.12g below exact %.12g", approx.upper_bound,
+                     pr));
+    if (options_.compute_flow_lower_bound) {
+      check.Expect(approx.lower_bound <= pr + 1e-4 * std::max(1.0, pr),
+                   "flow/reduced-lower-bound",
+                   Fmt("c^1 bound %.12g above exact %.12g", approx.lower_bound,
+                       pr));
+    }
+    if (!have_bounds) {
+      first_bound = approx.upper_bound;
+      have_bounds = true;
+    }
+    last_bound = approx.upper_bound;
+  }
+  check.Expect(!have_bounds || last_bound <= first_bound + EqTol(first_bound),
+               "flow/anytime-improvement",
+               Fmt("finest bound %.12g above coarsest %.12g", last_bound,
+                   first_bound));
+
+  CheckRothkoAnytime(g, /*alpha=*/0.0, /*beta=*/0.0, report);
+  return report;
+}
+
+DifferentialReport DifferentialRunner::CheckLp(
+    const LpProblem& lp, std::vector<ColorId> budgets) const {
+  budgets = NormalizeBudgets(std::move(budgets));
+  DifferentialReport report;
+  report.area = Application::kLp;
+  report.seed = options_.seed;
+  Checker check{&report};
+
+  const LpResult simplex = SolveLpExact(LpOracle::kSimplex, lp);
+  const LpResult ipm = SolveLpExact(LpOracle::kInteriorPoint, lp);
+  check.Expect(simplex.status == LpStatus::kOptimal, "lp/simplex-optimal",
+               "simplex did not reach optimality");
+  check.Expect(ipm.status == LpStatus::kOptimal, "lp/ipm-optimal",
+               "interior point did not reach optimality");
+  if (simplex.status == LpStatus::kOptimal &&
+      ipm.status == LpStatus::kOptimal) {
+    check.Expect(RelativeError(simplex.objective, ipm.objective) <= 1.0 + 1e-3,
+                 "lp/oracle-agreement",
+                 Fmt("simplex %.12g vs interior point %.12g", simplex.objective,
+                     ipm.objective));
+  }
+
+  LpReduceOptions reduce_options;
+  LpColoringRefiner refiner(lp, reduce_options);
+  for (const ColorId budget : budgets) {
+    const ReducedLp reduced = refiner.ReduceTo(std::max<ColorId>(budget, 4));
+    // Note: max_q is NOT asserted monotone across capped budgets — a color
+    // cap can truncate a monotone refinement step mid-recovery, so only
+    // the uncapped Step() contract (CheckRothkoAnytime) is guaranteed.
+    check.Expect(std::isfinite(reduced.max_q) && reduced.max_q >= 0.0,
+                 "lp/q-error-valid",
+                 Fmt("matrix q-error %.12g at budget %.0f", reduced.max_q,
+                     static_cast<double>(budget)));
+
+    const LpResult red = SolveSimplex(reduced.lp);
+    check.Expect(red.status == LpStatus::kOptimal, "lp/reduced-solvable",
+                 "reduced LP did not reach optimality");
+    if (red.status != LpStatus::kOptimal) continue;
+
+    // LiftSolution reproduces the reduced objective in the original
+    // objective exactly (both reduction variants).
+    const std::vector<double> lifted = LiftSolution(reduced, red.x);
+    const double lifted_obj = Objective(lp, lifted);
+    check.Expect(std::abs(lifted_obj - red.objective) <= EqTol(red.objective),
+                 "lp/lift-objective-roundtrip",
+                 Fmt("lifted objective %.12g vs reduced %.12g", lifted_obj,
+                     red.objective));
+
+    // Theorem 1: a stable (q = 0) coloring loses nothing.
+    if (reduced.max_q <= 1e-9 && simplex.status == LpStatus::kOptimal) {
+      check.Expect(
+          std::abs(red.objective - simplex.objective) <=
+              1e-6 * std::max(1.0, std::abs(simplex.objective)),
+          "lp/stable-exactness",
+          Fmt("q=0 reduction got %.12g, exact %.12g", red.objective,
+              simplex.objective));
+    }
+  }
+
+  // Full refinement is the identity reduction: an unlimited budget drives
+  // the matrix-graph coloring stable (q = 0), and the reduced LP must then
+  // reproduce the exact optimum (Theorem 1 — the direction the paper
+  // guarantees).
+  {
+    const ColorId full = static_cast<ColorId>(lp.num_rows + lp.num_cols + 2);
+    const ReducedLp reduced = refiner.ReduceTo(full);
+    check.Expect(reduced.max_q <= 1e-9, "lp/full-refinement-stable",
+                 Fmt("max_q %.12g at the full budget %.0f", reduced.max_q,
+                     static_cast<double>(full)));
+    if (simplex.status == LpStatus::kOptimal) {
+      const LpResult red = SolveSimplex(reduced.lp);
+      check.Expect(red.status == LpStatus::kOptimal, "lp/reduced-solvable",
+                   "fully refined LP did not reach optimality");
+      if (red.status == LpStatus::kOptimal) {
+        check.Expect(std::abs(red.objective - simplex.objective) <=
+                         1e-6 * std::max(1.0, std::abs(simplex.objective)),
+                     "lp/full-refinement-exact",
+                     Fmt("full refinement got %.12g, exact %.12g",
+                         red.objective, simplex.objective));
+      }
+    }
+  }
+
+  return report;
+}
+
+DifferentialReport DifferentialRunner::CheckCentrality(
+    const Graph& g, std::vector<ColorId> budgets) const {
+  budgets = NormalizeBudgets(std::move(budgets));
+  DifferentialReport report;
+  report.area = Application::kCentrality;
+  report.seed = options_.seed;
+  Checker check{&report};
+
+  const std::vector<double> exact = BetweennessExact(g);
+
+  // Degenerate differential oracle: one singleton color per node makes the
+  // color-pivot estimator pick every node as its own pivot with weight 1,
+  // which IS Brandes' algorithm.
+  ColorPivotOptions discrete_options;
+  discrete_options.seed = options_.seed;
+  const ApproxBetweennessResult discrete = ApproximateBetweennessWithColoring(
+      g, Partition::Discrete(g.num_nodes()), discrete_options);
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    worst = std::max(worst, std::abs(discrete.scores[v] - exact[v]));
+  }
+  check.Expect(worst <= 1e-6, "centrality/discrete-equals-brandes",
+               Fmt("max |approx - exact| = %.12g (n = %.0f)", worst,
+                   static_cast<double>(g.num_nodes())));
+
+  for (const ColorId budget : budgets) {
+    ColorPivotOptions options;
+    options.rothko.max_colors = budget;
+    options.rothko.split_mean = options_.split_mean;
+    options.seed = options_.seed;
+    const ApproxBetweennessResult approx = ApproximateBetweenness(g, options);
+    check.Expect(static_cast<NodeId>(approx.scores.size()) == g.num_nodes(),
+                 "centrality/score-shape", "score vector size mismatch");
+    bool finite_nonneg = true;
+    for (const double s : approx.scores) {
+      finite_nonneg = finite_nonneg && std::isfinite(s) && s >= -1e-9;
+    }
+    check.Expect(finite_nonneg, "centrality/scores-finite",
+                 "non-finite or negative betweenness score");
+    const double rho = SpearmanCorrelation(approx.scores, exact);
+    check.Expect(rho >= -1.0 - 1e-9 && rho <= 1.0 + 1e-9,
+                 "centrality/rho-range", Fmt("rho = %.12g (budget %.0f)", rho,
+                                             static_cast<double>(budget)));
+  }
+
+  CheckRothkoAnytime(g, /*alpha=*/1.0, /*beta=*/1.0, report);
+  return report;
+}
+
+}  // namespace eval
+}  // namespace qsc

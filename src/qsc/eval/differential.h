@@ -1,0 +1,89 @@
+// Differential testing layer: fans a workload instance through the
+// approximate solvers AND their exact oracles and checks the paper's
+// invariants rather than golden numbers, so every seeded instance is a test
+// case. Checked per area:
+//
+//   max-flow   - Dinic, Edmonds-Karp and push-relabel agree; the min cut
+//                certifies the flow (strong duality); the c^2 reduced-graph
+//                flow upper-bounds the exact value at every budget and the
+//                finest bound does not exceed the coarsest (anytime
+//                improvement); the optional c^1 bound lower-bounds it
+//                (Theorem 6).
+//   LP         - simplex and interior-point agree on seeded feasible LPs;
+//                LiftSolution round-trips the reduced objective into the
+//                original objective exactly; at q = 0 the reduced optimum
+//                equals the exact optimum (Theorem 1 — the direction the
+//                paper guarantees), including at the full budget, which
+//                must drive the matrix coloring stable. The q-error at
+//                capped budget checkpoints is only checked for validity,
+//                not monotonicity: a color cap can truncate a monotone
+//                refinement step mid-recovery (see docs/TESTING.md).
+//   centrality - the color-pivot estimator under the discrete coloring
+//                degenerates to exact Brandes; Spearman's rho against the
+//                exact scores is a valid correlation.
+//
+// All areas additionally check Rothko's anytime contract on the instance:
+// Step() never increases CurrentMaxError() and history() color counts are
+// strictly increasing.
+
+#ifndef QSC_EVAL_DIFFERENTIAL_H_
+#define QSC_EVAL_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qsc/eval/workload.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/graph.h"
+#include "qsc/lp/model.h"
+
+namespace qsc {
+namespace eval {
+
+struct InvariantViolation {
+  std::string invariant;  // short id, e.g. "flow/solver-agreement"
+  std::string detail;     // human-readable evidence
+};
+
+struct DifferentialReport {
+  std::string workload;
+  Application area = Application::kMaxFlow;
+  uint64_t seed = 0;
+  int64_t checks = 0;  // individual assertions evaluated
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  // "42 checks, 0 violations" or a newline-separated violation list; meant
+  // for test failure messages and the CLI.
+  std::string Summary() const;
+};
+
+class DifferentialRunner {
+ public:
+  explicit DifferentialRunner(EvalOptions options);
+
+  // Instantiates `workload` at options.seed and runs its area's invariant
+  // suite over the budget sweep.
+  DifferentialReport Check(const Workload& workload) const;
+
+  // Area entry points for instances that are not registered workloads.
+  DifferentialReport CheckMaxFlow(const FlowInstance& instance,
+                                  std::vector<ColorId> budgets) const;
+  DifferentialReport CheckLp(const LpProblem& lp,
+                             std::vector<ColorId> budgets) const;
+  DifferentialReport CheckCentrality(const Graph& g,
+                                     std::vector<ColorId> budgets) const;
+
+ private:
+  void CheckRothkoAnytime(const Graph& g, double alpha, double beta,
+                          DifferentialReport& report) const;
+
+  EvalOptions options_;
+};
+
+}  // namespace eval
+}  // namespace qsc
+
+#endif  // QSC_EVAL_DIFFERENTIAL_H_

@@ -1,0 +1,172 @@
+#include "qsc/eval/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+namespace eval {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // Shortest representation that round-trips: try increasing precision.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  std::string out = buf;
+  // "1e+06"-style exponents are valid JSON, but bare "inf"/"nan" never
+  // reach here (filtered above).
+  return out;
+}
+
+JsonWriter::JsonWriter(bool pretty) : pretty_(pretty) {}
+
+void JsonWriter::Indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    QSC_CHECK(out_.empty());  // exactly one top-level value
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    QSC_CHECK(key_pending_);  // object members need a Key() first
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  QSC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  QSC_CHECK(!key_pending_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  QSC_CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  QSC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  QSC_CHECK(!key_pending_);
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  Indent();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Value(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+}
+
+void JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  QSC_CHECK(stack_.empty());  // all containers closed
+  return out_;
+}
+
+}  // namespace eval
+}  // namespace qsc

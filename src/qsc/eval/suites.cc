@@ -1,0 +1,181 @@
+#include "qsc/eval/suites.h"
+
+#include <memory>
+#include <utility>
+
+#include "qsc/graph/datasets.h"
+#include "qsc/lp/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace eval {
+
+std::vector<NamedGraph> GeneralGraphSuite() {
+  std::vector<NamedGraph> out;
+  out.push_back({"karate", "Karate", KarateClub(), /*real=*/true});
+  {
+    Rng rng(101);
+    // Route multiplicities are small integers; large weight noise would
+    // drown the degree structure the coloring exploits.
+    out.push_back({"openflights-sim", "OpenFlights",
+                   WeightedHubGraph(3400, 6, 3, rng), false});
+  }
+  {
+    Rng rng(102);
+    out.push_back({"dblp-sim", "Dblp", BarabasiAlbert(30000, 3, rng), false});
+  }
+  return out;
+}
+
+std::vector<NamedGraph> CentralityGraphSuite() {
+  struct Spec {
+    const char* name;
+    const char* paper;
+    NodeId nodes;
+    int64_t edges;
+    double gamma;
+    uint64_t seed;
+  };
+  // Paper sizes (scaled ~1/4 for the single-core exact baselines):
+  // Astrophysics 18.7k/198k, Facebook 22.5k/171k, Deezer 28k/93k,
+  // Enron 37k/184k, Epinions 76k/509k.
+  static constexpr Spec kSpecs[] = {
+      {"astroph-sim", "Astrophysics", 4500, 48000, 2.8, 201},
+      {"facebook-sim", "Facebook", 5500, 42000, 2.7, 202},
+      {"deezer-sim", "Deezer", 7000, 23000, 2.9, 203},
+      {"enron-sim", "Enron", 9000, 45000, 2.5, 204},
+      {"epinions-sim", "Epinions", 12000, 80000, 2.3, 205},
+  };
+  std::vector<NamedGraph> out;
+  for (const Spec& s : kSpecs) {
+    Rng rng(s.seed);
+    out.push_back(
+        {s.name, s.paper, PowerLawGraph(s.nodes, s.edges, s.gamma, rng),
+         false});
+  }
+  return out;
+}
+
+std::vector<NamedFlow> FlowSuite() {
+  struct Spec {
+    const char* name;
+    const char* paper;
+    int32_t width;
+    int32_t height;
+    int32_t objects;
+    uint64_t seed;
+  };
+  // Paper instances are 110k-3.5M node vision grids (stereo and cell
+  // segmentation); the stand-ins keep the per-pixel terminal + smoothness
+  // structure at 10k-70k pixels.
+  static constexpr Spec kSpecs[] = {
+      {"tsukuba0-sim", "Tsukuba0", 150, 75, 3, 301},
+      {"tsukuba2-sim", "Tsukuba2", 150, 75, 3, 302},
+      {"venus0-sim", "Venus0", 200, 95, 4, 303},
+      {"venus1-sim", "Venus1", 200, 95, 4, 304},
+      {"sawtooth0-sim", "Sawtooth0", 200, 90, 3, 305},
+      {"sawtooth1-sim", "Sawtooth1", 200, 90, 3, 306},
+      {"simcells-sim", "SimCells", 300, 130, 8, 307},
+      {"cells-sim", "Cells", 400, 170, 12, 308},
+  };
+  std::vector<NamedFlow> out;
+  for (const Spec& s : kSpecs) {
+    Rng rng(s.seed);
+    out.push_back({s.name, s.paper,
+                   SegmentationGridNetwork(s.width, s.height, s.objects,
+                                           rng)});
+  }
+  return out;
+}
+
+std::vector<NamedLp> LpSuite() {
+  std::vector<NamedLp> out;
+  out.push_back({"qap15-sim", "qap15", MakeQapLikeLp(14, 401)});
+  out.push_back({"nug08-sim", "nug08-3rd", MakeNugentLikeLp(13, 402)});
+  out.push_back(
+      {"support-sim", "supportcase10", MakeWideSupportLp(12, 403)});
+  out.push_back({"ex10-sim", "ex10", MakeTallLp(9, 404)});
+  return out;
+}
+
+namespace {
+
+void RegisterAll(WorkloadRegistry& registry) {
+  // --- max-flow scenarios -------------------------------------------
+  registry.Register(std::make_unique<FlowWorkload>(
+      WorkloadInfo{"maxflow/seg-grid", Application::kMaxFlow,
+                   "48x24 segmentation grid with 2 foreground objects "
+                   "(small Tsukuba-style instance)",
+                   {5, 10, 20, 35}},
+      [](Rng& rng) { return SegmentationGridNetwork(48, 24, 2, rng); }));
+  registry.Register(std::make_unique<FlowWorkload>(
+      WorkloadInfo{"maxflow/grid", Application::kMaxFlow,
+                   "16x8 4-connected grid network with random integer "
+                   "capacities",
+                   {5, 10, 20, 40}},
+      [](Rng& rng) { return GridFlowNetwork(16, 8, 10, 30, rng); }));
+  registry.Register(std::make_unique<FlowWorkload>(
+      WorkloadInfo{"maxflow/layered", Application::kMaxFlow,
+                   "Example-7 layered diagonal network (adversarial gap "
+                   "between the Theorem-6 bounds); ignores the seed",
+                   {4, 8, 14}},
+      [](Rng&) { return LayeredDiagonalNetwork(6, 12); }));
+
+  // --- LP scenarios -------------------------------------------------
+  registry.Register(std::make_unique<LpWorkload>(
+      WorkloadInfo{"lp/qap", Application::kLp,
+                   "qap15-style assignment polytope stand-in, scale 5",
+                   {8, 16, 30}},
+      [](Rng& rng) { return MakeQapLikeLp(5, rng.Next()); }));
+  registry.Register(std::make_unique<LpWorkload>(
+      WorkloadInfo{"lp/block", Application::kLp,
+                   "block-structured LP, 4x4 groups of 6, 5% noise",
+                   {8, 16, 32}},
+      [](Rng& rng) {
+        BlockLpSpec spec;
+        spec.num_row_groups = 4;
+        spec.num_col_groups = 4;
+        spec.rows_per_group = 6;
+        spec.cols_per_group = 6;
+        spec.seed = rng.Next();
+        return MakeBlockLp(spec);
+      }));
+  registry.Register(std::make_unique<LpWorkload>(
+      WorkloadInfo{"lp/wide", Application::kLp,
+                   "supportcase10-style wide LP (cols >> rows), scale 6",
+                   {8, 16, 30}},
+      [](Rng& rng) { return MakeWideSupportLp(6, rng.Next()); }));
+
+  // --- centrality scenarios -----------------------------------------
+  registry.Register(std::make_unique<CentralityWorkload>(
+      WorkloadInfo{"centrality/powerlaw", Application::kCentrality,
+                   "Chung-Lu power-law graph, 600 nodes / ~2400 edges, "
+                   "gamma 2.6",
+                   {10, 25, 50}},
+      [](Rng& rng) { return PowerLawGraph(600, 2400, 2.6, rng); }));
+  registry.Register(std::make_unique<CentralityWorkload>(
+      WorkloadInfo{"centrality/ba", Application::kCentrality,
+                   "Barabasi-Albert preferential attachment, 400 nodes, "
+                   "3 edges per node",
+                   {10, 25, 50}},
+      [](Rng& rng) { return BarabasiAlbert(400, 3, rng); }));
+  registry.Register(std::make_unique<CentralityWorkload>(
+      WorkloadInfo{"centrality/karate", Application::kCentrality,
+                   "Zachary's karate club (real dataset, Figure 1); "
+                   "ignores the seed",
+                   {4, 6, 10}},
+      [](Rng&) { return KarateClub(); }));
+}
+
+}  // namespace
+
+void RegisterBuiltinWorkloads() {
+  static const bool registered = [] {
+    RegisterAll(WorkloadRegistry::Global());
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace eval
+}  // namespace qsc

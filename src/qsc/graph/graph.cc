@@ -1,6 +1,7 @@
 #include "qsc/graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qsc {
 namespace {
@@ -43,8 +44,59 @@ Graph Graph::FromEdges(NodeId num_nodes, const std::vector<EdgeTriple>& edges,
       arcs.push_back({e.dst, e.src, e.weight});
     }
   }
-  arcs = Coalesce(std::move(arcs));
+  return FromCoalescedArcs(num_nodes, Coalesce(std::move(arcs)), undirected);
+}
 
+Graph Graph::FromArcs(NodeId num_nodes, const std::vector<EdgeTriple>& arcs,
+                      bool undirected) {
+  QSC_CHECK_GE(num_nodes, 0);
+  for (const EdgeTriple& a : arcs) {
+    QSC_CHECK(a.src >= 0 && a.src < num_nodes);
+    QSC_CHECK(a.dst >= 0 && a.dst < num_nodes);
+  }
+  std::vector<EdgeTriple> coalesced = Coalesce(arcs);
+  if (undirected) {
+    // The stored representation of an undirected graph is a symmetric arc
+    // set, which summing duplicates in unspecified order can miss by a
+    // rounding residue (or drop one direction entirely when it cancels to
+    // exactly zero while its mirror keeps an ulp). Symmetrize by
+    // construction: both directions take the (min,max)-direction sum;
+    // genuinely one-sided arcs — no mirror and a weight too large to be
+    // rounding residue — are rejected.
+    const auto mirror_of = [&coalesced](const EdgeTriple& a) {
+      const auto it = std::lower_bound(
+          coalesced.begin(), coalesced.end(), EdgeTriple{a.dst, a.src, 0.0},
+          [](const EdgeTriple& x, const EdgeTriple& y) {
+            if (x.src != y.src) return x.src < y.src;
+            return x.dst < y.dst;
+          });
+      return it != coalesced.end() && it->src == a.dst && it->dst == a.src
+                 ? &*it
+                 : nullptr;
+    };
+    std::vector<EdgeTriple> symmetric;
+    symmetric.reserve(coalesced.size());
+    for (const EdgeTriple& a : coalesced) {
+      if (a.src == a.dst) {
+        symmetric.push_back(a);
+        continue;
+      }
+      if (const EdgeTriple* m = mirror_of(a)) {
+        QSC_CHECK(std::abs(m->weight - a.weight) <=
+                  1e-9 * std::max(1.0, std::abs(a.weight)));
+        symmetric.push_back(
+            {a.src, a.dst, a.src < a.dst ? a.weight : m->weight});
+      } else {
+        QSC_CHECK(std::abs(a.weight) <= 1e-9);  // residue of a cancelled edge
+      }
+    }
+    coalesced = std::move(symmetric);
+  }
+  return FromCoalescedArcs(num_nodes, std::move(coalesced), undirected);
+}
+
+Graph Graph::FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
+                               bool undirected) {
   Graph g;
   g.num_nodes_ = num_nodes;
   g.undirected_ = undirected;
@@ -94,6 +146,20 @@ Graph Graph::FromEdges(NodeId num_nodes, const std::vector<EdgeTriple>& edges,
 }
 
 int64_t Graph::num_edges() const { return num_edges_; }
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.num_nodes_ != b.num_nodes_ || a.undirected_ != b.undirected_ ||
+      a.out_offsets_ != b.out_offsets_) {
+    return false;
+  }
+  for (size_t i = 0; i < a.out_adj_.size(); ++i) {
+    if (a.out_adj_[i].node != b.out_adj_[i].node ||
+        a.out_adj_[i].weight != b.out_adj_[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
 
 bool Graph::HasArc(NodeId u, NodeId v) const {
   const auto range = OutNeighbors(u);

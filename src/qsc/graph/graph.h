@@ -61,6 +61,19 @@ class Graph {
   static Graph FromEdges(NodeId num_nodes, const std::vector<EdgeTriple>& edges,
                          bool undirected);
 
+  // Builds a graph from already-materialized arcs, i.e. the inverse of
+  // Arcs(): no mirroring is applied even when `undirected` is true, so
+  // FromArcs(g.num_nodes(), g.Arcs(), g.undirected()) == g for every graph
+  // whose stored arc weights are exactly symmetric. (FromEdges would
+  // re-mirror an undirected arc list and double every non-loop weight.)
+  // Duplicate arcs are coalesced like in FromEdges; with `undirected` set,
+  // the coalesced arc set must be symmetric up to rounding residue of
+  // duplicate summation — ulp-skewed mirror weights are canonicalized onto
+  // the (min,max)-direction value, and near-zero one-sided residues are
+  // dropped; genuinely one-sided arcs abort.
+  static Graph FromArcs(NodeId num_nodes, const std::vector<EdgeTriple>& arcs,
+                        bool undirected);
+
   NodeId num_nodes() const { return num_nodes_; }
 
   // Number of stored directed arcs (for undirected graphs, twice the number
@@ -104,7 +117,17 @@ class Graph {
   // Materializes all stored arcs (src, dst, weight).
   std::vector<EdgeTriple> Arcs() const;
 
+  // Structural equality: same node count, directedness, and arc multiset
+  // (weights compared exactly).
+  friend bool operator==(const Graph& a, const Graph& b);
+  friend bool operator!=(const Graph& a, const Graph& b) { return !(a == b); }
+
  private:
+  // Shared tail of FromEdges/FromArcs: `arcs` must already be coalesced
+  // (sorted by (src, dst), duplicates summed, exact zeros dropped).
+  static Graph FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
+                                 bool undirected);
+
   NodeId num_nodes_ = 0;
   bool undirected_ = false;
   int64_t num_edges_ = 0;

@@ -162,7 +162,7 @@ class LpColoringRefiner::Impl {
     QSC_CHECK_GE(max_colors, 4);
     WallTimer timer;
     while (refiner_.partition().num_colors() < max_colors) {
-      if (!refiner_.Step()) break;
+      if (!refiner_.Step(max_colors)) break;
     }
     coloring_seconds_ += timer.ElapsedSeconds();
     return ExtractReducedLp(*lp_, matrix_graph_, refiner_.partition(),

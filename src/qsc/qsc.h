@@ -15,6 +15,11 @@
 #include "qsc/coloring/rothko.h"
 #include "qsc/coloring/stable.h"
 #include "qsc/coloring/wl2.h"
+#include "qsc/eval/differential.h"
+#include "qsc/eval/json.h"
+#include "qsc/eval/pipelines.h"
+#include "qsc/eval/suites.h"
+#include "qsc/eval/workload.h"
 #include "qsc/flow/approx_flow.h"
 #include "qsc/flow/dinic.h"
 #include "qsc/flow/edmonds_karp.h"

@@ -1,0 +1,90 @@
+// Tests for the differential runner: every builtin workload passes its
+// area's invariant suite under several seeds, the adversarial Example-7
+// network exercises the Theorem-6 gap without violating the bound
+// directions, and the report machinery itself (check counting, summary
+// formatting) behaves.
+
+#include "qsc/eval/differential.h"
+
+#include <gtest/gtest.h>
+
+#include "qsc/eval/suites.h"
+#include "qsc/eval/workload.h"
+#include "qsc/graph/generators.h"
+#include "qsc/lp/generators.h"
+
+namespace qsc {
+namespace eval {
+namespace {
+
+TEST(DifferentialRunnerTest, AllBuiltinWorkloadsPassUnderMultipleSeeds) {
+  RegisterBuiltinWorkloads();
+  for (const uint64_t seed : {1ull, 42ull, 987654321ull}) {
+    EvalOptions options;
+    options.seed = seed;
+    const DifferentialRunner runner(options);
+    for (const Workload* w : WorkloadRegistry::Global().List()) {
+      const DifferentialReport report = runner.Check(*w);
+      EXPECT_TRUE(report.ok())
+          << w->name() << " seed " << seed << ": " << report.Summary();
+      EXPECT_GT(report.checks, 0) << w->name();
+      EXPECT_EQ(report.workload, w->name());
+      EXPECT_EQ(report.seed, seed);
+      EXPECT_EQ(report.area, w->area());
+    }
+  }
+}
+
+TEST(DifferentialRunnerTest, GeometricSplitMeanAlsoPasses) {
+  RegisterBuiltinWorkloads();
+  EvalOptions options;
+  options.seed = 5;
+  options.split_mean = RothkoOptions::SplitMean::kGeometric;
+  const DifferentialRunner runner(options);
+  for (const char* name : {"maxflow/grid", "centrality/ba"}) {
+    const Workload* w = WorkloadRegistry::Global().Find(name);
+    ASSERT_NE(w, nullptr);
+    const DifferentialReport report = runner.Check(*w);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.Summary();
+  }
+}
+
+TEST(DifferentialRunnerTest, LayeredDiagonalExercisesTheoremSixGap) {
+  // Example 7 / Figure 4: the c^2 upper bound is far above the true flow
+  // and the c^1 lower bound far below — the bound *directions* must still
+  // hold even when the gap is maximal.
+  EvalOptions options;
+  options.compute_flow_lower_bound = true;
+  const DifferentialRunner runner(options);
+  const DifferentialReport report =
+      runner.CheckMaxFlow(LayeredDiagonalNetwork(6, 12), {4, 8});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialRunnerTest, TallLpFamilyPassesChecks) {
+  // CheckLp always runs BOTH oracles (that is the differential), so
+  // EvalOptions::lp_oracle is irrelevant here; this covers the tall
+  // (rows >> cols) generator family the builtin workloads skip.
+  const DifferentialRunner runner(EvalOptions{});
+  const DifferentialReport report =
+      runner.CheckLp(MakeTallLp(4, 21), {8, 16});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialReportTest, SummaryFormatsViolations) {
+  DifferentialReport report;
+  report.checks = 12;
+  EXPECT_EQ(report.Summary(), "12 checks, 0 violations");
+  EXPECT_TRUE(report.ok());
+
+  report.violations.push_back({"flow/solver-agreement", "Dinic 3 vs EK 4"});
+  EXPECT_FALSE(report.ok());
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("1 violation(s) in 12 checks"), std::string::npos);
+  EXPECT_NE(summary.find("[flow/solver-agreement] Dinic 3 vs EK 4"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace qsc

@@ -1,0 +1,93 @@
+#include "qsc/eval/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace qsc {
+namespace eval {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumberTest, ShortestRoundTrippableForm) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(1.0 / 3.0), "0.3333333333333333");
+  // Non-finite values have no JSON encoding.
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumberTest, Deterministic) {
+  const double value = 0.1 + 0.2;  // classic non-exact double
+  EXPECT_EQ(JsonNumber(value), JsonNumber(value));
+  double parsed = 0.0;
+  sscanf(JsonNumber(value).c_str(), "%lf", &parsed);
+  EXPECT_EQ(parsed, value);  // round-trips exactly
+}
+
+TEST(JsonWriterTest, CompactDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "maxflow/grid");
+  w.KV("seed", uint64_t{42});
+  w.KV("ok", true);
+  w.Key("runs");
+  w.BeginArray();
+  w.Value(1.5);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"maxflow/grid\",\"seed\":42,\"ok\":true,"
+            "\"runs\":[1.5,null]}");
+}
+
+TEST(JsonWriterTest, PrettyDocumentIndents) {
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.KV("a", int64_t{1});
+  w.Key("b");
+  w.BeginArray();
+  w.Value(int64_t{2});
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_obj");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("empty_arr");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"empty_obj\":{},\"empty_arr\":[]}");
+}
+
+TEST(JsonWriterTest, UnbalancedEndDies) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_DEATH(w.EndArray(), "QSC_CHECK");
+}
+
+TEST(JsonWriterTest, ValueWithoutKeyInObjectDies) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_DEATH(w.Value(1.0), "QSC_CHECK");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace qsc

@@ -110,6 +110,117 @@ TEST(GraphTest, OutOfRangeEndpointDies) {
   EXPECT_DEATH(Graph::FromEdges(2, {{0, 2, 1.0}}, false), "QSC_CHECK");
 }
 
+TEST(GraphTest, UndirectedDuplicatesCoalescingToZeroDropBothArcs) {
+  // {0,1,+2} and {0,1,-2} mirror to four arcs that cancel pairwise; the
+  // edge must vanish entirely (paper convention: edge exists iff w != 0)
+  // and never leave a one-sided residue.
+  const Graph g = Graph::FromEdges(
+      3, {{0, 1, 2.0}, {0, 1, -2.0}, {1, 2, 1.0}}, true);
+  EXPECT_FALSE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.InWeight(0), 0.0);
+}
+
+TEST(GraphTest, UndirectedCancellationAcrossOrientations) {
+  // The same logical edge given once per orientation: undirected
+  // construction mirrors both, so all four arcs cancel.
+  const Graph g = Graph::FromEdges(2, {{0, 1, 3.0}, {1, 0, -3.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, UndirectedSelfLoopDuplicatesCoalesced) {
+  // Self-loops are stored once in undirected mode, including duplicates;
+  // a loop coalescing to zero disappears without skewing num_edges.
+  const Graph g = Graph::FromEdges(
+      2, {{0, 0, 1.5}, {0, 0, 2.5}, {1, 1, 1.0}, {1, 1, -1.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 1);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 0), 4.0);
+  EXPECT_FALSE(g.HasArc(1, 1));
+}
+
+TEST(GraphTest, FromArcsRoundTripsDirectedGraph) {
+  const Graph g = Graph::FromEdges(
+      4, {{0, 2, 1.0}, {1, 2, 5.0}, {3, 2, 2.0}, {2, 0, -1.5}}, false);
+  const Graph back = Graph::FromArcs(g.num_nodes(), g.Arcs(), g.undirected());
+  EXPECT_TRUE(g == back);
+}
+
+TEST(GraphTest, FromArcsRoundTripsUndirectedGraphWithLoops) {
+  // FromEdges would re-mirror Arcs() and double every non-loop weight;
+  // FromArcs is the exact inverse.
+  const Graph g = Graph::FromEdges(
+      4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 2, 4.0}, {0, 3, 1.0}}, true);
+  const Graph back = Graph::FromArcs(g.num_nodes(), g.Arcs(), g.undirected());
+  EXPECT_TRUE(g == back);
+  EXPECT_DOUBLE_EQ(back.ArcWeight(0, 1), 2.0);  // not doubled
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+
+  // The naive FromEdges round trip is NOT the identity — this asymmetry is
+  // why FromArcs exists.
+  const Graph doubled =
+      Graph::FromEdges(g.num_nodes(), g.Arcs(), g.undirected());
+  EXPECT_DOUBLE_EQ(doubled.ArcWeight(0, 1), 4.0);
+}
+
+TEST(GraphTest, FromArcsCoalescesDuplicates) {
+  const Graph g = Graph::FromArcs(
+      2, {{0, 1, 1.0}, {0, 1, 2.0}, {1, 0, -3.0}, {1, 0, 3.0}}, false);
+  EXPECT_EQ(g.num_arcs(), 1);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), 3.0);
+  EXPECT_FALSE(g.HasArc(1, 0));
+}
+
+TEST(GraphTest, FromArcsRejectsAsymmetricUndirectedInput) {
+  EXPECT_DEATH(Graph::FromArcs(2, {{0, 1, 1.0}}, true), "QSC_CHECK");
+}
+
+TEST(GraphTest, FromArcsToleratesRoundingResidueInCancelledEdges) {
+  // Duplicate sums are order-dependent: one direction of this symmetric
+  // multiset cancels to exactly 0 (dropped) while the mirror may keep an
+  // ulp-sized residue. FromArcs must treat the residue as a cancelled
+  // edge, not abort or keep a one-sided arc.
+  const Graph g = Graph::FromArcs(3,
+                                  {{0, 1, 1.0},
+                                   {0, 1, -1.0},
+                                   {0, 1, 1e-18},
+                                   {1, 0, 1e-18},
+                                   {1, 0, -1.0},
+                                   {1, 0, 1.0},
+                                   {1, 2, 2.0},
+                                   {2, 1, 2.0}},
+                                  true);
+  EXPECT_FALSE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+  EXPECT_DOUBLE_EQ(g.ArcWeight(1, 2), 2.0);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, FromArcsSymmetrizesUlpWeightDifferences) {
+  // Near-equal mirror weights (rounding skew) collapse onto one canonical
+  // value so the stored representation is exactly symmetric.
+  const double w = 3.0;
+  const double w_skewed = w + 1e-12;
+  const Graph g =
+      Graph::FromArcs(2, {{0, 1, w}, {1, 0, w_skewed}}, true);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), g.ArcWeight(1, 0));
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), w);
+}
+
+TEST(GraphTest, EqualityDetectsWeightAndStructureDifferences) {
+  const Graph a = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 2.0}}, false);
+  const Graph b = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 2.0}}, false);
+  const Graph c = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 2.5}}, false);
+  const Graph d = Graph::FromEdges(3, {{0, 1, 1.0}, {0, 2, 2.0}}, false);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a != c);
+  EXPECT_TRUE(a != d);
+}
+
 TEST(KarateClubTest, MatchesPaperStats) {
   const Graph g = KarateClub();
   EXPECT_EQ(g.num_nodes(), 34);

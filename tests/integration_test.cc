@@ -1,16 +1,18 @@
 // Cross-module integration tests: the full pipelines the paper evaluates,
-// at small scale — coloring + reduced graph + solver for each of the three
+// at small scale — driven through the qsc/eval harness (workload registry,
+// pipeline drivers, differential runner) for each of the three
 // applications, plus the paper's headline robustness claim (Figure 2).
 
 #include <gtest/gtest.h>
 
-#include "qsc/centrality/brandes.h"
-#include "qsc/centrality/color_pivot.h"
 #include "qsc/coloring/q_error.h"
 #include "qsc/coloring/reduced_graph.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/coloring/stable.h"
-#include "qsc/flow/approx_flow.h"
+#include "qsc/eval/differential.h"
+#include "qsc/eval/pipelines.h"
+#include "qsc/eval/suites.h"
+#include "qsc/eval/workload.h"
 #include "qsc/flow/push_relabel.h"
 #include "qsc/graph/datasets.h"
 #include "qsc/graph/generators.h"
@@ -62,42 +64,85 @@ TEST(IntegrationTest, Figure2RobustnessClaim) {
 }
 
 TEST(IntegrationTest, MaxFlowPipelineAccuracy) {
-  Rng rng(22);
-  const FlowInstance inst = GridFlowNetwork(16, 8, 10, 30, rng);
-  const double exact =
-      MaxFlowPushRelabel(inst.graph, inst.source, inst.sink);
-  FlowApproxOptions options;
-  options.rothko.max_colors = 40;
-  const FlowApproxResult approx =
-      ApproximateMaxFlow(inst.graph, inst.source, inst.sink, options);
-  const double rel = RelativeError(exact, approx.upper_bound);
-  EXPECT_GE(approx.upper_bound, exact - 1e-6);  // upper bound
-  EXPECT_LE(rel, 2.0);  // and a sane approximation at 40 colors
+  // The registered grid workload through the shared pipeline driver: the
+  // c^2 reduction upper-bounds the exact flow and stays a sane
+  // approximation at 40 colors.
+  eval::RegisterBuiltinWorkloads();
+  const eval::Workload* w = eval::WorkloadRegistry::Global().Find("maxflow/grid");
+  ASSERT_NE(w, nullptr);
+  eval::EvalOptions options;
+  options.seed = 22;
+  const eval::WorkloadResult result = w->Run(options);
+  ASSERT_FALSE(result.runs.empty());
+  const eval::RunMetrics& finest = result.runs.back();
+  EXPECT_EQ(finest.color_budget, 40);
+  EXPECT_GE(finest.approx_value, finest.exact_value - 1e-6);  // upper bound
+  EXPECT_LE(finest.relative_error, 2.0);
 }
 
 TEST(IntegrationTest, LpPipelineAccuracy) {
+  eval::EvalOptions options;
+  options.lp_oracle = eval::LpOracle::kSimplex;
   const LpProblem lp = MakeQapLikeLp(5, 31);
-  const LpResult exact = SolveSimplex(lp);
-  ASSERT_EQ(exact.status, LpStatus::kOptimal);
-
-  LpReduceOptions options;
-  options.max_colors = 30;
-  const ReducedLp reduced = ReduceLp(lp, options);
+  const auto runs = eval::RunLpPipeline(lp, options, {30});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_LE(runs[0].relative_error, 1.6);
+  // The same budget through ReduceLp directly (the pipeline's reduction
+  // path): both dimensions individually shrink by more than half.
+  LpReduceOptions reduce_options;
+  reduce_options.max_colors = 30;
+  const ReducedLp reduced = ReduceLp(lp, reduce_options);
   EXPECT_LT(reduced.lp.num_rows, lp.num_rows / 2);
   EXPECT_LT(reduced.lp.num_cols, lp.num_cols / 2);
-  const LpResult red = SolveSimplex(reduced.lp);
-  ASSERT_EQ(red.status, LpStatus::kOptimal);
-  EXPECT_LE(RelativeError(exact.objective, red.objective), 1.6);
+  EXPECT_EQ(runs[0].num_colors,
+            reduced.lp.num_rows + reduced.lp.num_cols + 2);
 }
 
 TEST(IntegrationTest, CentralityPipelineAccuracy) {
   Rng rng(23);
   const Graph g = PowerLawGraph(600, 2400, 2.6, rng);
-  const auto exact = BetweennessExact(g);
-  ColorPivotOptions options;
-  options.rothko.max_colors = 80;
-  const auto approx = ApproximateBetweenness(g, options);
-  EXPECT_GT(SpearmanCorrelation(approx.scores, exact), 0.8);
+  eval::EvalOptions options;
+  const auto runs = eval::RunCentralityPipeline(g, options, {80});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_GT(runs[0].rank_correlation, 0.8);
+}
+
+TEST(IntegrationTest, RegisteredWorkloadsPassDifferentialChecks) {
+  // One registered workload per application area through the full
+  // invariant suite (paper bound directions, oracle agreement, anytime
+  // monotonicity).
+  eval::RegisterBuiltinWorkloads();
+  eval::EvalOptions options;
+  options.seed = 7;
+  options.compute_flow_lower_bound = true;
+  const eval::DifferentialRunner runner(options);
+  for (const char* name :
+       {"maxflow/seg-grid", "lp/block", "centrality/powerlaw"}) {
+    const eval::Workload* w = eval::WorkloadRegistry::Global().Find(name);
+    ASSERT_NE(w, nullptr) << name;
+    const eval::DifferentialReport report = runner.Check(*w);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.Summary();
+    EXPECT_GT(report.checks, 0) << name;
+  }
+}
+
+TEST(IntegrationTest, WorkloadMetricsReproducibleAcrossRuns) {
+  // The reproducibility contract behind BENCH_*.json trajectories: same
+  // (workload, seed) => bitwise-identical metric values, timings excluded.
+  eval::RegisterBuiltinWorkloads();
+  eval::EvalOptions options;
+  options.seed = 1234;
+  for (const char* name : {"maxflow/grid", "lp/qap", "centrality/ba"}) {
+    const eval::Workload* w = eval::WorkloadRegistry::Global().Find(name);
+    ASSERT_NE(w, nullptr) << name;
+    const eval::WorkloadResult a = w->Run(options);
+    const eval::WorkloadResult b = w->Run(options);
+    ASSERT_EQ(a.runs.size(), b.runs.size()) << name;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+      EXPECT_TRUE(eval::MetricsEquivalent(a.runs[i], b.runs[i]))
+          << name << " budget " << a.runs[i].color_budget;
+    }
+  }
 }
 
 TEST(IntegrationTest, AnytimeRefinementImprovesFlowBound) {
