@@ -1,44 +1,25 @@
 // Figure 7(c): speed-accuracy trade-off for betweenness centrality across
-// the five centrality datasets, driven by the qsc/eval pipeline. Exact
-// baseline is Brandes; ours runs the color-pivot estimator at growing
-// color budgets. Accuracy is Spearman's rank correlation against the
-// exact scores.
+// the five centrality datasets. The sweep is the pipelines/fig7-centrality
+// scenario of the qsc/bench harness (exact baseline is Brandes; ours runs
+// the color-pivot estimator at growing color budgets; accuracy is
+// Spearman's rank correlation against the exact scores); this binary is
+// its human-readable frontend.
 //
 // Shape targets: rho > 0.9 within ~1-10% of the exact runtime; larger
 // datasets trade off more favorably.
 
 #include <cstdio>
 
-#include "qsc/eval/pipelines.h"
-#include "qsc/util/stats.h"
-#include "qsc/util/table.h"
-#include "workloads.h"
+#include "fig7_common.h"
 
 int main() {
   std::printf("=== Figure 7(c): centrality speed-accuracy trade-off ===\n");
   std::printf("paper: rho ~0.973 at 1%% of the exact runtime; 50 colors "
               "give rho > 0.948\n\n");
-  qsc::TablePrinter table({"dataset", "exact time", "colors", "spearman",
-                           "time", "% of exact"});
-  qsc::eval::EvalOptions options;
-  options.seed = 17;  // pivot-sampling seed (matches ColorPivotOptions)
-  const std::vector<qsc::ColorId> budgets{10, 25, 50, 100};
-  std::vector<double> rho_at_50;
-  for (const auto& dataset : qsc::bench::CentralityDatasets()) {
-    const auto runs =
-        qsc::eval::RunCentralityPipeline(dataset.graph, options, budgets);
-    for (const qsc::eval::RunMetrics& m : runs) {
-      if (m.color_budget == 50) rho_at_50.push_back(m.rank_correlation);
-      table.AddRow({dataset.name, qsc::FormatSeconds(m.exact_seconds),
-                    std::to_string(m.color_budget),
-                    qsc::FormatDouble(m.rank_correlation, 3),
-                    qsc::FormatSeconds(m.approx_seconds),
-                    qsc::FormatDouble(
-                        100.0 * m.approx_seconds / m.exact_seconds, 1)});
-    }
-  }
-  table.Print(stdout);
-  double mean_rho = qsc::Mean(rho_at_50);
+  double mean_rho = 0.0;
+  const int exit_code = qsc::bench::RunFig7Frontend(
+      "pipelines/fig7-centrality", "mean_rho_b50", &mean_rho);
+  if (exit_code != 0) return exit_code;
   std::printf("\nmean spearman at 50 colors: %.3f (paper: > 0.948)\n",
               mean_rho);
   return 0;

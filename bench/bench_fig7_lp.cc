@@ -1,43 +1,25 @@
-// Figure 7(b): speed-accuracy trade-off for linear optimization, driven by
-// the qsc/eval pipeline. Exact baseline is the interior-point solver (the
-// paper's Tulip); the approximation reduces the LP via q-stable coloring
-// (anytime across the budget sweep) and solves the small LP with simplex.
+// Figure 7(b): speed-accuracy trade-off for linear optimization. The
+// sweep is the pipelines/fig7-lp scenario of the qsc/bench harness (exact
+// baseline is the interior-point solver, the paper's Tulip; the
+// approximation reduces the LP via q-stable coloring and solves the small
+// LP with simplex); this binary is its human-readable frontend.
 //
 // Shape targets: rel.err ~1.1-1.5 within a small fraction of the exact
 // runtime; error need not be monotone in the number of colors.
 
 #include <cstdio>
 
-#include "qsc/eval/pipelines.h"
-#include "qsc/util/stats.h"
-#include "qsc/util/table.h"
-#include "workloads.h"
+#include "fig7_common.h"
 
 int main() {
   std::printf("=== Figure 7(b): LP speed-accuracy trade-off ===\n");
   std::printf("paper: geometric-mean rel.err 1.13 within 0.5%% of the "
               "exact runtime\n\n");
-  qsc::TablePrinter table({"dataset", "exact obj", "exact time", "colors",
-                           "approx obj", "rel.err", "time", "% of exact"});
-  const qsc::eval::EvalOptions options;  // interior-point oracle
-  const std::vector<qsc::ColorId> budgets{10, 25, 50, 100};
-  std::vector<double> errors_at_100;
-  for (const auto& dataset : qsc::bench::LpDatasets()) {
-    const auto runs = qsc::eval::RunLpPipeline(dataset.lp, options, budgets);
-    for (const qsc::eval::RunMetrics& m : runs) {
-      if (m.color_budget == 100) errors_at_100.push_back(m.relative_error);
-      table.AddRow({dataset.name, qsc::FormatDouble(m.exact_value, 1),
-                    qsc::FormatSeconds(m.exact_seconds),
-                    std::to_string(m.color_budget),
-                    qsc::FormatDouble(m.approx_value, 1),
-                    qsc::FormatDouble(m.relative_error, 3),
-                    qsc::FormatSeconds(m.approx_seconds),
-                    qsc::FormatDouble(
-                        100.0 * m.approx_seconds / m.exact_seconds, 2)});
-    }
-  }
-  table.Print(stdout);
+  double geomean = 0.0;
+  const int exit_code = qsc::bench::RunFig7Frontend(
+      "pipelines/fig7-lp", "geomean_rel_err_b100", &geomean);
+  if (exit_code != 0) return exit_code;
   std::printf("\ngeometric-mean rel.err at 100 colors: %.3f (paper: 1.13)\n",
-              qsc::GeometricMean(errors_at_100));
+              geomean);
   return 0;
 }

@@ -1,45 +1,25 @@
 // Figure 7(a): speed-accuracy trade-off for max-flow across the flow
-// datasets, driven by the qsc/eval pipeline: exact push-relabel baseline,
-// then the coloring approximation at growing color budgets; reports
-// end-to-end time (coloring + reduction + solve) and the paper's
-// relative-error metric.
+// datasets. The sweep itself is the pipelines/fig7-maxflow scenario of the
+// qsc/bench harness (exact push-relabel baseline, then the coloring
+// approximation at growing color budgets; end-to-end time = coloring +
+// reduction + solve); this binary is its human-readable frontend.
 //
 // Shape targets: error near 1.0 at ~35 colors; runtime a small fraction of
 // the exact solve; error shrinks as colors grow.
 
 #include <cstdio>
 
-#include "qsc/eval/pipelines.h"
-#include "qsc/util/stats.h"
-#include "qsc/util/table.h"
-#include "workloads.h"
+#include "fig7_common.h"
 
 int main() {
   std::printf("=== Figure 7(a): max-flow speed-accuracy trade-off ===\n");
   std::printf("paper: geometric-mean error 1.17 within 1%% of the exact "
               "runtime at <= 35 colors\n\n");
-  qsc::TablePrinter table({"dataset", "exact flow", "exact time", "colors",
-                           "approx", "rel.err", "time", "% of exact"});
-  const qsc::eval::EvalOptions options;  // push-relabel oracle
-  const std::vector<qsc::ColorId> budgets{5, 10, 20, 35};
-  std::vector<double> errors_at_budget;
-  for (const auto& dataset : qsc::bench::FlowDatasets()) {
-    const auto runs =
-        qsc::eval::RunMaxFlowPipeline(dataset.instance, options, budgets);
-    for (const qsc::eval::RunMetrics& m : runs) {
-      if (m.color_budget == 35) errors_at_budget.push_back(m.relative_error);
-      table.AddRow({dataset.name, qsc::FormatDouble(m.exact_value, 0),
-                    qsc::FormatSeconds(m.exact_seconds),
-                    std::to_string(m.color_budget),
-                    qsc::FormatDouble(m.approx_value, 0),
-                    qsc::FormatDouble(m.relative_error, 3),
-                    qsc::FormatSeconds(m.approx_seconds),
-                    qsc::FormatDouble(
-                        100.0 * m.approx_seconds / m.exact_seconds, 1)});
-    }
-  }
-  table.Print(stdout);
+  double geomean = 0.0;
+  const int exit_code = qsc::bench::RunFig7Frontend(
+      "pipelines/fig7-maxflow", "geomean_rel_err_b35", &geomean);
+  if (exit_code != 0) return exit_code;
   std::printf("\ngeometric-mean rel.err at 35 colors: %.3f (paper: 1.17)\n",
-              qsc::GeometricMean(errors_at_budget));
+              geomean);
   return 0;
 }

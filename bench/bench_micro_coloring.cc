@@ -1,115 +1,95 @@
-// Micro-benchmarks (google-benchmark) for the hot kernels: Rothko splits,
-// stable coloring rounds, q-error computation, reduced-graph construction,
-// and the substrate solvers they feed.
+// Micro-benchmarks for the hot kernels: Rothko splits, stable coloring
+// rounds, q-error computation, reduced-graph construction, and the
+// substrate solvers they feed. Since the qsc/bench harness landed this is
+// a thin frontend over the shared scenario registry (the same scenarios
+// qsc_bench runs), so timings printed here and CI baselines come from one
+// measurement protocol. No google-benchmark dependency.
+//
+//   bench_micro_coloring [--repeats=N] [--warmup=N] [--seed=N]
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "qsc/centrality/brandes.h"
-#include "qsc/coloring/q_error.h"
-#include "qsc/coloring/reduced_graph.h"
-#include "qsc/coloring/rothko.h"
-#include "qsc/coloring/stable.h"
-#include "qsc/flow/push_relabel.h"
-#include "qsc/graph/generators.h"
-#include "qsc/lp/generators.h"
-#include "qsc/lp/simplex.h"
-#include "qsc/util/random.h"
+#include "qsc/bench/scenario.h"
+#include "qsc/util/table.h"
 
-namespace qsc {
 namespace {
 
-Graph MakeBenchGraph(int64_t nodes) {
-  Rng rng(4242);
-  return BarabasiAlbert(static_cast<NodeId>(nodes), 3, rng);
-}
+// The micro set: every coloring-group scenario that is not a full-suite
+// large instance, plus the solver kernels.
+constexpr const char* kMicroScenarios[] = {
+    "coloring/rothko-ba-10k-c64",
+    "coloring/rothko-er-10k-c64",
+    "coloring/rothko-grid-10k-c64",
+    "coloring/stable-ba-20k",
+    "coloring/qerror-ba-50k",
+    "coloring/reduced-ba-50k",
+    "pipelines/solver-pushrelabel-grid100",
+    "pipelines/solver-brandes-ba50k",
+    "pipelines/solver-simplex-block8",
+};
 
-void BM_RothkoColoring(benchmark::State& state) {
-  const Graph g = MakeBenchGraph(state.range(0));
-  RothkoOptions options;
-  options.max_colors = static_cast<ColorId>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RothkoColoring(g, options));
+// Strict parse of --name=N; exits on malformed digits rather than running
+// with a silently-misparsed value (same contract as qsc_bench).
+bool ParseUintFlag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  const char* value = arg + len + 1;
+  char* end = nullptr;
+  *out = std::strtoull(value, &end, 10);
+  if (*value == '\0' || *value == '-' || *end != '\0') {
+    std::fprintf(stderr, "bench_micro_coloring: bad %s value '%s'\n", name,
+                 value);
+    std::exit(2);
   }
-  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+  return true;
 }
-BENCHMARK(BM_RothkoColoring)
-    ->Args({1000, 32})
-    ->Args({10000, 32})
-    ->Args({10000, 128})
-    ->Args({50000, 64});
-
-void BM_StableColoring(benchmark::State& state) {
-  const Graph g = MakeBenchGraph(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(StableColoring(g));
-  }
-  state.SetItemsProcessed(state.iterations() * g.num_arcs());
-}
-BENCHMARK(BM_StableColoring)->Arg(1000)->Arg(5000)->Arg(20000);
-
-void BM_ComputeQError(benchmark::State& state) {
-  const Graph g = MakeBenchGraph(state.range(0));
-  RothkoOptions options;
-  options.max_colors = 64;
-  const Partition p = RothkoColoring(g, options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeQError(g, p));
-  }
-  state.SetItemsProcessed(state.iterations() * g.num_arcs());
-}
-BENCHMARK(BM_ComputeQError)->Arg(10000)->Arg(50000);
-
-void BM_BuildReducedGraph(benchmark::State& state) {
-  const Graph g = MakeBenchGraph(state.range(0));
-  RothkoOptions options;
-  options.max_colors = 64;
-  const Partition p = RothkoColoring(g, options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BuildReducedGraph(g, p, ReducedWeight::kSum));
-  }
-  state.SetItemsProcessed(state.iterations() * g.num_arcs());
-}
-BENCHMARK(BM_BuildReducedGraph)->Arg(10000)->Arg(50000);
-
-void BM_PushRelabelGrid(benchmark::State& state) {
-  Rng rng(7);
-  const FlowInstance inst = GridFlowNetwork(
-      static_cast<int32_t>(state.range(0)),
-      static_cast<int32_t>(state.range(0)) / 2, 10, 40, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MaxFlowPushRelabel(
-        inst.graph, inst.source, inst.sink));
-  }
-  state.SetItemsProcessed(state.iterations() * inst.graph.num_arcs());
-}
-BENCHMARK(BM_PushRelabelGrid)->Arg(40)->Arg(100);
-
-void BM_BrandesPass(benchmark::State& state) {
-  const Graph g = MakeBenchGraph(state.range(0));
-  BrandesWorkspace workspace(g);
-  std::vector<double> scores(g.num_nodes(), 0.0);
-  NodeId s = 0;
-  for (auto _ : state) {
-    workspace.AccumulateDependencies(s, 1.0, scores);
-    s = (s + 1) % g.num_nodes();
-  }
-  state.SetItemsProcessed(state.iterations() * g.num_arcs());
-}
-BENCHMARK(BM_BrandesPass)->Arg(10000)->Arg(50000);
-
-void BM_SimplexBlockLp(benchmark::State& state) {
-  BlockLpSpec spec;
-  spec.num_row_groups = static_cast<int32_t>(state.range(0));
-  spec.num_col_groups = static_cast<int32_t>(state.range(0));
-  spec.rows_per_group = 8;
-  spec.cols_per_group = 8;
-  spec.seed = 5;
-  const LpProblem lp = MakeBlockLp(spec);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveSimplex(lp));
-  }
-}
-BENCHMARK(BM_SimplexBlockLp)->Arg(4)->Arg(8);
 
 }  // namespace
-}  // namespace qsc
+
+int main(int argc, char** argv) {
+  qsc::bench::RegisterBuiltinScenarios();
+
+  qsc::bench::BenchContext context;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t value = 0;
+    if (ParseUintFlag(argv[i], "--repeats", &value) && value >= 1 &&
+        value <= 1000) {
+      context.measure.repeats = static_cast<int>(value);
+    } else if (ParseUintFlag(argv[i], "--warmup", &value) && value <= 1000) {
+      context.measure.warmup = static_cast<int>(value);
+    } else if (ParseUintFlag(argv[i], "--seed", &value)) {
+      context.seed = value;
+    } else {
+      std::fprintf(stderr, "usage: bench_micro_coloring [--repeats=N] "
+                           "[--warmup=N] [--seed=N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== micro-benchmarks (qsc/bench harness; %d warmup, "
+              "%d repeats) ===\n\n",
+              context.measure.warmup, context.measure.repeats);
+  qsc::TablePrinter table(
+      {"scenario", "median", "mad", "min", "max", "peak rss"});
+  for (const char* name : kMicroScenarios) {
+    const qsc::bench::Scenario* scenario =
+        qsc::bench::ScenarioRegistry::Global().Find(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "missing scenario '%s'\n", name);
+      return 1;
+    }
+    std::fprintf(stderr, "running %s...\n", name);
+    const qsc::bench::ScenarioResult r = scenario->Run(context);
+    table.AddRow({r.name, qsc::FormatSeconds(r.timing.seconds.median),
+                  qsc::FormatSeconds(r.timing.seconds.mad),
+                  qsc::FormatSeconds(r.timing.seconds.min),
+                  qsc::FormatSeconds(r.timing.seconds.max),
+                  qsc::FormatDouble(r.timing.peak_rss_mib, 1) + " MiB"});
+  }
+  table.Print(stdout);
+  return 0;
+}

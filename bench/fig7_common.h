@@ -1,0 +1,54 @@
+// Shared frontend helper for the three Figure-7 binaries. Since the
+// qsc/bench harness landed, the sweep logic lives in the scenario registry
+// (pipelines/fig7-*); the binaries print a banner, run the scenario
+// single-shot, and render its table plus one summary counter.
+
+#ifndef QSC_BENCH_FIG7_COMMON_H_
+#define QSC_BENCH_FIG7_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "qsc/bench/scenario.h"
+#include "qsc/util/table.h"
+
+namespace qsc {
+namespace bench {
+
+// Runs `scenario_name` and prints its detail table. Returns the value of
+// `summary_counter` through *summary (NaN when absent); exit code 0/1.
+inline int RunFig7Frontend(const char* scenario_name,
+                           const char* summary_counter, double* summary) {
+  RegisterBuiltinScenarios();
+  const Scenario* scenario =
+      ScenarioRegistry::Global().Find(scenario_name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "missing scenario '%s'\n", scenario_name);
+    return 1;
+  }
+  const ScenarioResult result = scenario->Run(BenchContext());
+  TablePrinter table(result.table_header);
+  for (const auto& row : result.table_rows) table.AddRow(row);
+  table.Print(stdout);
+  *summary = std::nan("");
+  bool found = false;
+  for (const auto& [name, value] : result.counters) {
+    if (name == summary_counter) {
+      *summary = value;
+      found = true;
+    }
+  }
+  if (!found) {
+    // A renamed counter must fail loudly, not print "nan" and exit 0.
+    std::fprintf(stderr, "scenario '%s' has no counter '%s'\n",
+                 scenario_name, summary_counter);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace qsc
+
+#endif  // QSC_BENCH_FIG7_COMMON_H_

@@ -1,0 +1,404 @@
+#include "qsc/bench/compare.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "qsc/eval/json.h"
+
+namespace qsc {
+namespace bench {
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  // Last value wins on duplicates, matching the parser's store order.
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    Status status = ParseValue(out, /*depth=*/0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through
+          // as two separate 3-byte sequences; the writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Both null (how JsonNumber renders NaN) or numbers within `rel_tol`
+// relative difference (0 demands bitwise equality).
+bool NumbersMatch(const JsonValue& a, const JsonValue& b, double rel_tol) {
+  if (a.is_null() && b.is_null()) return true;
+  if (a.kind != JsonValue::Kind::kNumber ||
+      b.kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  if (a.number_value == b.number_value) return true;
+  const double scale =
+      std::max(std::abs(a.number_value), std::abs(b.number_value));
+  return std::abs(a.number_value - b.number_value) <= rel_tol * scale;
+}
+
+// Checks that every member of baseline object `section` matches `current`
+// within the counter tolerance (used for "params" and "counters").
+void CompareExactSection(const std::string& scenario, const char* section,
+                         const JsonValue* base, const JsonValue* cur,
+                         double rel_tol, CompareReport* report) {
+  if (base == nullptr) return;  // older baseline without the section
+  if (cur == nullptr) {
+    report->violations.push_back(
+        {scenario, std::string(section) + " section missing in current run"});
+    return;
+  }
+  for (const auto& [key, base_value] : base->object) {
+    const JsonValue* cur_value = cur->Get(key);
+    if (cur_value == nullptr) {
+      report->violations.push_back(
+          {scenario, std::string(section) + "." + key +
+                         " missing in current run"});
+      continue;
+    }
+    if (!NumbersMatch(base_value, *cur_value, rel_tol)) {
+      report->violations.push_back(
+          {scenario,
+           std::string(section) + "." + key + " drifted: baseline " +
+               eval::JsonNumber(base_value.NumberOr(NAN)) + " vs current " +
+               eval::JsonNumber(cur_value->NumberOr(NAN)) +
+               " (deterministic value changed; bug or stale baseline)"});
+    }
+  }
+}
+
+}  // namespace
+
+Status ParseJson(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  return Parser(text).Parse(out);
+}
+
+CompareReport CompareBenchReports(const JsonValue& baseline,
+                                  const JsonValue& current,
+                                  const CompareOptions& options) {
+  CompareReport report;
+
+  const double base_schema =
+      baseline.Get("schema_version") != nullptr
+          ? baseline.Get("schema_version")->NumberOr(-1)
+          : -1;
+  const double cur_schema = current.Get("schema_version") != nullptr
+                                ? current.Get("schema_version")->NumberOr(-1)
+                                : -1;
+  if (base_schema != cur_schema) {
+    report.violations.push_back(
+        {"", "schema_version mismatch: baseline " +
+                 eval::JsonNumber(base_schema) + " vs current " +
+                 eval::JsonNumber(cur_schema)});
+    return report;
+  }
+
+  const JsonValue* base_scenarios = baseline.Get("scenarios");
+  const JsonValue* cur_scenarios = current.Get("scenarios");
+  if (base_scenarios == nullptr || cur_scenarios == nullptr) {
+    report.violations.push_back({"", "missing \"scenarios\" array"});
+    return report;
+  }
+
+  auto find_current = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& s : cur_scenarios->array) {
+      const JsonValue* n = s.Get("name");
+      if (n != nullptr && n->kind == JsonValue::Kind::kString &&
+          n->string_value == name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const JsonValue& base_s : base_scenarios->array) {
+    const JsonValue* name_value = base_s.Get("name");
+    if (name_value == nullptr) continue;
+    const std::string& name = name_value->string_value;
+    const JsonValue* cur_s = find_current(name);
+    if (cur_s == nullptr) {
+      report.violations.push_back(
+          {name, "scenario present in baseline but missing from current run"});
+      continue;
+    }
+    ++report.compared;
+
+    CompareExactSection(name, "params", base_s.Get("params"),
+                        cur_s->Get("params"),
+                        options.counter_rel_tolerance, &report);
+    CompareExactSection(name, "counters", base_s.Get("counters"),
+                        cur_s->Get("counters"),
+                        options.counter_rel_tolerance, &report);
+
+    const JsonValue* base_timing = base_s.Get("timing");
+    const JsonValue* cur_timing = cur_s->Get("timing");
+    const double base_median =
+        base_timing != nullptr && base_timing->Get("median_s") != nullptr
+            ? base_timing->Get("median_s")->NumberOr(NAN)
+            : NAN;
+    const double cur_median =
+        cur_timing != nullptr && cur_timing->Get("median_s") != nullptr
+            ? cur_timing->Get("median_s")->NumberOr(NAN)
+            : NAN;
+    if (std::isnan(base_median) || std::isnan(cur_median)) {
+      report.violations.push_back({name, "timing.median_s missing"});
+      continue;
+    }
+    if (base_median < options.min_median_seconds) {
+      report.notes.push_back(name + ": baseline median " +
+                             eval::JsonNumber(base_median) +
+                             "s below gating floor; timing not compared");
+      continue;
+    }
+    if (cur_median > options.max_slowdown * base_median) {
+      report.violations.push_back(
+          {name, "median slowdown " +
+                     eval::JsonNumber(cur_median / base_median) + "x (" +
+                     eval::JsonNumber(base_median) + "s -> " +
+                     eval::JsonNumber(cur_median) + "s) exceeds " +
+                     eval::JsonNumber(options.max_slowdown) + "x tolerance"});
+    }
+  }
+
+  for (const JsonValue& cur_s : cur_scenarios->array) {
+    const JsonValue* n = cur_s.Get("name");
+    if (n == nullptr) continue;
+    bool in_baseline = false;
+    for (const JsonValue& base_s : base_scenarios->array) {
+      const JsonValue* bn = base_s.Get("name");
+      if (bn != nullptr && bn->string_value == n->string_value) {
+        in_baseline = true;
+        break;
+      }
+    }
+    if (!in_baseline) {
+      report.notes.push_back(n->string_value +
+                             ": new scenario (not in baseline)");
+    }
+  }
+
+  return report;
+}
+
+Status ReadFile(const std::string& path, std::string* contents) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  contents->clear();
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents->append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read error: " + path);
+  return Status::Ok();
+}
+
+}  // namespace bench
+}  // namespace qsc

@@ -1,0 +1,100 @@
+// Baseline comparison for the CI benchmark gate: parse two BENCH_*.json
+// documents (a committed baseline and a fresh run) and flag regressions.
+//
+// The comparison mirrors the report's determinism split (report.h):
+// "params" and "counters" must match the baseline to within a hair
+// (1e-9 relative — bitwise in practice, with headroom for 1-ulp libm
+// differences across toolchains); a drift means the scenario now does
+// different work, which is either a bug or a change that must be
+// accompanied by a baseline update. Timings are compared within a
+// generous noise tolerance (default: fail only when the median slows
+// down by more than 2x), and medians below a floor are skipped entirely,
+// so shared-runner jitter cannot flake the gate.
+//
+// The parser is deliberately minimal: full JSON values, no streaming, no
+// comments — just enough to read back what eval::JsonWriter emits.
+
+#ifndef QSC_BENCH_COMPARE_H_
+#define QSC_BENCH_COMPARE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qsc/util/status.h"
+
+namespace qsc {
+namespace bench {
+
+// Parsed JSON value (tagged union). Numbers are doubles, objects preserve
+// insertion order; duplicate keys keep the last value (RFC 8259 allows
+// either).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+
+  // Typed accessors returning a fallback on kind mismatch.
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number_value : fallback;
+  }
+  std::string StringOr(std::string fallback) const {
+    return kind == Kind::kString ? string_value : std::move(fallback);
+  }
+};
+
+// Parses exactly one JSON document (trailing garbage is an error).
+Status ParseJson(std::string_view text, JsonValue* out);
+
+struct CompareOptions {
+  // A timing violation requires current_median > max_slowdown *
+  // baseline_median.
+  double max_slowdown = 2.0;
+  // Baseline medians below this many seconds are too noisy to gate on and
+  // are skipped.
+  double min_median_seconds = 0.01;
+  // Relative tolerance for params/counters comparisons. Bitwise equality
+  // in practice — a fixed seed reproduces identical doubles on one
+  // machine — but libm functions (std::pow in the refiner's priorities)
+  // are not correctly rounded, so baselines recorded under one
+  // glibc/compiler can drift by ~1 ulp (~1e-16 relative) under another.
+  // Real behavior changes move counters by far more than this.
+  double counter_rel_tolerance = 1e-9;
+};
+
+struct CompareViolation {
+  std::string scenario;  // empty for document-level violations
+  std::string detail;
+};
+
+struct CompareReport {
+  std::vector<CompareViolation> violations;
+  std::vector<std::string> notes;  // informational (new scenarios, skips)
+  int compared = 0;                // scenarios checked
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Compares `current` against `baseline` (both parsed BENCH_*.json docs).
+CompareReport CompareBenchReports(const JsonValue& baseline,
+                                  const JsonValue& current,
+                                  const CompareOptions& options);
+
+// Reads a whole file; error when unreadable.
+Status ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace bench
+}  // namespace qsc
+
+#endif  // QSC_BENCH_COMPARE_H_

@@ -1,0 +1,48 @@
+#include "qsc/bench/runner.h"
+
+#include <vector>
+
+#include "qsc/util/check.h"
+#include "qsc/util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace qsc {
+namespace bench {
+
+double PeakRssMib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kibibytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+Measurement MeasureSeconds(const MeasureOptions& options,
+                           const std::function<void()>& fn) {
+  QSC_CHECK_GE(options.warmup, 0);
+  QSC_CHECK_GT(options.repeats, 0);
+  for (int i = 0; i < options.warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(options.repeats);
+  for (int i = 0; i < options.repeats; ++i) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  Measurement m;
+  m.seconds = Summarize(std::move(samples));
+  m.peak_rss_mib = PeakRssMib();
+  return m;
+}
+
+}  // namespace bench
+}  // namespace qsc

@@ -1,0 +1,44 @@
+// The measurement core of the perf harness: steady-clock timing with
+// warmup and repeats, summarized robustly (median/MAD, see stats.h), plus
+// peak-RSS sampling. Scenario code supplies a closure that performs one
+// complete unit of work; the runner owns the repetition protocol so every
+// scenario measures the same way.
+
+#ifndef QSC_BENCH_RUNNER_H_
+#define QSC_BENCH_RUNNER_H_
+
+#include <functional>
+
+#include "qsc/bench/stats.h"
+
+namespace qsc {
+namespace bench {
+
+struct MeasureOptions {
+  // Un-timed runs before measurement starts (cache/branch-predictor/page
+  // warmup; the first run also absorbs lazy allocations).
+  int warmup = 1;
+  // Timed runs; the reported median is over these.
+  int repeats = 5;
+};
+
+struct Measurement {
+  SampleStats seconds;  // per-repeat wall-clock seconds (steady clock)
+  // Process peak resident-set size sampled after the last repeat, in MiB.
+  // A high-water mark (the OS never lowers it), so it is informational:
+  // attributable to a scenario only when scenarios run largest-last or in
+  // separate processes. 0 when the platform offers no getrusage.
+  double peak_rss_mib = 0.0;
+};
+
+// Runs `fn` warmup+repeats times and summarizes the timed repeats.
+Measurement MeasureSeconds(const MeasureOptions& options,
+                           const std::function<void()>& fn);
+
+// Current process peak RSS in MiB; 0 when unavailable.
+double PeakRssMib();
+
+}  // namespace bench
+}  // namespace qsc
+
+#endif  // QSC_BENCH_RUNNER_H_

@@ -1,0 +1,46 @@
+#include "qsc/bench/scenario.h"
+
+#include <algorithm>
+
+#include "qsc/util/check.h"
+
+namespace qsc {
+namespace bench {
+
+ScenarioResult Scenario::Run(const BenchContext& context) const {
+  ScenarioResult result = run_(context);
+  result.name = info_.name;
+  result.group = info_.group;
+  return result;
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(Scenario scenario) {
+  QSC_CHECK(Find(scenario.name()) == nullptr);  // names must be unique
+  scenarios_.push_back(std::make_unique<Scenario>(std::move(scenario)));
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  for (const auto& s : scenarios_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::List() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.get());
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+}  // namespace bench
+}  // namespace qsc

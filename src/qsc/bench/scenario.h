@@ -1,0 +1,109 @@
+// The perf-scenario registry (the bench-side sibling of
+// qsc/eval/workload.h). A scenario is one named, seeded measurement:
+// instance construction is excluded from timing, the measured closure is a
+// complete unit of work (e.g. one full Rothko refinement, one eval
+// pipeline sweep), and every metric value a scenario reports is
+// deterministic given (scenario, seed) — wall-clock and RSS are the only
+// machine-dependent outputs. That split is what lets CI diff committed
+// baseline JSON against a fresh run: counters must match exactly, timings
+// within a noise tolerance (docs/BENCHMARKING.md).
+
+#ifndef QSC_BENCH_SCENARIO_H_
+#define QSC_BENCH_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/bench/runner.h"
+
+namespace qsc {
+namespace bench {
+
+// Cross-cutting run configuration, set from the qsc_bench CLI.
+struct BenchContext {
+  uint64_t seed = 1;  // instance seed; counters are a function of this
+  MeasureOptions measure;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string group;  // report file: BENCH_<group>.json
+
+  // Instance dimensions (node/arc counts, budgets, ...). Deterministic
+  // given the seed.
+  std::vector<std::pair<std::string, double>> params;
+
+  // Workload metrics (colors reached, q-error, relative error, ...).
+  // Deterministic given the seed; compared exactly against baselines.
+  std::vector<std::pair<std::string, double>> counters;
+
+  // Machine-dependent measurements; compared within a noise tolerance.
+  Measurement timing;
+
+  // Optional human-readable detail (per-dataset rows for the fig7-style
+  // scenarios). Printed by the table frontends, never serialized.
+  std::vector<std::string> table_header;
+  std::vector<std::vector<std::string>> table_rows;
+};
+
+// One registered perf scenario.
+class Scenario {
+ public:
+  struct Info {
+    std::string name;   // "<group>/<scenario>", e.g. "coloring/rothko-ba-10k"
+    std::string group;  // "coloring" | "pipelines"
+    std::string description;
+    // Part of the fast CI suite (--suite=smoke). Full-only scenarios run
+    // with --suite=full or by name.
+    bool smoke = false;
+  };
+
+  using RunFn = std::function<ScenarioResult(const BenchContext&)>;
+
+  Scenario(Info info, RunFn run)
+      : info_(std::move(info)), run_(std::move(run)) {}
+
+  const Info& info() const { return info_; }
+  const std::string& name() const { return info_.name; }
+
+  // Runs the scenario; fills name/group from info().
+  ScenarioResult Run(const BenchContext& context) const;
+
+ private:
+  Info info_;
+  RunFn run_;
+};
+
+// Process-wide name -> scenario map. Registration is append-only; names
+// must be unique.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Global();
+
+  void Register(Scenario scenario);
+
+  // nullptr when absent.
+  const Scenario* Find(const std::string& name) const;
+
+  // All scenarios, sorted by name.
+  std::vector<const Scenario*> List() const;
+
+ private:
+  ScenarioRegistry() = default;
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+// Registers the builtin perf scenarios (scenarios.cc): Rothko refinement
+// on Barabási–Albert / Erdős–Rényi / segmentation-grid graphs at 10k-200k
+// nodes, the end-to-end eval pipelines, and the fig7 dataset sweeps.
+// Idempotent; call before Find()/List().
+void RegisterBuiltinScenarios();
+
+}  // namespace bench
+}  // namespace qsc
+
+#endif  // QSC_BENCH_SCENARIO_H_

@@ -1,0 +1,478 @@
+// Builtin perf scenarios (see docs/BENCHMARKING.md for the registry
+// contract). Two groups:
+//
+//  - "coloring": the refiner and its kernels on synthetic graphs at
+//    10k-200k nodes. The headline scenario is rothko-ba-100k-c256 —
+//    Rothko refinement of a 100k-node scale-free graph to 256 colors —
+//    whose baseline records the flat sparse-row speedup.
+//  - "pipelines": end-to-end instance -> coloring -> solve -> error runs
+//    through qsc/eval, plus the solver kernels and the fig7 dataset
+//    sweeps (single-shot paper reproductions at their canonical seeds).
+//
+// Scenario counters are deterministic given the seed; instance
+// construction happens outside the timed closure.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/bench/scenario.h"
+#include "qsc/centrality/brandes.h"
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/q_error.h"
+#include "qsc/coloring/reduced_graph.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/coloring/stable.h"
+#include "qsc/eval/pipelines.h"
+#include "qsc/eval/suites.h"
+#include "qsc/eval/workload.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/generators.h"
+#include "qsc/lp/generators.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/check.h"
+#include "qsc/util/random.h"
+#include "qsc/util/stats.h"
+#include "qsc/util/table.h"
+
+namespace qsc {
+namespace bench {
+namespace {
+
+std::string BudgetKey(ColorId budget, const char* metric) {
+  return "b" + std::to_string(budget) + "_" + metric;
+}
+
+// --- coloring group ------------------------------------------------------
+
+// Registers a Rothko refinement scenario over `factory`'s graph. The
+// per-scenario `salt` decorrelates instances that share a CLI seed.
+void RegisterRothko(const char* name, bool smoke, const char* description,
+                    Graph (*factory)(uint64_t seed), uint64_t salt,
+                    ColorId max_colors,
+                    RothkoOptions::SplitMean split_mean =
+                        RothkoOptions::SplitMean::kArithmetic) {
+  Scenario::Info info;
+  info.name = name;
+  info.group = "coloring";
+  info.description = description;
+  info.smoke = smoke;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [factory, salt, max_colors,
+                        split_mean](const BenchContext& ctx) {
+        const Graph g = factory(ctx.seed ^ salt);
+        RothkoOptions options;
+        options.max_colors = max_colors;
+        options.split_mean = split_mean;
+        ColorId num_colors = 0;
+        double splits = 0.0, max_q = 0.0;
+        ScenarioResult r;
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          RothkoRefiner refiner(g, Partition::Trivial(g.num_nodes()),
+                                options);
+          refiner.Run();
+          num_colors = refiner.partition().num_colors();
+          splits = static_cast<double>(refiner.history().size());
+          max_q = refiner.CurrentMaxError();
+        });
+        r.params = {{"nodes", static_cast<double>(g.num_nodes())},
+                    {"arcs", static_cast<double>(g.num_arcs())},
+                    {"max_colors", static_cast<double>(max_colors)}};
+        r.counters = {{"num_colors", static_cast<double>(num_colors)},
+                      {"splits", splits},
+                      {"max_q", max_q}};
+        return r;
+      }));
+}
+
+Graph Ba10k(uint64_t seed) {
+  Rng rng(seed);
+  return BarabasiAlbert(10000, 3, rng);
+}
+Graph Ba100k(uint64_t seed) {
+  Rng rng(seed);
+  return BarabasiAlbert(100000, 3, rng);
+}
+Graph Ba200k(uint64_t seed) {
+  Rng rng(seed);
+  return BarabasiAlbert(200000, 3, rng);
+}
+Graph Er10k(uint64_t seed) {
+  Rng rng(seed);
+  return ErdosRenyiGnm(10000, 40000, rng);
+}
+Graph Er100k(uint64_t seed) {
+  Rng rng(seed);
+  return ErdosRenyiGnm(100000, 400000, rng);
+}
+Graph Grid10k(uint64_t seed) {
+  Rng rng(seed);
+  return SegmentationGridNetwork(100, 100, 4, rng).graph;
+}
+Graph Grid100k(uint64_t seed) {
+  Rng rng(seed);
+  return SegmentationGridNetwork(400, 250, 8, rng).graph;
+}
+
+// Registers a coloring-kernel scenario measured over a fixed prepared
+// input (built once, outside the timed closure).
+template <typename Prepare, typename Work>
+void RegisterKernel(const char* name, const char* group, bool smoke,
+                    const char* description, Prepare prepare, Work work) {
+  Scenario::Info info;
+  info.name = name;
+  info.group = group;
+  info.description = description;
+  info.smoke = smoke;
+  ScenarioRegistry::Global().Register(
+      Scenario(std::move(info), [prepare, work](const BenchContext& ctx) {
+        auto input = prepare(ctx);
+        ScenarioResult r;
+        r.timing =
+            MeasureSeconds(ctx.measure, [&] { work(input, r.counters); });
+        return r;
+      }));
+}
+
+void RegisterColoringScenarios() {
+  RegisterRothko("coloring/rothko-ba-10k-c64", /*smoke=*/true,
+                 "Rothko to 64 colors on a 10k-node Barabasi-Albert graph",
+                 &Ba10k, 0x9a01, 64);
+  RegisterRothko(
+      "coloring/rothko-ba-100k-c256", /*smoke=*/true,
+      "HEADLINE: Rothko to 256 colors on a 100k-node scale-free graph",
+      &Ba100k, 0x9a02, 256);
+  RegisterRothko("coloring/rothko-ba-200k-c256", /*smoke=*/false,
+                 "Rothko to 256 colors on a 200k-node scale-free graph",
+                 &Ba200k, 0x9a03, 256);
+  RegisterRothko("coloring/rothko-ba-100k-c256-geo", /*smoke=*/false,
+                 "geometric split-mean variant of the headline scenario",
+                 &Ba100k, 0x9a02, 256, RothkoOptions::SplitMean::kGeometric);
+  RegisterRothko("coloring/rothko-er-10k-c64", /*smoke=*/true,
+                 "Rothko to 64 colors on a G(10k, 40k) Erdos-Renyi graph",
+                 &Er10k, 0x9a04, 64);
+  RegisterRothko("coloring/rothko-er-100k-c128", /*smoke=*/false,
+                 "Rothko to 128 colors on a G(100k, 400k) Erdos-Renyi graph",
+                 &Er100k, 0x9a05, 128);
+  RegisterRothko("coloring/rothko-grid-10k-c64", /*smoke=*/true,
+                 "Rothko to 64 colors on a 100x100 segmentation grid",
+                 &Grid10k, 0x9a06, 64);
+  RegisterRothko("coloring/rothko-grid-100k-c128", /*smoke=*/false,
+                 "Rothko to 128 colors on a 400x250 segmentation grid",
+                 &Grid100k, 0x9a07, 128);
+
+  RegisterKernel(
+      "coloring/stable-ba-20k", "coloring", /*smoke=*/true,
+      "stable coloring (color refinement to fixpoint) on a 20k-node "
+      "Barabasi-Albert graph",
+      [](const BenchContext& ctx) {
+        Rng rng(ctx.seed ^ 0x9a08);
+        return BarabasiAlbert(20000, 3, rng);
+      },
+      [](const Graph& g,
+         std::vector<std::pair<std::string, double>>& counters) {
+        const Partition p = StableColoring(g);
+        counters = {{"num_colors", static_cast<double>(p.num_colors())}};
+      });
+  RegisterKernel(
+      "coloring/qerror-ba-50k", "coloring", /*smoke=*/false,
+      "from-scratch q-error recount of a 64-color Rothko coloring on a "
+      "50k-node Barabasi-Albert graph",
+      [](const BenchContext& ctx) {
+        Rng rng(ctx.seed ^ 0x9a09);
+        Graph g = BarabasiAlbert(50000, 3, rng);
+        RothkoOptions options;
+        options.max_colors = 64;
+        Partition p = RothkoColoring(g, options);
+        return std::make_pair(std::move(g), std::move(p));
+      },
+      [](const std::pair<Graph, Partition>& input,
+         std::vector<std::pair<std::string, double>>& counters) {
+        const QErrorStats report = ComputeQError(input.first, input.second);
+        counters = {{"max_q", report.max_q}};
+      });
+  RegisterKernel(
+      "coloring/reduced-ba-50k", "coloring", /*smoke=*/false,
+      "reduced-graph construction from a 64-color coloring on a 50k-node "
+      "Barabasi-Albert graph",
+      [](const BenchContext& ctx) {
+        Rng rng(ctx.seed ^ 0x9a0a);
+        Graph g = BarabasiAlbert(50000, 3, rng);
+        RothkoOptions options;
+        options.max_colors = 64;
+        Partition p = RothkoColoring(g, options);
+        return std::make_pair(std::move(g), std::move(p));
+      },
+      [](const std::pair<Graph, Partition>& input,
+         std::vector<std::pair<std::string, double>>& counters) {
+        const Graph reduced =
+            BuildReducedGraph(input.first, input.second, ReducedWeight::kSum);
+        counters = {{"reduced_arcs", static_cast<double>(reduced.num_arcs())}};
+      });
+}
+
+// --- pipelines group -----------------------------------------------------
+
+// End-to-end eval workload: one timed unit is the full budget sweep
+// (coloring + reduction + solve at every budget) including the exact
+// oracle.
+void RegisterEvalPipeline(const char* name, bool smoke,
+                          const char* description,
+                          const char* workload_name) {
+  Scenario::Info info;
+  info.name = name;
+  info.group = "pipelines";
+  info.description = description;
+  info.smoke = smoke;
+  ScenarioRegistry::Global().Register(
+      Scenario(std::move(info), [workload_name](const BenchContext& ctx) {
+        const eval::Workload* w =
+            eval::WorkloadRegistry::Global().Find(workload_name);
+        QSC_CHECK(w != nullptr);
+        eval::EvalOptions options;
+        options.seed = ctx.seed;
+        eval::WorkloadResult res;
+        ScenarioResult r;
+        r.timing =
+            MeasureSeconds(ctx.measure, [&] { res = w->Run(options); });
+        for (const eval::RunMetrics& m : res.runs) {
+          r.counters.push_back({BudgetKey(m.color_budget, "colors"),
+                                static_cast<double>(m.num_colors)});
+          r.counters.push_back({BudgetKey(m.color_budget, "max_q"), m.max_q});
+          if (w->area() == eval::Application::kCentrality) {
+            r.counters.push_back(
+                {BudgetKey(m.color_budget, "rho"), m.rank_correlation});
+          } else {
+            r.counters.push_back(
+                {BudgetKey(m.color_budget, "rel_err"), m.relative_error});
+          }
+        }
+        return r;
+      }));
+}
+
+// --- fig7 dataset sweeps -------------------------------------------------
+//
+// Single-shot reproductions of the paper's Figure 7 (one pass over the
+// Table 2/3 dataset suites at their canonical baked-in seeds; the exact
+// oracles dominate, so warmup/repeats are pinned to 0/1). They fill the
+// human-readable table consumed by the bench_fig7_* frontends.
+
+constexpr MeasureOptions kSingleShot{/*warmup=*/0, /*repeats=*/1};
+
+void RegisterFig7MaxFlow() {
+  Scenario::Info info;
+  info.name = "pipelines/fig7-maxflow";
+  info.group = "pipelines";
+  info.description =
+      "Figure 7(a): max-flow speed-accuracy sweep over the Table-2 flow "
+      "suite; single-shot, canonical seeds";
+  info.smoke = false;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext&) {
+        ScenarioResult r;
+        r.table_header = {"dataset", "exact flow", "exact time", "colors",
+                          "approx",  "rel.err",    "time",       "% of exact"};
+        const eval::EvalOptions options;  // push-relabel oracle
+        const std::vector<ColorId> budgets{5, 10, 20, 35};
+        std::vector<double> errors_at_budget;
+        r.timing = MeasureSeconds(kSingleShot, [&] {
+          r.table_rows.clear();
+          r.counters.clear();
+          errors_at_budget.clear();
+          for (const auto& dataset : eval::FlowSuite()) {
+            const auto runs =
+                eval::RunMaxFlowPipeline(dataset.instance, options, budgets);
+            for (const eval::RunMetrics& m : runs) {
+              if (m.color_budget == 35) {
+                errors_at_budget.push_back(m.relative_error);
+                r.counters.push_back(
+                    {dataset.name + "_b35_rel_err", m.relative_error});
+              }
+              r.table_rows.push_back(
+                  {dataset.name, FormatDouble(m.exact_value, 0),
+                   FormatSeconds(m.exact_seconds),
+                   std::to_string(m.color_budget),
+                   FormatDouble(m.approx_value, 0),
+                   FormatDouble(m.relative_error, 3),
+                   FormatSeconds(m.approx_seconds),
+                   FormatDouble(100.0 * m.approx_seconds / m.exact_seconds,
+                                1)});
+            }
+          }
+          r.counters.push_back(
+              {"geomean_rel_err_b35", GeometricMean(errors_at_budget)});
+        });
+        return r;
+      }));
+}
+
+void RegisterFig7Lp() {
+  Scenario::Info info;
+  info.name = "pipelines/fig7-lp";
+  info.group = "pipelines";
+  info.description =
+      "Figure 7(b): LP speed-accuracy sweep over the Table-3 LP suite; "
+      "single-shot, canonical seeds";
+  info.smoke = false;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext&) {
+        ScenarioResult r;
+        r.table_header = {"dataset", "exact obj", "exact time", "colors",
+                          "approx obj", "rel.err", "time", "% of exact"};
+        const eval::EvalOptions options;  // interior-point oracle
+        const std::vector<ColorId> budgets{10, 25, 50, 100};
+        std::vector<double> errors_at_100;
+        r.timing = MeasureSeconds(kSingleShot, [&] {
+          r.table_rows.clear();
+          r.counters.clear();
+          errors_at_100.clear();
+          for (const auto& dataset : eval::LpSuite()) {
+            const auto runs = eval::RunLpPipeline(dataset.lp, options, budgets);
+            for (const eval::RunMetrics& m : runs) {
+              if (m.color_budget == 100) {
+                errors_at_100.push_back(m.relative_error);
+                r.counters.push_back(
+                    {dataset.name + "_b100_rel_err", m.relative_error});
+              }
+              r.table_rows.push_back(
+                  {dataset.name, FormatDouble(m.exact_value, 1),
+                   FormatSeconds(m.exact_seconds),
+                   std::to_string(m.color_budget),
+                   FormatDouble(m.approx_value, 1),
+                   FormatDouble(m.relative_error, 3),
+                   FormatSeconds(m.approx_seconds),
+                   FormatDouble(100.0 * m.approx_seconds / m.exact_seconds,
+                                2)});
+            }
+          }
+          r.counters.push_back(
+              {"geomean_rel_err_b100", GeometricMean(errors_at_100)});
+        });
+        return r;
+      }));
+}
+
+void RegisterFig7Centrality() {
+  Scenario::Info info;
+  info.name = "pipelines/fig7-centrality";
+  info.group = "pipelines";
+  info.description =
+      "Figure 7(c): betweenness-centrality sweep over the Table-2 "
+      "centrality suite; single-shot, canonical seeds";
+  info.smoke = false;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext&) {
+        ScenarioResult r;
+        r.table_header = {"dataset", "exact time", "colors",
+                          "spearman", "time",       "% of exact"};
+        eval::EvalOptions options;
+        options.seed = 17;  // pivot-sampling seed (matches the fig7 binary)
+        const std::vector<ColorId> budgets{10, 25, 50, 100};
+        std::vector<double> rho_at_50;
+        r.timing = MeasureSeconds(kSingleShot, [&] {
+          r.table_rows.clear();
+          r.counters.clear();
+          rho_at_50.clear();
+          for (const auto& dataset : eval::CentralityGraphSuite()) {
+            const auto runs = eval::RunCentralityPipeline(dataset.graph,
+                                                          options, budgets);
+            for (const eval::RunMetrics& m : runs) {
+              if (m.color_budget == 50) {
+                rho_at_50.push_back(m.rank_correlation);
+                r.counters.push_back(
+                    {dataset.name + "_b50_rho", m.rank_correlation});
+              }
+              r.table_rows.push_back(
+                  {dataset.name, FormatSeconds(m.exact_seconds),
+                   std::to_string(m.color_budget),
+                   FormatDouble(m.rank_correlation, 3),
+                   FormatSeconds(m.approx_seconds),
+                   FormatDouble(100.0 * m.approx_seconds / m.exact_seconds,
+                                1)});
+            }
+          }
+          r.counters.push_back({"mean_rho_b50", Mean(rho_at_50)});
+        });
+        return r;
+      }));
+}
+
+void RegisterSolverKernels() {
+  RegisterKernel(
+      "pipelines/solver-pushrelabel-grid100", "pipelines", /*smoke=*/false,
+      "exact push-relabel max-flow on a 100x50 grid network",
+      [](const BenchContext& ctx) {
+        Rng rng(ctx.seed ^ 0x9a0b);
+        return GridFlowNetwork(100, 50, 10, 40, rng);
+      },
+      [](const FlowInstance& inst,
+         std::vector<std::pair<std::string, double>>& counters) {
+        const double flow =
+            MaxFlowPushRelabel(inst.graph, inst.source, inst.sink);
+        counters = {{"max_flow", flow}};
+      });
+  RegisterKernel(
+      "pipelines/solver-brandes-ba50k", "pipelines", /*smoke=*/false,
+      "64 Brandes dependency-accumulation passes on a 50k-node "
+      "Barabasi-Albert graph",
+      [](const BenchContext& ctx) {
+        Rng rng(ctx.seed ^ 0x9a0c);
+        return BarabasiAlbert(50000, 3, rng);
+      },
+      [](const Graph& g,
+         std::vector<std::pair<std::string, double>>& counters) {
+        BrandesWorkspace workspace(g);
+        std::vector<double> scores(g.num_nodes(), 0.0);
+        for (NodeId s = 0; s < 64; ++s) {
+          workspace.AccumulateDependencies(s, 1.0, scores);
+        }
+        counters = {{"score0", scores[0]}};
+      });
+  RegisterKernel(
+      "pipelines/solver-simplex-block8", "pipelines", /*smoke=*/false,
+      "simplex solve of an 8x8-group block LP",
+      [](const BenchContext&) {
+        BlockLpSpec spec;
+        spec.num_row_groups = 8;
+        spec.num_col_groups = 8;
+        spec.rows_per_group = 8;
+        spec.cols_per_group = 8;
+        spec.seed = 5;
+        return MakeBlockLp(spec);
+      },
+      [](const LpProblem& lp,
+         std::vector<std::pair<std::string, double>>& counters) {
+        const LpResult result = SolveSimplex(lp);
+        counters = {{"objective", result.objective}};
+      });
+}
+
+}  // namespace
+
+void RegisterBuiltinScenarios() {
+  static const bool registered = [] {
+    eval::RegisterBuiltinWorkloads();
+    RegisterColoringScenarios();
+    RegisterEvalPipeline(
+        "pipelines/flow-seg-grid", /*smoke=*/true,
+        "end-to-end max-flow pipeline on the builtin seg-grid workload",
+        "maxflow/seg-grid");
+    RegisterEvalPipeline(
+        "pipelines/lp-qap", /*smoke=*/true,
+        "end-to-end LP pipeline on the builtin qap workload", "lp/qap");
+    RegisterEvalPipeline(
+        "pipelines/centrality-powerlaw", /*smoke=*/true,
+        "end-to-end centrality pipeline on the builtin powerlaw workload",
+        "centrality/powerlaw");
+    RegisterFig7MaxFlow();
+    RegisterFig7Lp();
+    RegisterFig7Centrality();
+    RegisterSolverKernels();
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace bench
+}  // namespace qsc

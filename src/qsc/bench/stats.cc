@@ -1,0 +1,28 @@
+#include "qsc/bench/stats.h"
+
+#include <cmath>
+
+#include "qsc/util/stats.h"
+
+namespace qsc {
+namespace bench {
+
+SampleStats Summarize(std::vector<double> samples) {
+  SampleStats stats;
+  stats.count = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return stats;
+  stats.mean = Mean(samples);
+  stats.min = Min(samples);
+  stats.max = Max(samples);
+  stats.median = Median(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double x : samples) {
+    deviations.push_back(std::abs(x - stats.median));
+  }
+  stats.mad = Median(std::move(deviations));
+  return stats;
+}
+
+}  // namespace bench
+}  // namespace qsc

@@ -1,0 +1,33 @@
+// Robust summary statistics for benchmark samples. Wall-clock repeats on
+// shared machines are contaminated by one-sided noise (scheduler
+// preemption, cache pollution), so the harness reports median and MAD
+// (median absolute deviation) instead of mean/stddev: both are insensitive
+// to a minority of slow outliers, which is exactly the contamination model
+// of a busy CI runner.
+
+#ifndef QSC_BENCH_STATS_H_
+#define QSC_BENCH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qsc {
+namespace bench {
+
+struct SampleStats {
+  int64_t count = 0;
+  double median = 0.0;
+  double mad = 0.0;  // median(|x_i - median|)
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+// Summarizes `samples`; all fields are 0 for empty input. Median follows
+// qsc::Median (average of the two middle elements for even sizes).
+SampleStats Summarize(std::vector<double> samples);
+
+}  // namespace bench
+}  // namespace qsc
+
+#endif  // QSC_BENCH_STATS_H_

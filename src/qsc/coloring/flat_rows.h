@@ -1,0 +1,180 @@
+// Cache-friendly sparse-row containers for the Rothko hot path.
+//
+// The refiner keeps, per node, the aggregated edge weight toward every
+// color ("degree rows"), and per color pair a max/min aggregate. Profiling
+// the 100k-node scale-free refinement scenario (docs/BENCHMARKING.md)
+// showed the former dominating: one std::unordered_map<ColorId, double>
+// per node means a pointer chase plus a hash per weight update, and
+// rebuild passes walk the maps in allocation order. This header provides
+// the flat replacements:
+//
+//  - FlatWeightRows: per-node rows stored as small vectors of (key,
+//    weight) entries sorted by key. Rows are short (the number of distinct
+//    neighbor colors), so binary search plus a memmove-style insert beats
+//    hashing, and sequential scans are cache-linear.
+//  - EpochScratch<T>: a dense ColorId-indexed accumulator reused across
+//    splits without clearing — a slot is "absent" unless its stamp equals
+//    the current epoch. NewEpoch() is O(1), so per-split scratch work is
+//    proportional to the keys actually touched, and the backing storage is
+//    allocated once per capacity growth instead of once per split.
+//
+// Numeric behavior is bit-identical to the map-based code by construction:
+// entries accumulate in the same arithmetic order and the same zero
+// tolerance drops residue entries (see rothko.cc; equivalence is enforced
+// by coloring_rothko_equivalence_test.cc).
+
+#ifndef QSC_COLORING_FLAT_ROWS_H_
+#define QSC_COLORING_FLAT_ROWS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+#include "qsc/util/check.h"
+
+namespace qsc {
+
+// Aggregated weights below this magnitude are treated as "no edge"; it
+// absorbs floating-point residue from incremental subtraction.
+constexpr double kZeroWeightTolerance = 1e-12;
+
+// One (color, weight) entry of a sparse degree row.
+struct RowEntry {
+  ColorId key;
+  double weight;
+};
+
+// Per-node sparse weight rows, each sorted by key.
+class FlatWeightRows {
+ public:
+  using Row = std::vector<RowEntry>;
+
+  void Reset(NodeId num_rows) {
+    rows_.assign(static_cast<size_t>(num_rows), {});
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  const Row& RowOf(NodeId v) const {
+    QSC_DCHECK(v >= 0 && static_cast<size_t>(v) < rows_.size());
+    return rows_[v];
+  }
+
+  // Pointer to the entry for `key` in row `v`; nullptr when absent.
+  const RowEntry* Find(NodeId v, ColorId key) const {
+    const Row& row = RowOf(v);
+    const auto it = LowerBound(row, key);
+    if (it == row.end() || it->key != key) return nullptr;
+    return &*it;
+  }
+
+  // Weight for `key` in row `v`, 0.0 when absent (the sparse convention).
+  double WeightOrZero(NodeId v, ColorId key) const {
+    const RowEntry* e = Find(v, key);
+    return e == nullptr ? 0.0 : e->weight;
+  }
+
+  // Accumulates `w` onto the entry (inserting it when absent) and drops the
+  // entry if the result lies within the zero tolerance.
+  void Add(NodeId v, ColorId key, double w) {
+    Row& row = rows_[v];
+    const auto it = LowerBound(row, key);
+    if (it != row.end() && it->key == key) {
+      it->weight += w;
+      if (std::abs(it->weight) < kZeroWeightTolerance) row.erase(it);
+      return;
+    }
+    if (std::abs(w) < kZeroWeightTolerance) return;  // would erase at once
+    row.insert(it, {key, w});
+  }
+
+  // Subtracts `w`, treating an absent entry as an implicit 0. Absence is
+  // legitimate even mid-update: positive and negative arc weights toward
+  // `key` can cancel within the zero tolerance and drop the entry, after
+  // which a neighbor move must re-materialize it with the remainder (the
+  // map-based predecessor dereferenced end() here — silent UB in release
+  // builds). Exactly Add with the sign flipped, so the tolerance policy
+  // lives in one place.
+  void Subtract(NodeId v, ColorId key, double w) { Add(v, key, -w); }
+
+ private:
+  static Row::iterator LowerBound(Row& row, ColorId key) {
+    return std::lower_bound(
+        row.begin(), row.end(), key,
+        [](const RowEntry& e, ColorId k) { return e.key < k; });
+  }
+  static Row::const_iterator LowerBound(const Row& row, ColorId key) {
+    return std::lower_bound(
+        row.begin(), row.end(), key,
+        [](const RowEntry& e, ColorId k) { return e.key < k; });
+  }
+
+  std::vector<Row> rows_;
+};
+
+// Dense ColorId-indexed scratch map with O(1) reuse. Values persist only
+// within one epoch; Slot() reports through `fresh` whether the slot is
+// first touched this epoch (its value then is a default-constructed T).
+// touched() lists this epoch's keys in first-touch order.
+template <typename T>
+class EpochScratch {
+ public:
+  // Ensures keys in [0, num_keys) are addressable.
+  void Grow(ColorId num_keys) {
+    if (static_cast<size_t>(num_keys) > slots_.size()) {
+      slots_.resize(num_keys);
+      stamps_.resize(num_keys, 0);
+    }
+  }
+
+  void NewEpoch() {
+    ++epoch_;
+    touched_.clear();
+  }
+
+  T& Slot(ColorId key, bool* fresh) {
+    QSC_DCHECK(key >= 0 && static_cast<size_t>(key) < slots_.size());
+    if (stamps_[key] != epoch_) {
+      stamps_[key] = epoch_;
+      slots_[key] = T{};
+      touched_.push_back(key);
+      *fresh = true;
+    } else {
+      *fresh = false;
+    }
+    return slots_[key];
+  }
+
+  // Marks `key` as touched (default value on first touch).
+  void Touch(ColorId key) {
+    bool fresh;
+    Slot(key, &fresh);
+  }
+
+  bool Contains(ColorId key) const {
+    return key >= 0 && static_cast<size_t>(key) < slots_.size() &&
+           stamps_[key] == epoch_;
+  }
+
+  const T& At(ColorId key) const {
+    QSC_DCHECK(Contains(key));
+    return slots_[key];
+  }
+
+  const std::vector<ColorId>& touched() const { return touched_; }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<uint64_t> stamps_;
+  std::vector<ColorId> touched_;
+  // Starts above the zero-initialized stamps so no slot is "current"
+  // before its first touch, even before the first NewEpoch().
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_FLAT_ROWS_H_

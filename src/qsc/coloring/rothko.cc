@@ -3,35 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "qsc/coloring/flat_rows.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
-namespace {
-
-// Aggregated weights below this magnitude are treated as "no edge"; it
-// absorbs floating-point residue from incremental subtraction.
-constexpr double kZeroTolerance = 1e-12;
-
-void SubtractWeight(std::unordered_map<ColorId, double>& map, ColorId key,
-                    double w) {
-  auto it = map.find(key);
-  QSC_DCHECK(it != map.end());
-  it->second -= w;
-  if (std::abs(it->second) < kZeroTolerance) map.erase(it);
-}
-
-void AddWeight(std::unordered_map<ColorId, double>& map, ColorId key,
-               double w) {
-  double& slot = map[key];
-  slot += w;
-  if (std::abs(slot) < kZeroTolerance) map.erase(key);
-}
-
-}  // namespace
 
 class RothkoRefiner::Impl {
  public:
@@ -41,9 +18,10 @@ class RothkoRefiner::Impl {
         partition_(std::move(initial)),
         directed_(!g.undirected()) {
     QSC_CHECK_EQ(g.num_nodes(), partition_.num_nodes());
-    BuildDegreeMaps();
+    BuildDegreeRows();
     out_agg_.resize(partition_.num_colors());
     if (directed_) in_agg_.resize(partition_.num_colors());
+    GrowScratch();
     for (ColorId c = 0; c < partition_.num_colors(); ++c) {
       RebuildSourceAggregates(c);
       if (directed_) RebuildTargetInAggregates(c);
@@ -97,6 +75,14 @@ class RothkoRefiner::Impl {
     uint64_t version = 0;
   };
 
+  // One aggregate row: the pair aggregates of a fixed color, sorted by the
+  // other color's id (same flat layout as the degree rows).
+  struct AggEntry {
+    ColorId key;
+    PairAgg agg;
+  };
+  using AggRow = std::vector<AggEntry>;
+
   struct HeapEntry {
     double priority;
     ColorId src;
@@ -113,18 +99,38 @@ class RothkoRefiner::Impl {
     }
   };
 
-  void BuildDegreeMaps() {
+  static AggRow::iterator AggLowerBound(AggRow& row, ColorId key) {
+    return std::lower_bound(
+        row.begin(), row.end(), key,
+        [](const AggEntry& e, ColorId k) { return e.key < k; });
+  }
+
+  static const PairAgg* FindAgg(const AggRow& row, ColorId key) {
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), key,
+        [](const AggEntry& e, ColorId k) { return e.key < k; });
+    if (it == row.end() || it->key != key) return nullptr;
+    return &it->agg;
+  }
+
+  void BuildDegreeRows() {
     const NodeId n = graph_->num_nodes();
-    out_deg_.resize(n);
-    if (directed_) in_deg_.resize(n);
+    out_deg_.Reset(n);
+    if (directed_) in_deg_.Reset(n);
     for (NodeId u = 0; u < n; ++u) {
       for (const NeighborEntry& e : graph_->OutNeighbors(u)) {
-        AddWeight(out_deg_[u], partition_.ColorOf(e.node), e.weight);
+        out_deg_.Add(u, partition_.ColorOf(e.node), e.weight);
         if (directed_) {
-          AddWeight(in_deg_[e.node], partition_.ColorOf(u), e.weight);
+          in_deg_.Add(e.node, partition_.ColorOf(u), e.weight);
         }
       }
     }
+  }
+
+  void GrowScratch() {
+    agg_scratch_.Grow(partition_.num_colors());
+    out_affected_.Grow(partition_.num_colors());
+    if (directed_) in_affected_.Grow(partition_.num_colors());
   }
 
   // Spread of witness degrees, extending absent members as weight 0.
@@ -161,37 +167,52 @@ class RothkoRefiner::Impl {
     raw_heap_.push({err, src, dst, direction, agg.version});
   }
 
+  // Accumulates the members' rows of `deg` into agg_scratch_ and rebuilds
+  // `aggs` as a sorted row. Shared tail of the two Rebuild* methods; the
+  // scratch is epoch-reset, not cleared, so rebuild cost tracks the number
+  // of touched pairs, not the historical maximum.
+  void RebuildAggRow(ColorId c, const FlatWeightRows& deg, AggRow& aggs,
+                     bool source_side, uint8_t direction) {
+    agg_scratch_.NewEpoch();
+    for (NodeId v : partition_.Members(c)) {
+      for (const RowEntry& e : deg.RowOf(v)) {
+        bool fresh;
+        // A fresh slot is value-initialized (count 0), which MergeWeight
+        // treats as the first sample.
+        MergeWeight(agg_scratch_.Slot(e.key, &fresh), e.weight);
+      }
+    }
+    sorted_keys_.assign(agg_scratch_.touched().begin(),
+                        agg_scratch_.touched().end());
+    std::sort(sorted_keys_.begin(), sorted_keys_.end());
+    aggs.clear();
+    aggs.reserve(sorted_keys_.size());
+    for (const ColorId other : sorted_keys_) {
+      PairAgg agg = agg_scratch_.At(other);
+      agg.version = ++version_counter_;
+      aggs.push_back({other, agg});
+      const ColorId src = source_side ? c : other;
+      const ColorId dst = source_side ? other : c;
+      PushEntries(src, dst, direction, agg);
+    }
+  }
+
   // Rebuilds all out-direction aggregates with source color `c` (stats over
   // members of c of their out-weight per target color).
   void RebuildSourceAggregates(ColorId c) {
-    auto& aggs = out_agg_[c];
-    aggs.clear();
-    for (NodeId v : partition_.Members(c)) {
-      for (const auto& [target, w] : out_deg_[v]) {
-        MergeInto(aggs, target, w);
-      }
-    }
-    FinalizeAndPush(aggs, c, /*source_side=*/true, /*direction=*/0);
+    RebuildAggRow(c, out_deg_, out_agg_[c], /*source_side=*/true,
+                  /*direction=*/0);
   }
 
   // Rebuilds all in-direction aggregates with target color `c` (stats over
   // members of c of their in-weight per source color).
   void RebuildTargetInAggregates(ColorId c) {
-    auto& aggs = in_agg_[c];
-    aggs.clear();
-    for (NodeId v : partition_.Members(c)) {
-      for (const auto& [source, w] : in_deg_[v]) {
-        MergeInto(aggs, source, w);
-      }
-    }
-    FinalizeAndPush(aggs, c, /*source_side=*/false, /*direction=*/1);
+    RebuildAggRow(c, in_deg_, in_agg_[c], /*source_side=*/false,
+                  /*direction=*/1);
   }
 
-  static void MergeInto(std::unordered_map<ColorId, PairAgg>& aggs,
-                        ColorId key, double w) {
-    auto [it, inserted] = aggs.try_emplace(key);
-    PairAgg& agg = it->second;
-    if (inserted) {
+  static void MergeWeight(PairAgg& agg, double w) {
+    if (agg.count == 0) {
       agg.max_w = agg.min_w = w;
       agg.count = 1;
     } else {
@@ -201,63 +222,46 @@ class RothkoRefiner::Impl {
     }
   }
 
-  void FinalizeAndPush(std::unordered_map<ColorId, PairAgg>& aggs,
-                       ColorId fixed_color, bool source_side,
-                       uint8_t direction) {
-    for (auto& [other, agg] : aggs) {
-      agg.version = ++version_counter_;
-      const ColorId src = source_side ? fixed_color : other;
-      const ColorId dst = source_side ? other : fixed_color;
-      PushEntries(src, dst, direction, agg);
-    }
-  }
-
-  // Recomputes the single out-direction aggregate (source c, target t).
-  void RecomputeOutEntry(ColorId c, ColorId t) {
-    PairAgg agg;
-    for (NodeId v : partition_.Members(c)) {
-      const auto it = out_deg_[v].find(t);
-      if (it == out_deg_[v].end()) continue;
-      if (agg.count == 0) {
-        agg.max_w = agg.min_w = it->second;
-        agg.count = 1;
-      } else {
-        agg.max_w = std::max(agg.max_w, it->second);
-        agg.min_w = std::min(agg.min_w, it->second);
-        ++agg.count;
-      }
-    }
+  // Stores `agg` for key `other` into `aggs` (erasing on empty) and pushes
+  // the witness entries. `c` is the fixed color the row belongs to.
+  void StoreAndPush(ColorId c, ColorId other, PairAgg agg, AggRow& aggs,
+                    bool source_side, uint8_t direction) {
+    auto it = AggLowerBound(aggs, other);
+    const bool present = it != aggs.end() && it->key == other;
     if (agg.count == 0) {
-      out_agg_[c].erase(t);
+      if (present) aggs.erase(it);
       return;
     }
     agg.version = ++version_counter_;
-    out_agg_[c][t] = agg;
-    PushEntries(c, t, /*direction=*/0, agg);
+    if (present) {
+      it->agg = agg;
+    } else {
+      aggs.insert(it, {other, agg});
+    }
+    const ColorId src = source_side ? c : other;
+    const ColorId dst = source_side ? other : c;
+    PushEntries(src, dst, direction, agg);
   }
 
-  // Recomputes the single in-direction aggregate (source s, target c).
-  void RecomputeInEntry(ColorId s, ColorId c) {
-    PairAgg agg;
+  // Recomputes the two aggregates over members of `c` toward the split
+  // halves in ONE pass over the members' rows (this is the per-split hot
+  // loop — every color adjacent to the split pays it). `new_key` is the
+  // just-created color and therefore the maximum id, so its entry can only
+  // sit at a row's tail: an O(1) check replaces the second binary search.
+  void RecomputeSplitPair(ColorId c, ColorId split_key, ColorId new_key,
+                          const FlatWeightRows& deg, AggRow& aggs,
+                          bool source_side, uint8_t direction) {
+    QSC_DCHECK(new_key + 1 == partition_.num_colors());
+    PairAgg split_agg, new_agg;
     for (NodeId v : partition_.Members(c)) {
-      const auto it = in_deg_[v].find(s);
-      if (it == in_deg_[v].end()) continue;
-      if (agg.count == 0) {
-        agg.max_w = agg.min_w = it->second;
-        agg.count = 1;
-      } else {
-        agg.max_w = std::max(agg.max_w, it->second);
-        agg.min_w = std::min(agg.min_w, it->second);
-        ++agg.count;
-      }
+      const FlatWeightRows::Row& row = deg.RowOf(v);
+      if (row.empty()) continue;
+      if (row.back().key == new_key) MergeWeight(new_agg, row.back().weight);
+      const RowEntry* e = deg.Find(v, split_key);
+      if (e != nullptr) MergeWeight(split_agg, e->weight);
     }
-    if (agg.count == 0) {
-      in_agg_[c].erase(s);
-      return;
-    }
-    agg.version = ++version_counter_;
-    in_agg_[c][s] = agg;
-    PushEntries(s, c, /*direction=*/1, agg);
+    StoreAndPush(c, split_key, split_agg, aggs, source_side, direction);
+    StoreAndPush(c, new_key, new_agg, aggs, source_side, direction);
   }
 
   // Pops stale entries off `heap` until its top is current; returns false
@@ -265,11 +269,11 @@ class RothkoRefiner::Impl {
   bool PeekValid(std::priority_queue<HeapEntry>& heap, HeapEntry* out) const {
     while (!heap.empty()) {
       const HeapEntry& top = heap.top();
-      const auto& agg_map =
+      const AggRow& row =
           top.direction == 0 ? out_agg_[top.src] : in_agg_[top.dst];
       const ColorId key = top.direction == 0 ? top.dst : top.src;
-      const auto it = agg_map.find(key);
-      if (it != agg_map.end() && it->second.version == top.version) {
+      const PairAgg* agg = FindAgg(row, key);
+      if (agg != nullptr && agg->version == top.version) {
         *out = top;
         return true;
       }
@@ -282,20 +286,19 @@ class RothkoRefiner::Impl {
     const ColorId split_color =
         witness.direction == 0 ? witness.src : witness.dst;
     const ColorId other = witness.direction == 0 ? witness.dst : witness.src;
-    const auto& deg_maps = witness.direction == 0 ? out_deg_ : in_deg_;
+    FlatWeightRows& deg_rows = witness.direction == 0 ? out_deg_ : in_deg_;
 
     const std::vector<NodeId>& members = partition_.Members(split_color);
     const size_t size = members.size();
     QSC_CHECK_GE(size, 2u);
 
     // Witness degrees of every member (0 when absent).
-    std::vector<double> values(size);
+    std::vector<double>& values = split_values_;
+    values.resize(size);
     bool has_negative = false;
     double lo = 0.0, hi = 0.0, sum = 0.0;
     for (size_t i = 0; i < size; ++i) {
-      const auto& m = deg_maps[members[i]];
-      const auto it = m.find(other);
-      const double val = it == m.end() ? 0.0 : it->second;
+      const double val = deg_rows.WeightOrZero(members[i], other);
       values[i] = val;
       has_negative |= val < 0.0;
       sum += val;
@@ -320,7 +323,8 @@ class RothkoRefiner::Impl {
 
     // Retain nodes at or below the threshold, eject the rest (Algorithm 1
     // lines 10-13).
-    std::vector<NodeId> eject;
+    std::vector<NodeId>& eject = eject_;
+    eject.clear();
     for (size_t i = 0; i < size; ++i) {
       if (values[i] > threshold) eject.push_back(members[i]);
     }
@@ -338,24 +342,23 @@ class RothkoRefiner::Impl {
     const ColorId new_color = partition_.SplitColor(split_color, eject);
     out_agg_.emplace_back();
     if (directed_) in_agg_.emplace_back();
+    GrowScratch();
 
-    // Update the neighbors' degree maps and note which colors hold nodes
+    // Update the neighbors' degree rows and note which colors hold nodes
     // whose witness degrees changed.
-    std::unordered_set<ColorId> out_affected;  // colors with changed
-                                               // out-degrees toward split
-    std::unordered_set<ColorId> in_affected;   // colors with changed
-                                               // in-degrees from split
+    out_affected_.NewEpoch();  // colors with changed out-degrees to split
+    if (directed_) in_affected_.NewEpoch();  // ... in-degrees from split
     for (NodeId v : eject) {
       for (const NeighborEntry& e : graph_->InNeighbors(v)) {
-        SubtractWeight(out_deg_[e.node], split_color, e.weight);
-        AddWeight(out_deg_[e.node], new_color, e.weight);
-        out_affected.insert(partition_.ColorOf(e.node));
+        out_deg_.Subtract(e.node, split_color, e.weight);
+        out_deg_.Add(e.node, new_color, e.weight);
+        out_affected_.Touch(partition_.ColorOf(e.node));
       }
       if (directed_) {
         for (const NeighborEntry& e : graph_->OutNeighbors(v)) {
-          SubtractWeight(in_deg_[e.node], split_color, e.weight);
-          AddWeight(in_deg_[e.node], new_color, e.weight);
-          in_affected.insert(partition_.ColorOf(e.node));
+          in_deg_.Subtract(e.node, split_color, e.weight);
+          in_deg_.Add(e.node, new_color, e.weight);
+          in_affected_.Touch(partition_.ColorOf(e.node));
         }
       }
     }
@@ -368,16 +371,16 @@ class RothkoRefiner::Impl {
       RebuildTargetInAggregates(split_color);
       RebuildTargetInAggregates(new_color);
     }
-    for (ColorId c : out_affected) {
+    for (ColorId c : out_affected_.touched()) {
       if (c == split_color || c == new_color) continue;
-      RecomputeOutEntry(c, split_color);
-      RecomputeOutEntry(c, new_color);
+      RecomputeSplitPair(c, split_color, new_color, out_deg_, out_agg_[c],
+                         /*source_side=*/true, /*direction=*/0);
     }
     if (directed_) {
-      for (ColorId c : in_affected) {
+      for (ColorId c : in_affected_.touched()) {
         if (c == split_color || c == new_color) continue;
-        RecomputeInEntry(split_color, c);
-        RecomputeInEntry(new_color, c);
+        RecomputeSplitPair(c, split_color, new_color, in_deg_, in_agg_[c],
+                           /*source_side=*/false, /*direction=*/1);
       }
     }
 
@@ -390,18 +393,27 @@ class RothkoRefiner::Impl {
   Partition partition_;
   bool directed_;
 
-  // out_deg_[v][c] = w(v, P_c); in_deg_[v][c] = w(P_c, v) (directed only).
-  std::vector<std::unordered_map<ColorId, double>> out_deg_;
-  std::vector<std::unordered_map<ColorId, double>> in_deg_;
+  // out_deg_ row v, key c = w(v, P_c); in_deg_ row v, key c = w(P_c, v)
+  // (directed only).
+  FlatWeightRows out_deg_;
+  FlatWeightRows in_deg_;
 
-  // out_agg_[i][j]: stats over members of P_i of out-weight into P_j.
-  // in_agg_[j][i]: stats over members of P_j of in-weight from P_i.
-  std::vector<std::unordered_map<ColorId, PairAgg>> out_agg_;
-  std::vector<std::unordered_map<ColorId, PairAgg>> in_agg_;
+  // out_agg_[i] key j: stats over members of P_i of out-weight into P_j.
+  // in_agg_[j] key i: stats over members of P_j of in-weight from P_i.
+  std::vector<AggRow> out_agg_;
+  std::vector<AggRow> in_agg_;
 
   mutable std::priority_queue<HeapEntry> weighted_heap_;
   mutable std::priority_queue<HeapEntry> raw_heap_;
   uint64_t version_counter_ = 0;
+
+  // Preallocated scratch reused across splits (see flat_rows.h).
+  EpochScratch<PairAgg> agg_scratch_;
+  EpochScratch<char> out_affected_;
+  EpochScratch<char> in_affected_;
+  std::vector<ColorId> sorted_keys_;
+  std::vector<double> split_values_;
+  std::vector<NodeId> eject_;
 
   WallTimer timer_;
   std::vector<RothkoStep> history_;

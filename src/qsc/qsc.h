@@ -6,9 +6,15 @@
 #ifndef QSC_QSC_H_
 #define QSC_QSC_H_
 
+#include "qsc/bench/compare.h"
+#include "qsc/bench/report.h"
+#include "qsc/bench/runner.h"
+#include "qsc/bench/scenario.h"
+#include "qsc/bench/stats.h"
 #include "qsc/centrality/brandes.h"
 #include "qsc/centrality/color_pivot.h"
 #include "qsc/centrality/path_sampling.h"
+#include "qsc/coloring/flat_rows.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/q_error.h"
 #include "qsc/coloring/reduced_graph.h"

@@ -1,0 +1,74 @@
+// Unit tests for the bench harness's robust summary statistics
+// (median/MAD): exact values on synthetic samples, outlier insensitivity,
+// and the empty/single-sample edge cases.
+
+#include "qsc/bench/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qsc {
+namespace bench {
+namespace {
+
+TEST(SummarizeTest, EmptyInputIsAllZero) {
+  const SampleStats s = Summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.mad, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleSample) {
+  const SampleStats s = Summarize({3.5});
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+}
+
+TEST(SummarizeTest, OddCountExactValues) {
+  // median 3; deviations {2, 1, 0, 1, 2} -> MAD 1.
+  const SampleStats s = Summarize({5.0, 2.0, 3.0, 1.0, 4.0});
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(SummarizeTest, EvenCountAveragesMiddlePair) {
+  // sorted {1, 2, 4, 8}: median (2+4)/2 = 3; deviations {2, 1, 1, 5}
+  // sorted {1, 1, 2, 5} -> MAD (1+2)/2 = 1.5.
+  const SampleStats s = Summarize({8.0, 1.0, 4.0, 2.0});
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.5);
+}
+
+TEST(SummarizeTest, MedianAndMadIgnoreOneSidedOutliers) {
+  // The contamination model of a busy CI runner: a minority of repeats are
+  // much slower. Median/MAD must not move; mean/max do.
+  const SampleStats clean = Summarize({1.0, 1.0, 1.0, 1.0, 1.0});
+  const SampleStats noisy = Summarize({1.0, 1.0, 1.0, 1.0, 50.0});
+  EXPECT_DOUBLE_EQ(clean.median, noisy.median);
+  EXPECT_DOUBLE_EQ(clean.mad, noisy.mad);
+  EXPECT_GT(noisy.mean, clean.mean);
+  EXPECT_DOUBLE_EQ(noisy.max, 50.0);
+}
+
+TEST(SummarizeTest, ConstantSamplesHaveZeroMad) {
+  const SampleStats s = Summarize({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qsc

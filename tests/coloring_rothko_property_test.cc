@@ -2,8 +2,9 @@
 // Sec 5.2): across random graphs — directed and undirected, arithmetic and
 // geometric split means — Step() never increases CurrentMaxError(), and
 // the history() color counts are strictly increasing. 56 graphs total
-// (14 seeds x 2 directedness x 2 split means), all derived from fixed
-// seeds, so every failure reproduces exactly (see docs/TESTING.md).
+// (14 seeds x 2 directedness x 2 split means, shared via
+// rothko_corpus.h), all derived from fixed seeds, so every failure
+// reproduces exactly (see docs/TESTING.md).
 
 #include <gtest/gtest.h>
 
@@ -13,26 +14,11 @@
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/q_error.h"
 #include "qsc/coloring/rothko.h"
-#include "qsc/graph/generators.h"
 #include "qsc/graph/graph.h"
-#include "qsc/util/random.h"
+#include "rothko_corpus.h"
 
 namespace qsc {
 namespace {
-
-// Random directed multigraph with integer weights in [1, 8]; duplicates
-// coalesce, so some arcs end up heavier — a rougher degree profile than
-// ErdosRenyiGnm gives.
-Graph RandomDirectedGraph(NodeId num_nodes, int64_t num_arcs, Rng& rng) {
-  std::vector<EdgeTriple> arcs;
-  arcs.reserve(num_arcs);
-  for (int64_t i = 0; i < num_arcs; ++i) {
-    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
-    const NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
-    arcs.push_back({u, v, static_cast<double>(rng.UniformInt(1, 8))});
-  }
-  return Graph::FromEdges(num_nodes, arcs, /*undirected=*/false);
-}
 
 class RothkoAnytimeTest
     : public testing::TestWithParam<
@@ -40,9 +26,7 @@ class RothkoAnytimeTest
 
 TEST_P(RothkoAnytimeTest, StepNeverIncreasesMaxErrorAndHistoryGrows) {
   const auto [seed, directed, split_mean] = GetParam();
-  Rng rng(seed);
-  const Graph g = directed ? RandomDirectedGraph(60, 240, rng)
-                           : ErdosRenyiGnm(60, 180, rng);
+  const Graph g = testing_corpus::CorpusGraph(seed, directed);
 
   RothkoOptions options;
   options.split_mean = split_mean;

@@ -1,0 +1,393 @@
+// Test-only reference copy of the RothkoRefiner as it existed before the
+// flat sparse-row optimization (PR 3): per-node std::unordered_map degree
+// rows and unordered_map pair aggregates. The production refiner
+// (qsc/coloring/rothko.cc) must reproduce this implementation's split
+// sequence bit-for-bit — coloring_rothko_equivalence_test.cc compares full
+// history() traces over the 56-graph property corpus. Do not "improve"
+// this file; it is the frozen oracle.
+
+#ifndef QSC_TESTS_ROTHKO_REFERENCE_H_
+#define QSC_TESTS_ROTHKO_REFERENCE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/graph/graph.h"
+#include "qsc/util/check.h"
+#include "qsc/util/timer.h"
+
+namespace qsc {
+namespace reference {
+
+constexpr double kZeroTolerance = 1e-12;
+
+inline void SubtractWeight(std::unordered_map<ColorId, double>& map,
+                           ColorId key, double w) {
+  auto it = map.find(key);
+  QSC_DCHECK(it != map.end());
+  it->second -= w;
+  if (std::abs(it->second) < kZeroTolerance) map.erase(it);
+}
+
+inline void AddWeight(std::unordered_map<ColorId, double>& map, ColorId key,
+                      double w) {
+  double& slot = map[key];
+  slot += w;
+  if (std::abs(slot) < kZeroTolerance) map.erase(key);
+}
+
+class ReferenceRefiner {
+ public:
+  ReferenceRefiner(const Graph& g, Partition initial, RothkoOptions options)
+      : graph_(&g),
+        options_(options),
+        partition_(std::move(initial)),
+        directed_(!g.undirected()) {
+    QSC_CHECK_EQ(g.num_nodes(), partition_.num_nodes());
+    BuildDegreeMaps();
+    out_agg_.resize(partition_.num_colors());
+    if (directed_) in_agg_.resize(partition_.num_colors());
+    for (ColorId c = 0; c < partition_.num_colors(); ++c) {
+      RebuildSourceAggregates(c);
+      if (directed_) RebuildTargetInAggregates(c);
+    }
+  }
+
+  bool Step(ColorId color_cap = 0) {
+    HeapEntry raw_top;
+    if (!PeekValid(raw_heap_, &raw_top)) return false;
+    if (raw_top.priority <= options_.q_tolerance) return false;
+
+    const double pre_step_error = raw_top.priority;
+    for (;;) {
+      HeapEntry witness;
+      QSC_CHECK(PeekValid(weighted_heap_, &witness));
+      ApplySplit(witness);
+      if (color_cap > 0 && partition_.num_colors() >= color_cap) break;
+      if (!PeekValid(raw_heap_, &raw_top)) break;
+      if (raw_top.priority <= pre_step_error) break;
+    }
+    return true;
+  }
+
+  void Run() {
+    while (partition_.num_colors() < options_.max_colors &&
+           Step(options_.max_colors)) {
+    }
+  }
+
+  const Partition& partition() const { return partition_; }
+
+  double CurrentMaxError() const {
+    HeapEntry top;
+    if (!PeekValid(raw_heap_, &top)) return 0.0;
+    return top.priority;
+  }
+
+  const std::vector<RothkoStep>& history() const { return history_; }
+
+ private:
+  struct PairAgg {
+    double max_w = 0.0;
+    double min_w = 0.0;
+    int64_t count = 0;
+    uint64_t version = 0;
+  };
+
+  struct HeapEntry {
+    double priority;
+    ColorId src;
+    ColorId dst;
+    uint8_t direction;
+    uint64_t version;
+
+    bool operator<(const HeapEntry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      if (src != o.src) return src > o.src;
+      if (dst != o.dst) return dst > o.dst;
+      return direction > o.direction;
+    }
+  };
+
+  void BuildDegreeMaps() {
+    const NodeId n = graph_->num_nodes();
+    out_deg_.resize(n);
+    if (directed_) in_deg_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NeighborEntry& e : graph_->OutNeighbors(u)) {
+        AddWeight(out_deg_[u], partition_.ColorOf(e.node), e.weight);
+        if (directed_) {
+          AddWeight(in_deg_[e.node], partition_.ColorOf(u), e.weight);
+        }
+      }
+    }
+  }
+
+  double EffectiveError(const PairAgg& agg, int64_t color_size) const {
+    double hi = agg.max_w;
+    double lo = agg.min_w;
+    if (agg.count < color_size) {
+      hi = std::max(hi, 0.0);
+      lo = std::min(lo, 0.0);
+    }
+    return hi - lo;
+  }
+
+  double WeightedPriority(double err, ColorId src, ColorId dst) const {
+    double c = 1.0;
+    if (options_.alpha != 0.0) {
+      c *= std::pow(static_cast<double>(partition_.ColorSize(src)),
+                    options_.alpha);
+    }
+    if (options_.beta != 0.0) {
+      c *= std::pow(static_cast<double>(partition_.ColorSize(dst)),
+                    options_.beta);
+    }
+    return err * c;
+  }
+
+  void PushEntries(ColorId src, ColorId dst, uint8_t direction,
+                   const PairAgg& agg) {
+    const ColorId stats_color = direction == 0 ? src : dst;
+    const double err = EffectiveError(agg, partition_.ColorSize(stats_color));
+    if (err <= 0.0) return;
+    weighted_heap_.push(
+        {WeightedPriority(err, src, dst), src, dst, direction, agg.version});
+    raw_heap_.push({err, src, dst, direction, agg.version});
+  }
+
+  void RebuildSourceAggregates(ColorId c) {
+    auto& aggs = out_agg_[c];
+    aggs.clear();
+    for (NodeId v : partition_.Members(c)) {
+      for (const auto& [target, w] : out_deg_[v]) {
+        MergeInto(aggs, target, w);
+      }
+    }
+    FinalizeAndPush(aggs, c, /*source_side=*/true, /*direction=*/0);
+  }
+
+  void RebuildTargetInAggregates(ColorId c) {
+    auto& aggs = in_agg_[c];
+    aggs.clear();
+    for (NodeId v : partition_.Members(c)) {
+      for (const auto& [source, w] : in_deg_[v]) {
+        MergeInto(aggs, source, w);
+      }
+    }
+    FinalizeAndPush(aggs, c, /*source_side=*/false, /*direction=*/1);
+  }
+
+  static void MergeInto(std::unordered_map<ColorId, PairAgg>& aggs,
+                        ColorId key, double w) {
+    auto [it, inserted] = aggs.try_emplace(key);
+    PairAgg& agg = it->second;
+    if (inserted) {
+      agg.max_w = agg.min_w = w;
+      agg.count = 1;
+    } else {
+      agg.max_w = std::max(agg.max_w, w);
+      agg.min_w = std::min(agg.min_w, w);
+      ++agg.count;
+    }
+  }
+
+  void FinalizeAndPush(std::unordered_map<ColorId, PairAgg>& aggs,
+                       ColorId fixed_color, bool source_side,
+                       uint8_t direction) {
+    for (auto& [other, agg] : aggs) {
+      agg.version = ++version_counter_;
+      const ColorId src = source_side ? fixed_color : other;
+      const ColorId dst = source_side ? other : fixed_color;
+      PushEntries(src, dst, direction, agg);
+    }
+  }
+
+  void RecomputeOutEntry(ColorId c, ColorId t) {
+    PairAgg agg;
+    for (NodeId v : partition_.Members(c)) {
+      const auto it = out_deg_[v].find(t);
+      if (it == out_deg_[v].end()) continue;
+      if (agg.count == 0) {
+        agg.max_w = agg.min_w = it->second;
+        agg.count = 1;
+      } else {
+        agg.max_w = std::max(agg.max_w, it->second);
+        agg.min_w = std::min(agg.min_w, it->second);
+        ++agg.count;
+      }
+    }
+    if (agg.count == 0) {
+      out_agg_[c].erase(t);
+      return;
+    }
+    agg.version = ++version_counter_;
+    out_agg_[c][t] = agg;
+    PushEntries(c, t, /*direction=*/0, agg);
+  }
+
+  void RecomputeInEntry(ColorId s, ColorId c) {
+    PairAgg agg;
+    for (NodeId v : partition_.Members(c)) {
+      const auto it = in_deg_[v].find(s);
+      if (it == in_deg_[v].end()) continue;
+      if (agg.count == 0) {
+        agg.max_w = agg.min_w = it->second;
+        agg.count = 1;
+      } else {
+        agg.max_w = std::max(agg.max_w, it->second);
+        agg.min_w = std::min(agg.min_w, it->second);
+        ++agg.count;
+      }
+    }
+    if (agg.count == 0) {
+      in_agg_[c].erase(s);
+      return;
+    }
+    agg.version = ++version_counter_;
+    in_agg_[c][s] = agg;
+    PushEntries(s, c, /*direction=*/1, agg);
+  }
+
+  bool PeekValid(std::priority_queue<HeapEntry>& heap, HeapEntry* out) const {
+    while (!heap.empty()) {
+      const HeapEntry& top = heap.top();
+      const auto& agg_map =
+          top.direction == 0 ? out_agg_[top.src] : in_agg_[top.dst];
+      const ColorId key = top.direction == 0 ? top.dst : top.src;
+      const auto it = agg_map.find(key);
+      if (it != agg_map.end() && it->second.version == top.version) {
+        *out = top;
+        return true;
+      }
+      heap.pop();
+    }
+    return false;
+  }
+
+  void ApplySplit(const HeapEntry& witness) {
+    const ColorId split_color =
+        witness.direction == 0 ? witness.src : witness.dst;
+    const ColorId other = witness.direction == 0 ? witness.dst : witness.src;
+    const auto& deg_maps = witness.direction == 0 ? out_deg_ : in_deg_;
+
+    const std::vector<NodeId>& members = partition_.Members(split_color);
+    const size_t size = members.size();
+    QSC_CHECK_GE(size, 2u);
+
+    std::vector<double> values(size);
+    bool has_negative = false;
+    double lo = 0.0, hi = 0.0, sum = 0.0;
+    for (size_t i = 0; i < size; ++i) {
+      const auto& m = deg_maps[members[i]];
+      const auto it = m.find(other);
+      const double val = it == m.end() ? 0.0 : it->second;
+      values[i] = val;
+      has_negative |= val < 0.0;
+      sum += val;
+      if (i == 0) {
+        lo = hi = val;
+      } else {
+        lo = std::min(lo, val);
+        hi = std::max(hi, val);
+      }
+    }
+    QSC_CHECK_GT(hi, lo);
+
+    double threshold;
+    if (options_.split_mean == RothkoOptions::SplitMean::kGeometric &&
+        !has_negative) {
+      double log_sum = 0.0;
+      for (double v : values) log_sum += std::log1p(v);
+      threshold = std::expm1(log_sum / static_cast<double>(size));
+    } else {
+      threshold = sum / static_cast<double>(size);
+    }
+
+    std::vector<NodeId> eject;
+    for (size_t i = 0; i < size; ++i) {
+      if (values[i] > threshold) eject.push_back(members[i]);
+    }
+    if (eject.empty() || eject.size() == size) {
+      eject.clear();
+      for (size_t i = 0; i < size; ++i) {
+        if (values[i] > lo) eject.push_back(members[i]);
+      }
+      QSC_CHECK(!eject.empty());
+      QSC_CHECK_LT(eject.size(), size);
+    }
+
+    const ColorId new_color = partition_.SplitColor(split_color, eject);
+    out_agg_.emplace_back();
+    if (directed_) in_agg_.emplace_back();
+
+    std::unordered_set<ColorId> out_affected;
+    std::unordered_set<ColorId> in_affected;
+    for (NodeId v : eject) {
+      for (const NeighborEntry& e : graph_->InNeighbors(v)) {
+        SubtractWeight(out_deg_[e.node], split_color, e.weight);
+        AddWeight(out_deg_[e.node], new_color, e.weight);
+        out_affected.insert(partition_.ColorOf(e.node));
+      }
+      if (directed_) {
+        for (const NeighborEntry& e : graph_->OutNeighbors(v)) {
+          SubtractWeight(in_deg_[e.node], split_color, e.weight);
+          AddWeight(in_deg_[e.node], new_color, e.weight);
+          in_affected.insert(partition_.ColorOf(e.node));
+        }
+      }
+    }
+
+    RebuildSourceAggregates(split_color);
+    RebuildSourceAggregates(new_color);
+    if (directed_) {
+      RebuildTargetInAggregates(split_color);
+      RebuildTargetInAggregates(new_color);
+    }
+    for (ColorId c : out_affected) {
+      if (c == split_color || c == new_color) continue;
+      RecomputeOutEntry(c, split_color);
+      RecomputeOutEntry(c, new_color);
+    }
+    if (directed_) {
+      for (ColorId c : in_affected) {
+        if (c == split_color || c == new_color) continue;
+        RecomputeInEntry(split_color, c);
+        RecomputeInEntry(new_color, c);
+      }
+    }
+
+    history_.push_back({split_color, new_color, hi - lo,
+                        partition_.num_colors(), timer_.ElapsedSeconds()});
+  }
+
+  const Graph* graph_;
+  RothkoOptions options_;
+  Partition partition_;
+  bool directed_;
+
+  std::vector<std::unordered_map<ColorId, double>> out_deg_;
+  std::vector<std::unordered_map<ColorId, double>> in_deg_;
+
+  std::vector<std::unordered_map<ColorId, PairAgg>> out_agg_;
+  std::vector<std::unordered_map<ColorId, PairAgg>> in_agg_;
+
+  mutable std::priority_queue<HeapEntry> weighted_heap_;
+  mutable std::priority_queue<HeapEntry> raw_heap_;
+  uint64_t version_counter_ = 0;
+
+  WallTimer timer_;
+  std::vector<RothkoStep> history_;
+};
+
+}  // namespace reference
+}  // namespace qsc
+
+#endif  // QSC_TESTS_ROTHKO_REFERENCE_H_
