@@ -1,14 +1,15 @@
-// Betweenness-centrality approximation (paper Sec 4.3): exact Brandes vs
-// the color-pivot estimator at several color budgets, scored by Spearman
-// rank correlation, on a scale-free graph.
+// Betweenness-centrality approximation (paper Sec 4.3) through the session
+// API: exact Brandes once, then one qsc::Compressor serves the color-pivot
+// estimator at several budgets, resuming the cached alpha=beta=1 coloring
+// at each step (scored by Spearman rank correlation).
 //
 //   $ ./centrality_approx [nodes]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "qsc/api/compressor.h"
 #include "qsc/centrality/brandes.h"
-#include "qsc/centrality/color_pivot.h"
 #include "qsc/graph/generators.h"
 #include "qsc/util/random.h"
 #include "qsc/util/stats.h"
@@ -17,7 +18,7 @@
 int main(int argc, char** argv) {
   const int nodes = argc > 1 ? std::atoi(argv[1]) : 2000;
   qsc::Rng rng(11);
-  const qsc::Graph g = qsc::BarabasiAlbert(nodes, 3, rng);
+  qsc::Graph g = qsc::BarabasiAlbert(nodes, 3, rng);
   std::printf("scale-free graph: %d nodes, %lld edges\n", g.num_nodes(),
               static_cast<long long>(g.num_edges()));
 
@@ -26,17 +27,25 @@ int main(int argc, char** argv) {
   const double exact_seconds = timer.ElapsedSeconds();
   std::printf("exact betweenness (Brandes): %.3fs\n\n", exact_seconds);
 
-  std::printf("%8s  %12s  %10s  %9s\n", "colors", "spearman", "time",
-              "speedup");
+  qsc::Compressor session(std::move(g));
+
+  std::printf("%8s  %12s  %10s  %9s  %8s\n", "colors", "spearman", "time",
+              "speedup", "cache");
   for (qsc::ColorId colors : {8, 16, 32, 64, 128}) {
-    qsc::ColorPivotOptions options;
-    options.rothko.max_colors = colors;
+    qsc::QueryOptions query;
+    query.max_colors = colors;
     timer.Reset();
-    const auto approx = qsc::ApproximateBetweenness(g, options);
+    const auto approx = session.Centrality(query);
     const double seconds = timer.ElapsedSeconds();
-    std::printf("%8d  %12.4f  %9.3fs  %8.1fx\n", approx.num_colors,
-                qsc::SpearmanCorrelation(approx.scores, exact), seconds,
-                exact_seconds / seconds);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   approx.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d  %12.4f  %9.3fs  %8.1fx  %8s\n", approx->num_colors,
+                qsc::SpearmanCorrelation(approx->scores, exact), seconds,
+                exact_seconds / seconds,
+                approx->telemetry.coloring_cache_hit ? "hit" : "miss");
   }
   std::printf("\nnodes sharing a color are assumed to contribute\n"
               "interchangeably as shortest-path sources; one Brandes pass\n"

@@ -1,34 +1,45 @@
-// LP dimensionality reduction (paper Sec 4.1, Figure 3): walks through the
-// paper's exact 5x3 example, then reduces a larger synthetic QAP-like LP at
-// several color budgets and compares against the exact optimum.
+// LP dimensionality reduction (paper Sec 4.1, Figure 3) through the
+// session API: one LP-only qsc::Compressor serves the paper's exact 5x3
+// example and then sweeps a larger synthetic QAP-like LP over ascending
+// color budgets — each budget resumes the cached matrix-graph coloring
+// (Rothko as a co-routine) instead of recoloring from scratch.
 //
 //   $ ./lp_reduction
 
 #include <cstdio>
 
+#include "qsc/api/compressor.h"
 #include "qsc/lp/generators.h"
-#include "qsc/lp/reduce.h"
 #include "qsc/lp/simplex.h"
 #include "qsc/util/stats.h"
 #include "qsc/util/timer.h"
 
 int main() {
+  qsc::Compressor session;  // LP-only session: no graph needed
+
   // Part 1: the paper's Figure 3 example.
   const qsc::LpProblem example = qsc::Figure3Lp();
   const qsc::LpResult exact_example = qsc::SolveSimplex(example);
   std::printf("Figure 3 LP (5x3): exact optimum %.3f (paper: 128.157)\n",
               exact_example.objective);
 
-  qsc::LpReduceOptions fig3;
+  qsc::QueryOptions fig3;
   fig3.max_colors = 6;  // 2 row colors + 2 col colors + 2 pinned
-  const qsc::ReducedLp reduced_example = qsc::ReduceLp(example, fig3);
-  const qsc::LpResult red_result = qsc::SolveSimplex(reduced_example.lp);
+  const auto reduced_example = session.SolveLp(example, fig3);
+  if (!reduced_example.ok()) {
+    std::fprintf(stderr, "SolveLp failed: %s\n",
+                 reduced_example.status().ToString().c_str());
+    return 1;
+  }
   std::printf("  reduced to %dx%d with q = %.1f: optimum %.3f "
               "(paper: 130.199)\n\n",
-              reduced_example.lp.num_rows, reduced_example.lp.num_cols,
-              reduced_example.max_q, red_result.objective);
+              reduced_example->reduced.lp.num_rows,
+              reduced_example->reduced.lp.num_cols,
+              reduced_example->reduced.max_q,
+              reduced_example->solution.objective);
 
-  // Part 2: a qap15-like block LP.
+  // Part 2: a qap15-like block LP, swept budget by budget on one cached
+  // matrix coloring.
   const qsc::LpProblem lp = qsc::MakeQapLikeLp(10, 3);
   std::printf("QAP-like LP: %d rows, %d cols, %lld nonzeros\n", lp.num_rows,
               lp.num_cols, static_cast<long long>(lp.NumNonzeros()));
@@ -38,22 +49,28 @@ int main() {
   std::printf("exact optimum %.2f  [%.3fs]\n\n", exact.objective,
               exact_seconds);
 
-  std::printf("%8s  %10s  %10s  %10s  %10s\n", "colors", "reduced",
-              "objective", "rel.err", "time");
+  std::printf("%8s  %10s  %10s  %10s  %10s  %8s\n", "colors", "reduced",
+              "objective", "rel.err", "time", "cache");
   for (qsc::ColorId colors : {8, 16, 32, 64}) {
-    qsc::LpReduceOptions options;
-    options.max_colors = colors;
+    qsc::QueryOptions query;
+    query.max_colors = colors;
     timer.Reset();
-    const qsc::ReducedLp reduced = qsc::ReduceLp(lp, options);
-    const qsc::LpResult result = qsc::SolveSimplex(reduced.lp);
+    const auto result = session.SolveLp(lp, query);
     const double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "SolveLp failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
     char shape[32];
-    std::snprintf(shape, sizeof(shape), "%dx%d", reduced.lp.num_rows,
-                  reduced.lp.num_cols);
-    std::printf("%8d  %10s  %10.2f  %10.3f  %9.3fs\n", colors, shape,
-                result.objective,
-                qsc::RelativeError(exact.objective, result.objective),
-                seconds);
+    std::snprintf(shape, sizeof(shape), "%dx%d", result->reduced.lp.num_rows,
+                  result->reduced.lp.num_cols);
+    std::printf("%8d  %10s  %10.2f  %10.3f  %9.3fs  %8s\n", colors, shape,
+                result->solution.objective,
+                qsc::RelativeError(exact.objective,
+                                   result->solution.objective),
+                seconds,
+                result->telemetry.coloring_cache_hit ? "hit" : "miss");
   }
   std::printf("\nTheorem 2: the reduced optimum converges to the true "
               "optimum as q -> 0.\n");

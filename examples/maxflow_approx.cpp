@@ -1,13 +1,15 @@
 // Max-flow approximation on a vision-style grid network (paper Sec 4.2 /
-// 6.1): exact push-relabel vs the coloring-based upper bound at several
-// color budgets.
+// 6.1), compress-once/query-many style: one qsc::Compressor session serves
+// the whole budget sweep, so each finer budget continues the cached
+// coloring instead of recoloring from scratch. The results are
+// bit-identical to cold ApproximateMaxFlow calls at each budget.
 //
 //   $ ./maxflow_approx [width] [height]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "qsc/flow/approx_flow.h"
+#include "qsc/api/compressor.h"
 #include "qsc/flow/push_relabel.h"
 #include "qsc/graph/generators.h"
 #include "qsc/util/random.h"
@@ -18,7 +20,7 @@ int main(int argc, char** argv) {
   const int width = argc > 1 ? std::atoi(argv[1]) : 80;
   const int height = argc > 2 ? std::atoi(argv[2]) : 40;
   qsc::Rng rng(7);
-  const qsc::FlowInstance instance =
+  qsc::FlowInstance instance =
       qsc::SegmentationGridNetwork(width, height, 3, rng);
   std::printf("segmentation network %dx%d: %d nodes, %lld arcs\n", width,
               height, instance.graph.num_nodes(),
@@ -32,20 +34,30 @@ int main(int argc, char** argv) {
   std::printf("exact max-flow (push-relabel): %.1f  [%.3fs]\n\n", exact,
               exact_seconds);
 
-  std::printf("%8s  %12s  %10s  %10s\n", "colors", "approx", "rel.err",
-              "time");
+  qsc::Compressor session(std::move(instance.graph));
+
+  std::printf("%8s  %12s  %10s  %10s  %8s  %8s\n", "colors", "approx",
+              "rel.err", "time", "cache", "splits");
   for (qsc::ColorId colors : {4, 8, 16, 32, 64}) {
-    qsc::FlowApproxOptions options;
-    options.rothko.max_colors = colors;
+    qsc::QueryOptions query;
+    query.max_colors = colors;
     timer.Reset();
-    const qsc::FlowApproxResult approx = qsc::ApproximateMaxFlow(
-        instance.graph, instance.source, instance.sink, options);
+    const auto approx =
+        session.MaxFlow(instance.source, instance.sink, query);
     const double total = timer.ElapsedSeconds();
-    std::printf("%8d  %12.1f  %10.3f  %9.3fs\n", approx.num_colors,
-                approx.upper_bound,
-                qsc::RelativeError(exact, approx.upper_bound), total);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   approx.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d  %12.1f  %10.3f  %9.3fs  %8s  %8lld\n",
+                approx->num_colors, approx->upper_bound,
+                qsc::RelativeError(exact, approx->upper_bound), total,
+                approx->telemetry.coloring_cache_hit ? "hit" : "miss",
+                static_cast<long long>(approx->telemetry.coloring_splits));
   }
-  std::printf("\nthe approximation is an upper bound (Theorem 6) and\n"
-              "tightens as the color budget grows.\n");
+  std::printf("\nthe approximation is an upper bound (Theorem 6) that\n"
+              "tightens as the color budget grows; after the first query\n"
+              "every budget resumes the cached refinement (cache column).\n");
   return 0;
 }

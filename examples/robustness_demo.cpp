@@ -1,12 +1,14 @@
 // Robustness to perturbation (paper Figure 2): a synthetic graph with a
 // compact 100-color stable coloring is perturbed with random edges; the
-// stable coloring shatters while the q-stable coloring barely grows.
+// stable coloring shatters while the q-stable coloring barely grows. Each
+// noisy graph gets its own qsc::Compressor session (a session is bound to
+// one graph; perturbation produces a *new* graph).
 //
 //   $ ./robustness_demo
 
 #include <cstdio>
 
-#include "qsc/coloring/rothko.h"
+#include "qsc/api/compressor.h"
 #include "qsc/coloring/stable.h"
 #include "qsc/graph/generators.h"
 #include "qsc/graph/perturb.h"
@@ -22,16 +24,22 @@ int main() {
   std::printf("%12s  %14s  %16s\n", "added edges", "stable colors",
               "q-stable colors");
   for (int added : {0, 50, 100, 150, 200, 250, 300}) {
-    const qsc::Graph noisy =
+    qsc::Graph noisy =
         added == 0 ? base : qsc::AddRandomEdges(base, added, rng);
     const qsc::ColorId stable = qsc::StableColoring(noisy).num_colors();
 
-    qsc::RothkoOptions options;
-    options.max_colors = 1000;
-    options.q_tolerance = 4.0;  // paper uses q = 4 in Figure 2
-    const qsc::ColorId quasi =
-        qsc::RothkoColoring(noisy, options).num_colors();
-    std::printf("%12d  %14d  %16d\n", added, stable, quasi);
+    qsc::Compressor session(std::move(noisy));
+    qsc::QueryOptions query;
+    query.max_colors = 1000;
+    query.q_tolerance = 4.0;  // paper uses q = 4 in Figure 2
+    const auto quasi = session.Coloring(query);
+    if (!quasi.ok()) {
+      std::fprintf(stderr, "coloring failed: %s\n",
+                   quasi.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%12d  %14d  %16d\n", added, stable,
+                quasi->coloring->num_colors());
   }
   std::printf("\nstable coloring degenerates toward one color per node;\n"
               "the q-stable coloring absorbs the noise (paper Sec 6.3).\n");

@@ -1,0 +1,151 @@
+#include "qsc/api/coloring_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qsc/api/hashing.h"
+#include "qsc/util/timer.h"
+
+namespace qsc {
+namespace {
+
+RothkoOptions ToRothkoOptions(const ColoringSpec& spec) {
+  RothkoOptions options;
+  // max_colors is owned by the Refine() loop, not the refiner (Run() is
+  // never called on cached refiners).
+  options.q_tolerance = spec.q_tolerance;
+  options.alpha = spec.alpha;
+  options.beta = spec.beta;
+  options.split_mean = spec.split_mean;
+  return options;
+}
+
+}  // namespace
+
+size_t ColoringSpecHash::operator()(const ColoringSpec& spec) const {
+  using api_internal::HashMixDouble;
+  using api_internal::HashMixWord;
+  uint64_t h = api_internal::kFnvOffsetBasis;
+  h = HashMixDouble(h, spec.alpha);
+  h = HashMixDouble(h, spec.beta);
+  h = HashMixDouble(h, spec.q_tolerance);
+  h = HashMixWord(h, static_cast<uint64_t>(spec.split_mean));
+  for (const NodeId pin : spec.pinned) {
+    h = HashMixWord(h, static_cast<uint64_t>(pin));
+  }
+  return static_cast<size_t>(h);
+}
+
+Partition InitialPartition(const ColoringSpec& spec, NodeId num_nodes) {
+  std::vector<int32_t> labels(num_nodes,
+                              static_cast<int32_t>(spec.pinned.size()));
+  for (size_t i = 0; i < spec.pinned.size(); ++i) {
+    const NodeId pin = spec.pinned[i];
+    QSC_CHECK(pin >= 0 && pin < num_nodes);
+    labels[pin] = static_cast<int32_t>(i);
+  }
+  return Partition::FromColorIds(labels);
+}
+
+struct ColoringCache::Entry {
+  Entry(const Graph& g, const ColoringSpec& spec)
+      : refiner(g, InitialPartition(spec, g.num_nodes()),
+                ToRothkoOptions(spec)),
+        initial_colors(refiner.partition().num_colors()) {}
+
+  RothkoRefiner refiner;
+  // Colors of the spec's initial partition (pins + 1); no budget can go
+  // below this, exactly as in RothkoRefiner::Run().
+  ColorId initial_colors;
+  // Step() returned false: the coloring converged (q <= tolerance or no
+  // splittable color); larger budgets cannot advance it.
+  bool converged = false;
+  // Snapshot of the refiner's current partition; reset on refinement.
+  std::shared_ptr<const Partition> head;
+  // Snapshots previously served, keyed by requested budget. Serves
+  // down-budget requests without rerunning (splits are not invertible).
+  std::map<ColorId, std::pair<std::shared_ptr<const Partition>, double>>
+      served;
+};
+
+ColoringCache::ColoringCache(std::shared_ptr<const Graph> graph)
+    : graph_(std::move(graph)) {
+  QSC_CHECK(graph_ != nullptr);
+}
+
+ColoringCache::~ColoringCache() = default;
+
+ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
+                                            ColorId budget) {
+  QSC_CHECK_GT(budget, 0);
+  WallTimer timer;
+  Handle handle;
+  ++stats_.lookups;
+
+  auto it = entries_.find(spec);
+  const bool found = it != entries_.end();
+  if (!found) {
+    ++stats_.misses;
+    it = entries_.emplace(spec, std::make_unique<Entry>(*graph_, spec)).first;
+  }
+  Entry& entry = *it->second;
+
+  // A budget below the initial color count cannot be met (pins are never
+  // merged); Run() serves the initial partition there, and so do we —
+  // without taking the down-budget recompute path.
+  budget = std::max(budget, entry.initial_colors);
+
+  // Down-budget request on a refiner that has already split past `budget`:
+  // serve the memoized snapshot, or recompute this budget once.
+  if (entry.refiner.partition().num_colors() > budget) {
+    const auto served = entry.served.find(budget);
+    if (served != entry.served.end()) {
+      ++stats_.hits;
+      handle.cache_hit = true;
+      handle.partition = served->second.first;
+      handle.max_error = served->second.second;
+      handle.seconds = timer.ElapsedSeconds();
+      return handle;
+    }
+    ++stats_.recolorings;
+    RothkoRefiner fresh(*graph_, InitialPartition(spec, graph_->num_nodes()),
+                        ToRothkoOptions(spec));
+    const ColorId initial = fresh.partition().num_colors();
+    while (fresh.partition().num_colors() < budget && fresh.Step(budget)) {
+    }
+    handle.splits = fresh.partition().num_colors() - initial;
+    stats_.refine_splits += handle.splits;
+    handle.partition = std::make_shared<const Partition>(fresh.partition());
+    handle.max_error = fresh.CurrentMaxError();
+    entry.served[budget] = {handle.partition, handle.max_error};
+    handle.seconds = timer.ElapsedSeconds();
+    return handle;
+  }
+
+  // Continue the cached refinement — the same loop as RothkoRefiner::Run(),
+  // so the result is bit-identical to a fresh run at `budget`.
+  if (found) {
+    ++stats_.hits;
+    handle.cache_hit = true;
+  }
+  const ColorId before = entry.refiner.partition().num_colors();
+  while (!entry.converged &&
+         entry.refiner.partition().num_colors() < budget) {
+    if (!entry.refiner.Step(budget)) {
+      entry.converged = true;
+    }
+  }
+  handle.splits = entry.refiner.partition().num_colors() - before;
+  stats_.refine_splits += handle.splits;
+  if (handle.splits > 0 || entry.head == nullptr) {
+    entry.head =
+        std::make_shared<const Partition>(entry.refiner.partition());
+  }
+  handle.partition = entry.head;
+  handle.max_error = entry.refiner.CurrentMaxError();
+  entry.served[budget] = {handle.partition, handle.max_error};
+  handle.seconds = timer.ElapsedSeconds();
+  return handle;
+}
+
+}  // namespace qsc

@@ -1,0 +1,137 @@
+// The session-level coloring cache behind qsc::Compressor (paper Sec 5.2:
+// Rothko as an anytime co-routine, amortized across queries).
+//
+// A cache entry is keyed by a ColoringSpec — everything that determines
+// the Rothko split sequence except the color budget — and holds a *live*
+// RothkoRefiner. Because each witness split is a deterministic function of
+// the current partition only, a request for a larger budget continues the
+// cached refinement and yields a partition bit-identical to a fresh run at
+// that budget (tests/api_cache_resume_test.cc proves this over the shared
+// 56-graph corpus). Partitions are handed out as shared snapshots, so
+// serving a query never copies the coloring; repeated requests at one
+// budget share one snapshot.
+//
+// Budgets below the cached refiner's current color count cannot be rolled
+// back (splits are not invertible), so such requests recompute from
+// scratch once and memoize the result per budget ("recoloring" in the
+// stats). Sessions that sweep budgets in ascending order — the anytime
+// direction, and what NormalizeBudgets produces — never pay this.
+
+#ifndef QSC_API_COLORING_CACHE_H_
+#define QSC_API_COLORING_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+// Cache key: the parameters that determine the Rothko split sequence from
+// a given graph. The color budget is deliberately absent — one entry
+// serves every budget via the anytime property.
+struct ColoringSpec {
+  // Witness weighting C_ij = |P_i|^alpha * |P_j|^beta (paper Sec 5.2).
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  // Refinement stops once the max q-error drops to this bound.
+  double q_tolerance = 0.0;
+
+  RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
+
+  // Nodes seeded into their own singleton colors: pinned[i] is labeled i
+  // and every other node shares label pinned.size(); the labels are then
+  // renumbered to dense color ids in first-appearance node order by
+  // Partition::FromColorIds (so pin order affects the split sequence, but
+  // a pin's color id must be looked up via ColorOf, not assumed to be i).
+  // The max-flow terminal pinning of Theorem 6 is pinned = {s, t}.
+  std::vector<NodeId> pinned;
+
+  friend bool operator==(const ColoringSpec& a, const ColoringSpec& b) {
+    return a.alpha == b.alpha && a.beta == b.beta &&
+           a.q_tolerance == b.q_tolerance && a.split_mean == b.split_mean &&
+           a.pinned == b.pinned;
+  }
+  friend bool operator!=(const ColoringSpec& a, const ColoringSpec& b) {
+    return !(a == b);
+  }
+};
+
+struct ColoringSpecHash {
+  size_t operator()(const ColoringSpec& spec) const;
+};
+
+// The initial partition a spec induces: each pinned node in its own
+// singleton color, the rest in one shared color (color ids assigned in
+// first-appearance node order — see ColoringSpec::pinned). Matches
+// Partition::Trivial for an empty pin set and ApproximateMaxFlow's
+// historical terminal pinning for {s, t}.
+Partition InitialPartition(const ColoringSpec& spec, NodeId num_nodes);
+
+// Session-lifetime amortization counters.
+struct CacheStats {
+  int64_t lookups = 0;       // coloring requests served
+  int64_t hits = 0;          // served from a cached refiner (possibly after
+                             // continuing its refinement)
+  int64_t misses = 0;        // new spec: refiner built and run from scratch
+  int64_t recolorings = 0;   // down-budget recomputes within a cached spec
+  int64_t refine_splits = 0; // total witness splits performed
+};
+
+// Spec-keyed store of live anytime refiners over one graph. Single-
+// threaded: callers (Compressor) must serialize access.
+class ColoringCache {
+ public:
+  // One served coloring. `partition` is a shared immutable snapshot —
+  // callers must not assume it tracks later refinement.
+  struct Handle {
+    std::shared_ptr<const Partition> partition;
+    double max_error = 0.0;  // max unweighted q-error of `partition`
+    bool cache_hit = false;  // an existing entry served this request
+    int64_t splits = 0;      // witness splits this request performed
+    double seconds = 0.0;    // wall-clock cost of this request
+  };
+
+  // `graph` must be non-null; the cache shares ownership.
+  explicit ColoringCache(std::shared_ptr<const Graph> graph);
+  ~ColoringCache();
+
+  ColoringCache(const ColoringCache&) = delete;
+  ColoringCache& operator=(const ColoringCache&) = delete;
+
+  // Serves the spec's coloring refined to `budget` colors (or to
+  // convergence, whichever comes first; budgets below the spec's initial
+  // color count serve the initial partition, like RothkoRefiner::Run()).
+  // Contract violations (unvalidated pins, non-positive budget) abort;
+  // qsc::Compressor validates at the API boundary. The result is
+  // bit-identical to
+  //   RothkoColoring(graph, InitialPartition(spec, n),
+  //                  {budget, spec.q_tolerance, spec.alpha, spec.beta,
+  //                   spec.split_mean})
+  // regardless of which budgets were served before.
+  Handle Refine(const ColoringSpec& spec, ColorId budget);
+
+  const Graph& graph() const { return *graph_; }
+  const std::shared_ptr<const Graph>& shared_graph() const { return graph_; }
+
+  const CacheStats& stats() const { return stats_; }
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry;
+
+  std::shared_ptr<const Graph> graph_;
+  std::unordered_map<ColoringSpec, std::unique_ptr<Entry>, ColoringSpecHash>
+      entries_;
+  CacheStats stats_;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_API_COLORING_CACHE_H_

@@ -1,0 +1,458 @@
+#include "qsc/api/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "qsc/api/hashing.h"
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/reduced_graph.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/flow/uniform_flow.h"
+#include "qsc/util/timer.h"
+
+namespace qsc {
+namespace {
+
+std::string NodeStr(NodeId v) { return std::to_string(v); }
+
+// Shared option checks (satellite of the api_redesign issue: these used to
+// abort via QSC_CHECK or silently index out of range).
+Status ValidateCommonOptions(const QueryOptions& options) {
+  if (options.max_colors <= 0) {
+    return Status::InvalidArgument(
+        "max_colors must be positive; got " +
+        std::to_string(options.max_colors));
+  }
+  if (!std::isfinite(options.q_tolerance) || options.q_tolerance < 0.0) {
+    return Status::InvalidArgument("q_tolerance must be finite and >= 0; got " +
+                                   std::to_string(options.q_tolerance));
+  }
+  if (options.alpha.has_value() && !std::isfinite(*options.alpha)) {
+    return Status::InvalidArgument("alpha must be finite; got " +
+                                   std::to_string(*options.alpha));
+  }
+  if (options.beta.has_value() && !std::isfinite(*options.beta)) {
+    return Status::InvalidArgument("beta must be finite; got " +
+                                   std::to_string(*options.beta));
+  }
+  return Status::Ok();
+}
+
+Status ValidatePins(const std::vector<NodeId>& pinned, NodeId num_nodes) {
+  for (size_t i = 0; i < pinned.size(); ++i) {
+    if (pinned[i] < 0 || pinned[i] >= num_nodes) {
+      return Status::InvalidArgument(
+          "pinned node id " + NodeStr(pinned[i]) + " out of range [0, " +
+          NodeStr(num_nodes) + ")");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (pinned[j] == pinned[i]) {
+        return Status::InvalidArgument("duplicate pinned node id " +
+                                       NodeStr(pinned[i]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Builds the cache key from options, filling unset witness exponents with
+// the area defaults (paper Sec 5.2).
+ColoringSpec SpecFor(const QueryOptions& options, double default_alpha,
+                     double default_beta, std::vector<NodeId> pinned) {
+  ColoringSpec spec;
+  spec.alpha = options.alpha.value_or(default_alpha);
+  spec.beta = options.beta.value_or(default_beta);
+  spec.q_tolerance = options.q_tolerance;
+  spec.split_mean = options.split_mean;
+  spec.pinned = std::move(pinned);
+  return spec;
+}
+
+// Content fingerprint of an LP: SolveLp keys its matrix-coloring cache by
+// value, so two calls with equal problems share one refiner even if they
+// pass different objects. Not collision-resistant — hits are confirmed by
+// LpEquals before a cached refiner is reused.
+uint64_t FingerprintLp(const LpProblem& lp) {
+  using api_internal::HashMixDouble;
+  using api_internal::HashMixWord;
+  uint64_t h = api_internal::kFnvOffsetBasis;
+  h = HashMixWord(h, static_cast<uint64_t>(lp.num_rows));
+  h = HashMixWord(h, static_cast<uint64_t>(lp.num_cols));
+  for (const LpEntry& e : lp.entries) {
+    h = HashMixWord(h, static_cast<uint64_t>(e.row));
+    h = HashMixWord(h, static_cast<uint64_t>(e.col));
+    h = HashMixDouble(h, e.value);
+  }
+  for (const double v : lp.b) h = HashMixDouble(h, v);
+  for (const double v : lp.c) h = HashMixDouble(h, v);
+  return h;
+}
+
+bool LpEquals(const LpProblem& a, const LpProblem& b) {
+  if (a.num_rows != b.num_rows || a.num_cols != b.num_cols ||
+      a.entries.size() != b.entries.size() || a.b != b.b || a.c != b.c) {
+    return false;
+  }
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    if (a.entries[i].row != b.entries[i].row ||
+        a.entries[i].col != b.entries[i].col ||
+        a.entries[i].value != b.entries[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+class Compressor::Impl {
+ public:
+  explicit Impl(std::shared_ptr<const Graph> graph)
+      : graph_(std::move(graph)) {
+    if (graph_ != nullptr && graph_->num_nodes() > 0) {
+      cache_ = std::make_unique<ColoringCache>(graph_);
+    }
+  }
+
+  bool has_graph() const { return graph_ != nullptr; }
+  const Graph& graph() const {
+    QSC_CHECK(graph_ != nullptr);
+    return *graph_;
+  }
+
+  // FailedPrecondition (not InvalidArgument): the request may be fine, but
+  // this session cannot serve graph queries.
+  Status RequireGraph() const {
+    if (graph_ == nullptr) {
+      return Status::FailedPrecondition(
+          "graph query on an LP-only session (no graph)");
+    }
+    if (graph_->num_nodes() == 0) {
+      return Status::FailedPrecondition("session graph is empty");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<ColoringResult> Coloring(const QueryOptions& options) {
+    QSC_RETURN_IF_ERROR(RequireGraph());
+    QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
+    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
+
+    const ColoringSpec spec =
+        SpecFor(options, /*default_alpha=*/0.0, /*default_beta=*/0.0,
+                options.pinned);
+    const ColoringCache::Handle handle =
+        cache_->Refine(spec, options.max_colors);
+    ColoringResult result;
+    result.coloring = handle.partition;
+    result.max_q = handle.max_error;
+    result.telemetry = TelemetryFor(handle);
+    return result;
+  }
+
+  StatusOr<FlowQueryResult> MaxFlow(NodeId source, NodeId sink,
+                                    const QueryOptions& options) {
+    QSC_RETURN_IF_ERROR(RequireGraph());
+    QSC_RETURN_IF_ERROR(ValidateFlowQuery(source, sink, options));
+    return MaxFlowUnchecked(source, sink, options);
+  }
+
+  StatusOr<std::vector<FlowQueryResult>> MaxFlowBatch(
+      const std::vector<std::pair<NodeId, NodeId>>& st_pairs,
+      const QueryOptions& options) {
+    QSC_RETURN_IF_ERROR(RequireGraph());
+    // Fail fast: validate every pair before serving any query, so a batch
+    // either runs whole or not at all.
+    for (const auto& [source, sink] : st_pairs) {
+      QSC_RETURN_IF_ERROR(ValidateFlowQuery(source, sink, options));
+    }
+    std::vector<FlowQueryResult> results;
+    results.reserve(st_pairs.size());
+    for (const auto& [source, sink] : st_pairs) {
+      StatusOr<FlowQueryResult> result =
+          MaxFlowUnchecked(source, sink, options);
+      QSC_CHECK_OK(result);  // validated above; failures are internal bugs
+      results.push_back(std::move(result).value());
+    }
+    return results;
+  }
+
+  StatusOr<LpQueryResult> SolveLp(const LpProblem& lp,
+                                  const QueryOptions& options) {
+    QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
+    QSC_RETURN_IF_ERROR(ValidateLp(lp));
+    if (options.max_colors < 4) {
+      return Status::InvalidArgument(
+          "SolveLp needs max_colors >= 4 (the two pinned singletons plus at "
+          "least one row and one column color); got " +
+          std::to_string(options.max_colors));
+    }
+    if (!options.pinned.empty()) {
+      return Status::InvalidArgument(
+          "SolveLp pins the objective row and rhs column internally; "
+          "explicit pins are not supported");
+    }
+
+    LpReduceOptions reduce_options;
+    reduce_options.max_colors = options.max_colors;
+    reduce_options.q_tolerance = options.q_tolerance;
+    reduce_options.alpha = options.alpha.value_or(reduce_options.alpha);
+    reduce_options.beta = options.beta.value_or(reduce_options.beta);
+    reduce_options.split_mean = options.split_mean;
+    reduce_options.variant = options.lp_variant;
+
+    WallTimer timer;
+    ++stats_.lp_lookups;
+    const LpSessionKey key{FingerprintLp(lp), reduce_options.alpha,
+                           reduce_options.beta, reduce_options.q_tolerance,
+                           static_cast<int>(reduce_options.split_mean),
+                           static_cast<int>(reduce_options.variant)};
+    // The fingerprint is not collision-resistant, so a key maps to a
+    // bucket of sessions and a hit requires content equality.
+    std::vector<std::unique_ptr<LpSession>>& bucket = lp_entries_[key];
+    LpSession* session = nullptr;
+    for (const std::unique_ptr<LpSession>& candidate : bucket) {
+      if (LpEquals(candidate->lp, lp)) {
+        session = candidate.get();
+        break;
+      }
+    }
+    const bool found = session != nullptr;
+    if (!found) {
+      ++stats_.lp_misses;
+      auto entry = std::make_unique<LpSession>();
+      entry->lp = lp;
+      entry->refiner =
+          std::make_unique<LpColoringRefiner>(entry->lp, reduce_options);
+      bucket.push_back(std::move(entry));
+      session = bucket.back().get();
+    }
+
+    LpQueryResult result;
+    if (session->refiner->num_colors() > options.max_colors) {
+      // The cached matrix coloring has refined past this budget and splits
+      // are not invertible: recompute this budget from scratch once and
+      // memoize (mirrors ColoringCache's down-budget path).
+      const auto served = session->down_served.find(options.max_colors);
+      if (served != session->down_served.end()) {
+        ++stats_.lp_hits;
+        result.telemetry.coloring_cache_hit = true;
+        result.reduced = served->second;
+      } else {
+        ++stats_.lp_recolorings;
+        LpColoringRefiner fresh(session->lp, reduce_options);
+        result.reduced = fresh.ReduceTo(options.max_colors);
+        session->down_served.emplace(options.max_colors, result.reduced);
+      }
+    } else {
+      if (found) ++stats_.lp_hits;
+      result.telemetry.coloring_cache_hit = found;
+      result.reduced = session->refiner->ReduceTo(options.max_colors);
+    }
+    result.telemetry.coloring_seconds = timer.ElapsedSeconds();
+
+    timer.Reset();
+    result.solution = SolveSimplex(result.reduced.lp);
+    if (result.solution.status == LpStatus::kOptimal) {
+      result.lifted_x = LiftSolution(result.reduced, result.solution.x);
+    }
+    result.telemetry.solve_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  StatusOr<CentralityQueryResult> Centrality(const QueryOptions& options) {
+    QSC_RETURN_IF_ERROR(RequireGraph());
+    QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
+    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
+    if (options.pivots_per_color < 1) {
+      return Status::InvalidArgument(
+          "pivots_per_color must be >= 1; got " +
+          std::to_string(options.pivots_per_color));
+    }
+
+    const ColoringSpec spec =
+        SpecFor(options, /*default_alpha=*/1.0, /*default_beta=*/1.0,
+                options.pinned);
+    const ColoringCache::Handle handle =
+        cache_->Refine(spec, options.max_colors);
+
+    CentralityQueryResult result;
+    result.coloring = handle.partition;
+    result.num_colors = handle.partition->num_colors();
+    result.telemetry = TelemetryFor(handle);
+    WallTimer timer;
+    result.scores = ColorPivotScores(*graph_, *handle.partition,
+                                     options.pivots_per_color, options.seed);
+    result.telemetry.solve_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const CompressorStats& stats() {
+    stats_.coloring = cache_ != nullptr ? cache_->stats() : CacheStats{};
+    return stats_;
+  }
+
+ private:
+  struct LpSessionKey {
+    uint64_t fingerprint;
+    double alpha, beta, q_tolerance;
+    int split_mean, variant;
+
+    bool operator<(const LpSessionKey& o) const {
+      return std::tie(fingerprint, alpha, beta, q_tolerance, split_mean,
+                      variant) < std::tie(o.fingerprint, o.alpha, o.beta,
+                                          o.q_tolerance, o.split_mean,
+                                          o.variant);
+    }
+  };
+
+  struct LpSession {
+    LpProblem lp;  // owned copy; the refiner holds a reference into it
+    std::unique_ptr<LpColoringRefiner> refiner;
+    // Down-budget reductions already recomputed, keyed by budget.
+    std::map<ColorId, ReducedLp> down_served;
+  };
+
+  static QueryTelemetry TelemetryFor(const ColoringCache::Handle& handle) {
+    QueryTelemetry t;
+    t.coloring_cache_hit = handle.cache_hit;
+    t.coloring_splits = handle.splits;
+    t.coloring_seconds = handle.seconds;
+    return t;
+  }
+
+  Status ValidateFlowQuery(NodeId source, NodeId sink,
+                           const QueryOptions& options) const {
+    QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
+    const NodeId n = graph_->num_nodes();
+    if (source < 0 || source >= n) {
+      return Status::InvalidArgument("source node id " + NodeStr(source) +
+                                     " out of range [0, " + NodeStr(n) + ")");
+    }
+    if (sink < 0 || sink >= n) {
+      return Status::InvalidArgument("sink node id " + NodeStr(sink) +
+                                     " out of range [0, " + NodeStr(n) + ")");
+    }
+    if (source == sink) {
+      return Status::InvalidArgument(
+          "source and sink must differ; both are " + NodeStr(source));
+    }
+    if (graph_->undirected()) {
+      return Status::InvalidArgument(
+          "MaxFlow requires a directed session graph (capacities are "
+          "per-arc)");
+    }
+    if (!options.pinned.empty()) {
+      return Status::InvalidArgument(
+          "MaxFlow pins its terminals itself; explicit pins are not "
+          "supported");
+    }
+    if (!std::isfinite(options.uniform_flow_tol) ||
+        options.uniform_flow_tol <= 0.0) {
+      return Status::InvalidArgument(
+          "uniform_flow_tol must be finite and positive; got " +
+          std::to_string(options.uniform_flow_tol));
+    }
+    return Status::Ok();
+  }
+
+  // The Theorem-6 pipeline of ApproximateMaxFlow, with the coloring served
+  // from the session cache. Inputs already validated.
+  StatusOr<FlowQueryResult> MaxFlowUnchecked(NodeId source, NodeId sink,
+                                             const QueryOptions& options) {
+    const ColoringSpec spec =
+        SpecFor(options, /*default_alpha=*/0.0, /*default_beta=*/0.0,
+                {source, sink});
+    const ColoringCache::Handle handle =
+        cache_->Refine(spec, options.max_colors);
+    const Partition& p = *handle.partition;
+    const Graph& g = *graph_;
+
+    FlowQueryResult result;
+    result.coloring = handle.partition;
+    result.num_colors = p.num_colors();
+    result.telemetry = TelemetryFor(handle);
+
+    WallTimer timer;
+    const ColorId source_color = p.ColorOf(source);
+    const ColorId sink_color = p.ColorOf(sink);
+
+    // Upper bound: reduced graph with summed capacities (c^2).
+    const Graph reduced = BuildReducedGraph(g, p, ReducedWeight::kSum);
+    result.upper_bound =
+        MaxFlowPushRelabel(reduced, source_color, sink_color);
+
+    if (options.compute_lower_bound) {
+      // c^1(i, j) = maxUFlow(P_i, P_j): the largest flow shippable between
+      // the two colors with uniform per-node rates (Theorem 6).
+      std::vector<EdgeTriple> arcs;
+      for (const EdgeTriple& a : reduced.Arcs()) {
+        if (a.src == a.dst) continue;
+        const double c1 = MaxUniformFlow(g, p.Members(a.src), p.Members(a.dst),
+                                         options.uniform_flow_tol);
+        if (c1 > 0.0) {
+          arcs.push_back({a.src, a.dst, c1});
+        }
+      }
+      const Graph lower_graph =
+          Graph::FromEdges(p.num_colors(), arcs, /*undirected=*/false);
+      result.lower_bound =
+          MaxFlowPushRelabel(lower_graph, source_color, sink_color);
+    }
+    result.telemetry.solve_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  std::shared_ptr<const Graph> graph_;
+  std::unique_ptr<ColoringCache> cache_;
+  std::map<LpSessionKey, std::vector<std::unique_ptr<LpSession>>> lp_entries_;
+  CompressorStats stats_;
+};
+
+Compressor::Compressor() : impl_(new Impl(nullptr)) {}
+
+Compressor::Compressor(Graph graph)
+    : impl_(new Impl(std::make_shared<const Graph>(std::move(graph)))) {}
+
+Compressor::Compressor(std::shared_ptr<const Graph> graph)
+    : impl_(new Impl(std::move(graph))) {}
+
+Compressor::~Compressor() = default;
+Compressor::Compressor(Compressor&&) noexcept = default;
+Compressor& Compressor::operator=(Compressor&&) noexcept = default;
+
+bool Compressor::has_graph() const { return impl_->has_graph(); }
+const Graph& Compressor::graph() const { return impl_->graph(); }
+
+StatusOr<ColoringResult> Compressor::Coloring(const QueryOptions& options) {
+  return impl_->Coloring(options);
+}
+
+StatusOr<FlowQueryResult> Compressor::MaxFlow(NodeId source, NodeId sink,
+                                              const QueryOptions& options) {
+  return impl_->MaxFlow(source, sink, options);
+}
+
+StatusOr<std::vector<FlowQueryResult>> Compressor::MaxFlowBatch(
+    const std::vector<std::pair<NodeId, NodeId>>& st_pairs,
+    const QueryOptions& options) {
+  return impl_->MaxFlowBatch(st_pairs, options);
+}
+
+StatusOr<LpQueryResult> Compressor::SolveLp(const LpProblem& lp,
+                                            const QueryOptions& options) {
+  return impl_->SolveLp(lp, options);
+}
+
+StatusOr<CentralityQueryResult> Compressor::Centrality(
+    const QueryOptions& options) {
+  return impl_->Centrality(options);
+}
+
+const CompressorStats& Compressor::stats() const { return impl_->stats(); }
+
+}  // namespace qsc

@@ -1,0 +1,204 @@
+// qsc::Compressor — the compress-once, query-many session API
+// (docs/API.md). The paper's value proposition is amortization: compute
+// one quasi-stable coloring, then answer many max-flow / LP / centrality
+// queries from the compressed representation. A Compressor owns the graph
+// and a ColoringCache of live anytime refiners, so repeated queries that
+// agree on their ColoringSpec (pins, alpha/beta, split rule, tolerance)
+// share one coloring, and a request for more colors *continues* the cached
+// refinement instead of recomputing — bit-identical to a fresh run.
+//
+// All queries validate their options and return StatusOr; the legacy free
+// functions (ApproximateMaxFlow, ApproximateBetweenness) remain as thin
+// one-shot wrappers that abort on errors the session API reports.
+//
+// Thread-safety: a Compressor is single-threaded. Queries mutate the
+// internal caches; callers must serialize access (one Compressor per
+// thread, or external locking).
+
+#ifndef QSC_API_COMPRESSOR_H_
+#define QSC_API_COMPRESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "qsc/api/coloring_cache.h"
+#include "qsc/coloring/partition.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/graph/graph.h"
+#include "qsc/lp/model.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/status.h"
+
+namespace qsc {
+
+// Per-query knobs, uniform across the four query kinds; fields that do not
+// apply to a query are ignored by it (and documented below). Validated at
+// the Compressor boundary: invalid values yield Status::InvalidArgument
+// instead of the QSC_CHECK aborts of the legacy entry points.
+struct QueryOptions {
+  // Color budget for the coloring this query runs on. Queries at a larger
+  // budget than a cached coloring continue its refinement (anytime
+  // property); smaller budgets recompute once and are memoized.
+  ColorId max_colors = 64;
+
+  // Stop refining once the max q-error reaches this bound (0 = refine to
+  // the budget). Part of the coloring cache key.
+  double q_tolerance = 0.0;
+
+  // Witness weighting exponents. Unset means the area's paper default:
+  // alpha = beta = 0 for Coloring/MaxFlow, alpha = 1, beta = 0 for
+  // SolveLp, alpha = beta = 1 for Centrality (paper Sec 5.2).
+  std::optional<double> alpha;
+  std::optional<double> beta;
+
+  RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
+
+  // Extra nodes to pin into singleton colors (Coloring and Centrality
+  // queries only; MaxFlow pins its terminals itself and SolveLp pins the
+  // objective row / rhs column internally — both reject explicit pins).
+  std::vector<NodeId> pinned;
+
+  // MaxFlow only: also compute the Theorem-6 lower bound (one maxUFlow
+  // bisection per color pair; advisable on small graphs only).
+  bool compute_lower_bound = false;
+  double uniform_flow_tol = 1e-6;
+
+  // SolveLp only: reduction variant (paper Eq. 6 or Grohe et al. [16]).
+  LpReduction lp_variant = LpReduction::kSqrtNormalized;
+
+  // Centrality only: pivots sampled per color and the sampling seed.
+  int32_t pivots_per_color = 1;
+  uint64_t seed = 17;
+};
+
+// Per-query amortization telemetry.
+struct QueryTelemetry {
+  // The coloring was served from the session cache (possibly after
+  // continuing its refinement). False on the first query of a spec and on
+  // down-budget recomputes.
+  bool coloring_cache_hit = false;
+  // Witness splits this query performed (0 = pure cache hit).
+  int64_t coloring_splits = 0;
+  // Incremental wall-clock cost of obtaining the coloring for this query —
+  // near zero on a cache hit — and of the solve that followed.
+  double coloring_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+// Result of Compressor::Coloring.
+struct ColoringResult {
+  // Shared immutable snapshot; never copied per query. Queries that agree
+  // on spec and budget return the same pointer.
+  std::shared_ptr<const Partition> coloring;
+  double max_q = 0.0;  // max unweighted q-error, both directions
+  QueryTelemetry telemetry;
+};
+
+// Result of Compressor::MaxFlow, mirroring FlowApproxResult with the
+// partition shared instead of copied (batched queries would otherwise copy
+// it per query).
+struct FlowQueryResult {
+  double upper_bound = 0.0;  // maxFlow of the c^2 reduced graph (Theorem 6)
+  double lower_bound = 0.0;  // c^1 bound; 0 unless compute_lower_bound
+  ColorId num_colors = 0;
+  std::shared_ptr<const Partition> coloring;
+  QueryTelemetry telemetry;
+};
+
+// Result of Compressor::SolveLp: the reduced LP (with its color maps), the
+// reduced solve, and the solution lifted back to the original variable
+// space (empty unless the reduced solve is optimal).
+struct LpQueryResult {
+  ReducedLp reduced;
+  LpResult solution;
+  std::vector<double> lifted_x;
+  QueryTelemetry telemetry;
+};
+
+// Result of Compressor::Centrality.
+struct CentralityQueryResult {
+  std::vector<double> scores;  // approximate betweenness per node
+  ColorId num_colors = 0;
+  std::shared_ptr<const Partition> coloring;
+  QueryTelemetry telemetry;
+};
+
+// Session-level cache statistics: the graph-coloring cache plus the
+// SolveLp matrix-coloring cache.
+struct CompressorStats {
+  CacheStats coloring;   // ColoringCache counters (hits/misses/splits)
+  int64_t lp_lookups = 0;
+  int64_t lp_hits = 0;   // SolveLp reused a cached matrix-graph refiner
+  int64_t lp_misses = 0;
+  int64_t lp_recolorings = 0;  // down-budget SolveLp recomputes
+};
+
+class Compressor {
+ public:
+  // An LP-only session: SolveLp works, graph queries return
+  // FailedPrecondition.
+  Compressor();
+
+  // Takes ownership of (a move of) the graph.
+  explicit Compressor(Graph graph);
+
+  // Shares ownership; use the aliasing shared_ptr constructor to borrow a
+  // caller-owned graph that outlives the session.
+  explicit Compressor(std::shared_ptr<const Graph> graph);
+
+  ~Compressor();
+
+  Compressor(const Compressor&) = delete;
+  Compressor& operator=(const Compressor&) = delete;
+  Compressor(Compressor&&) noexcept;
+  Compressor& operator=(Compressor&&) noexcept;
+
+  // True when the session has a graph (graph() is then valid).
+  bool has_graph() const;
+  const Graph& graph() const;
+
+  // The quasi-stable coloring itself: compress the session graph under the
+  // options' spec. Defaults: alpha = beta = 0.
+  StatusOr<ColoringResult> Coloring(const QueryOptions& options = {});
+
+  // Coloring-based max-flow approximation (paper Theorem 6): terminals
+  // pinned to singletons, c^2 reduced graph solved exactly. Bit-identical
+  // to ApproximateMaxFlow at the same options. Defaults: alpha = beta = 0.
+  StatusOr<FlowQueryResult> MaxFlow(NodeId source, NodeId sink,
+                                    const QueryOptions& options = {});
+
+  // Serves each (source, sink) pair in order; pairs that agree share one
+  // coloring through the cache, so k queries on one pair cost one coloring
+  // plus k reduced solves. Validates every pair before running any query.
+  // Results are identical to calling MaxFlow in a loop.
+  StatusOr<std::vector<FlowQueryResult>> MaxFlowBatch(
+      const std::vector<std::pair<NodeId, NodeId>>& st_pairs,
+      const QueryOptions& options = {});
+
+  // LP reduction (paper Sec 4.1) + reduced simplex solve + lift. Colors
+  // the LP's extended-matrix bipartite graph, not the session graph;
+  // repeated SolveLp calls on the same LP (by content) reuse a cached
+  // matrix-graph refiner across budgets. Requires max_colors >= 4.
+  // Defaults: alpha = 1, beta = 0.
+  StatusOr<LpQueryResult> SolveLp(const LpProblem& lp,
+                                  const QueryOptions& options = {});
+
+  // Color-pivot betweenness approximation (paper Sec 4.3). Bit-identical
+  // to ApproximateBetweenness at the same options. Defaults:
+  // alpha = beta = 1.
+  StatusOr<CentralityQueryResult> Centrality(const QueryOptions& options = {});
+
+  const CompressorStats& stats() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_API_COMPRESSOR_H_

@@ -1,0 +1,39 @@
+// Byte-mixing helpers shared by the api layer's cache keys
+// (ColoringSpecHash and SolveLp's LP content fingerprint). Kept in one
+// place so both keyings agree on canonicalization — in particular the
+// -0.0 fold, which keeps bitwise hashing consistent with operator== on
+// doubles. NaN never reaches a cache key (the Compressor boundary rejects
+// non-finite options and ValidateLp rejects non-finite coefficients).
+
+#ifndef QSC_API_HASHING_H_
+#define QSC_API_HASHING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace qsc {
+namespace api_internal {
+
+// FNV-1a over the bytes of a 64-bit word.
+inline uint64_t HashMixWord(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t HashMixDouble(uint64_t h, double v) {
+  if (v == 0.0) v = 0.0;  // fold -0.0 onto 0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashMixWord(h, bits);
+}
+
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+}  // namespace api_internal
+}  // namespace qsc
+
+#endif  // QSC_API_HASHING_H_

@@ -1,49 +1,73 @@
 #include "qsc/centrality/color_pivot.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "qsc/api/compressor.h"
 #include "qsc/centrality/brandes.h"
 #include "qsc/util/random.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
 
-ApproxBetweennessResult ApproximateBetweenness(
-    const Graph& g, const ColorPivotOptions& options) {
-  WallTimer timer;
-  Partition coloring = RothkoColoring(g, options.rothko);
-  const double coloring_seconds = timer.ElapsedSeconds();
-  ApproxBetweennessResult result =
-      ApproximateBetweennessWithColoring(g, coloring, options);
-  result.coloring_seconds = coloring_seconds;
-  return result;
-}
-
-ApproxBetweennessResult ApproximateBetweennessWithColoring(
-    const Graph& g, const Partition& coloring,
-    const ColorPivotOptions& options) {
+std::vector<double> ColorPivotScores(const Graph& g, const Partition& coloring,
+                                     int32_t pivots_per_color, uint64_t seed) {
   QSC_CHECK_EQ(g.num_nodes(), coloring.num_nodes());
-  QSC_CHECK_GE(options.pivots_per_color, 1);
-  ApproxBetweennessResult result;
-  result.coloring = coloring;
-  result.num_colors = coloring.num_colors();
-
-  WallTimer timer;
-  Rng rng(options.seed);
+  QSC_CHECK_GE(pivots_per_color, 1);
+  Rng rng(seed);
   BrandesWorkspace workspace(g);
-  result.scores.assign(g.num_nodes(), 0.0);
+  std::vector<double> scores(g.num_nodes(), 0.0);
   for (ColorId c = 0; c < coloring.num_colors(); ++c) {
     const std::vector<NodeId>& members = coloring.Members(c);
     const int32_t pivots = std::min<int32_t>(
-        options.pivots_per_color, static_cast<int32_t>(members.size()));
+        pivots_per_color, static_cast<int32_t>(members.size()));
     // Each pivot stands for |P_c| / pivots sources.
     const double scale =
         static_cast<double>(members.size()) / static_cast<double>(pivots);
     for (int64_t idx :
          rng.SampleWithoutReplacement(members.size(), pivots)) {
-      workspace.AccumulateDependencies(members[idx], scale, result.scores);
+      workspace.AccumulateDependencies(members[idx], scale, scores);
     }
   }
+  return scores;
+}
+
+ApproxBetweennessResult ApproximateBetweenness(
+    const Graph& g, const ColorPivotOptions& options) {
+  // One-shot session over a borrowed graph (aliasing shared_ptr: the
+  // session dies before `g`).
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  QueryOptions query;
+  query.max_colors = options.rothko.max_colors;
+  query.q_tolerance = options.rothko.q_tolerance;
+  query.alpha = options.rothko.alpha;
+  query.beta = options.rothko.beta;
+  query.split_mean = options.rothko.split_mean;
+  query.pivots_per_color = options.pivots_per_color;
+  query.seed = options.seed;
+  StatusOr<CentralityQueryResult> result = session.Centrality(query);
+  QSC_CHECK_OK(result);  // legacy contract: invalid options abort
+
+  ApproxBetweennessResult out;
+  out.scores = std::move(result->scores);
+  out.num_colors = result->num_colors;
+  out.coloring_seconds = result->telemetry.coloring_seconds;
+  out.solve_seconds = result->telemetry.solve_seconds;
+  out.coloring = *result->coloring;
+  return out;
+}
+
+ApproxBetweennessResult ApproximateBetweennessWithColoring(
+    const Graph& g, const Partition& coloring,
+    const ColorPivotOptions& options) {
+  ApproxBetweennessResult result;
+  result.coloring = coloring;
+  result.num_colors = coloring.num_colors();
+  WallTimer timer;
+  result.scores =
+      ColorPivotScores(g, coloring, options.pivots_per_color, options.seed);
   result.solve_seconds = timer.ElapsedSeconds();
   return result;
 }

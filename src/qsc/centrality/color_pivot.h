@@ -35,6 +35,8 @@ struct ApproxBetweennessResult {
   Partition coloring;
 };
 
+// One-shot convenience wrapper over qsc::Compressor::Centrality; prefer
+// the session API when issuing more than one query against a graph.
 ApproxBetweennessResult ApproximateBetweenness(
     const Graph& g, const ColorPivotOptions& options);
 
@@ -42,6 +44,12 @@ ApproxBetweennessResult ApproximateBetweenness(
 ApproxBetweennessResult ApproximateBetweennessWithColoring(
     const Graph& g, const Partition& coloring,
     const ColorPivotOptions& options);
+
+// The estimator core: one size-weighted Brandes pass per sampled pivot.
+// Returns only the scores, so callers holding a shared coloring (the
+// session API) do not pay a Partition copy per query.
+std::vector<double> ColorPivotScores(const Graph& g, const Partition& coloring,
+                                     int32_t pivots_per_color, uint64_t seed);
 
 }  // namespace qsc
 

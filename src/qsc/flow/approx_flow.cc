@@ -1,65 +1,40 @@
 #include "qsc/flow/approx_flow.h"
 
-#include <unordered_map>
-#include <vector>
+#include <memory>
+#include <utility>
 
-#include "qsc/coloring/reduced_graph.h"
-#include "qsc/flow/push_relabel.h"
-#include "qsc/flow/uniform_flow.h"
-#include "qsc/util/timer.h"
+#include "qsc/api/compressor.h"
 
 namespace qsc {
 
 FlowApproxResult ApproximateMaxFlow(const Graph& g, NodeId source,
                                     NodeId sink,
                                     const FlowApproxOptions& options) {
-  QSC_CHECK_NE(source, sink);
-  QSC_CHECK(!g.undirected());
-  FlowApproxResult result;
-  WallTimer timer;
+  // One-shot session over a borrowed graph (aliasing shared_ptr: the
+  // session dies before `g`). The session API validates and returns
+  // Status; this legacy wrapper keeps the historical abort-on-bad-input
+  // contract.
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  QueryOptions query;
+  query.max_colors = options.rothko.max_colors;
+  query.q_tolerance = options.rothko.q_tolerance;
+  query.alpha = options.rothko.alpha;
+  query.beta = options.rothko.beta;
+  query.split_mean = options.rothko.split_mean;
+  query.compute_lower_bound = options.compute_lower_bound;
+  query.uniform_flow_tol = options.uniform_flow_tol;
+  StatusOr<FlowQueryResult> result = session.MaxFlow(source, sink, query);
+  QSC_CHECK_OK(result);
 
-  // Theorem 6 requires the terminals in their own singleton colors.
-  std::vector<int32_t> labels(g.num_nodes(), 2);
-  labels[source] = 0;
-  labels[sink] = 1;
-  Partition initial = Partition::FromColorIds(labels);
-
-  RothkoRefiner refiner(g, std::move(initial), options.rothko);
-  refiner.Run();
-  result.coloring = refiner.partition();
-  result.num_colors = result.coloring.num_colors();
-  result.coloring_seconds = timer.ElapsedSeconds();
-
-  timer.Reset();
-  const Partition& p = result.coloring;
-  const ColorId source_color = p.ColorOf(source);
-  const ColorId sink_color = p.ColorOf(sink);
-
-  // Upper bound: reduced graph with summed capacities.
-  const Graph reduced = BuildReducedGraph(g, p, ReducedWeight::kSum);
-  result.upper_bound =
-      MaxFlowPushRelabel(reduced, source_color, sink_color);
-
-  if (options.compute_lower_bound) {
-    // c^1(i, j) = maxUFlow(P_i, P_j): the largest flow shippable between
-    // the two colors with uniform per-node rates.
-    std::vector<EdgeTriple> arcs;
-    for (const EdgeTriple& a : reduced.Arcs()) {
-      if (a.src == a.dst) continue;
-      const double c1 =
-          MaxUniformFlow(g, p.Members(a.src), p.Members(a.dst),
-                         options.uniform_flow_tol);
-      if (c1 > 0.0) {
-        arcs.push_back({a.src, a.dst, c1});
-      }
-    }
-    const Graph lower_graph =
-        Graph::FromEdges(p.num_colors(), arcs, /*undirected=*/false);
-    result.lower_bound =
-        MaxFlowPushRelabel(lower_graph, source_color, sink_color);
-  }
-  result.solve_seconds = timer.ElapsedSeconds();
-  return result;
+  FlowApproxResult out;
+  out.upper_bound = result->upper_bound;
+  out.lower_bound = result->lower_bound;
+  out.num_colors = result->num_colors;
+  out.coloring_seconds = result->telemetry.coloring_seconds;
+  out.solve_seconds = result->telemetry.solve_seconds;
+  out.coloring = *result->coloring;
+  return out;
 }
 
 }  // namespace qsc

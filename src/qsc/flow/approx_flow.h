@@ -39,6 +39,10 @@ struct FlowApproxResult {
   Partition coloring;
 };
 
+// One-shot convenience wrapper over qsc::Compressor::MaxFlow; prefer the
+// session API (qsc/api/compressor.h) when issuing more than one query
+// against a graph — it amortizes the coloring across queries. Invalid
+// inputs abort; the session API reports them as Status instead.
 FlowApproxResult ApproximateMaxFlow(const Graph& g, NodeId source,
                                     NodeId sink,
                                     const FlowApproxOptions& options);

@@ -144,6 +144,7 @@ RothkoOptions ToRothkoOptions(const LpReduceOptions& options) {
   rothko.q_tolerance = options.q_tolerance;
   rothko.alpha = options.alpha;
   rothko.beta = options.beta;
+  rothko.split_mean = options.split_mean;
   return rothko;
 }
 
@@ -170,6 +171,8 @@ class LpColoringRefiner::Impl {
                             coloring_seconds_);
   }
 
+  ColorId num_colors() const { return refiner_.partition().num_colors(); }
+
  private:
   const LpProblem* lp_;
   LpReduceOptions options_;
@@ -189,6 +192,8 @@ LpColoringRefiner::~LpColoringRefiner() = default;
 ReducedLp LpColoringRefiner::ReduceTo(ColorId max_colors) {
   return impl_->ReduceTo(max_colors);
 }
+
+ColorId LpColoringRefiner::num_colors() const { return impl_->num_colors(); }
 
 ReducedLp ReduceLp(const LpProblem& lp, const LpReduceOptions& options) {
   QSC_CHECK_OK(ValidateLp(lp));

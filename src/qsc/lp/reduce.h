@@ -34,6 +34,8 @@ struct LpReduceOptions {
   // Witness weighting; the paper uses alpha=1, beta=0 for LPs.
   double alpha = 1.0;
   double beta = 0.0;
+  // Split-mean rule for the matrix-graph coloring (paper Sec 5.2).
+  RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
   LpReduction variant = LpReduction::kSqrtNormalized;
 };
 
@@ -73,6 +75,10 @@ class LpColoringRefiner {
   // coloring converges) and extracts the reduced LP. Budgets must be
   // non-decreasing across calls.
   ReducedLp ReduceTo(ColorId max_colors);
+
+  // Colors of the current matrix-graph partition (>= 4 once constructed).
+  // A budget at or above this is a valid ReduceTo argument.
+  ColorId num_colors() const;
 
  private:
   class Impl;

@@ -1,0 +1,455 @@
+// qsc::Compressor: boundary validation (every rejection the api_redesign
+// issue lists), equivalence of session queries with the legacy one-shot
+// entry points, batch-vs-loop identity, and cache/telemetry semantics.
+
+#include "qsc/api/compressor.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/rothko.h"
+#include "qsc/flow/approx_flow.h"
+#include "qsc/graph/generators.h"
+#include "qsc/lp/generators.h"
+#include "qsc/lp/reduce.h"
+#include "qsc/lp/simplex.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+FlowInstance TestInstance(uint64_t seed = 1) {
+  Rng rng(seed);
+  return GridFlowNetwork(10, 6, 10, 20, rng);
+}
+
+Graph TestGraph(uint64_t seed = 11) {
+  Rng rng(seed);
+  return BarabasiAlbert(300, 3, rng);
+}
+
+// --- option validation ----------------------------------------------------
+
+TEST(CompressorValidationTest, RejectsZeroMaxColors) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.max_colors = 0;
+  const auto result = session.Coloring(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("max_colors"), std::string::npos);
+}
+
+TEST(CompressorValidationTest, RejectsNegativeMaxColors) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.max_colors = -5;
+  EXPECT_EQ(session.Centrality(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsNegativeQTolerance) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.q_tolerance = -0.5;
+  const auto result = session.Coloring(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("q_tolerance"), std::string::npos);
+}
+
+TEST(CompressorValidationTest, RejectsNonFiniteAlphaBeta) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.alpha = kNaN;
+  EXPECT_EQ(session.Coloring(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.alpha.reset();
+  query.beta = kInf;
+  EXPECT_EQ(session.Coloring(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsOutOfRangeTerminals) {
+  FlowInstance instance = TestInstance();
+  const NodeId n = instance.graph.num_nodes();
+  Compressor session(std::move(instance.graph));
+  EXPECT_EQ(session.MaxFlow(-1, instance.sink).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.MaxFlow(n, instance.sink).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.MaxFlow(instance.source, n + 7).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      session.MaxFlow(instance.source, instance.source).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsOutOfRangePins) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.pinned = {0, session.graph().num_nodes()};
+  EXPECT_EQ(session.Coloring(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.pinned = {3, 3};
+  const auto dup = session.Coloring(query);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(CompressorValidationTest, RejectsUndirectedMaxFlow) {
+  Compressor session(TestGraph());  // Barabasi-Albert is undirected
+  const auto result = session.MaxFlow(0, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsExplicitPinsInMaxFlow) {
+  FlowInstance instance = TestInstance();
+  Compressor session(std::move(instance.graph));
+  QueryOptions query;
+  query.pinned = {0};
+  EXPECT_EQ(
+      session.MaxFlow(instance.source, instance.sink, query).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsBadPivotsPerColor) {
+  Compressor session(TestGraph());
+  QueryOptions query;
+  query.pivots_per_color = 0;
+  EXPECT_EQ(session.Centrality(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsLpBudgetBelowFour) {
+  Compressor session;
+  QueryOptions query;
+  query.max_colors = 3;
+  EXPECT_EQ(session.SolveLp(Figure3Lp(), query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorValidationTest, RejectsMalformedLp) {
+  Compressor session;
+  LpProblem lp;
+  lp.num_rows = 1;
+  lp.num_cols = 1;
+  lp.entries = {{0, 5, 1.0}};  // column out of range
+  lp.b = {1.0};
+  lp.c = {1.0};
+  EXPECT_FALSE(session.SolveLp(lp).ok());
+}
+
+TEST(CompressorValidationTest, GraphQueriesNeedAGraph) {
+  Compressor session;  // LP-only
+  EXPECT_FALSE(session.has_graph());
+  EXPECT_EQ(session.Coloring().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.MaxFlow(0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Centrality().status().code(),
+            StatusCode::kFailedPrecondition);
+  // ... but LP queries work.
+  EXPECT_TRUE(session.SolveLp(Figure3Lp()).ok());
+}
+
+TEST(CompressorValidationTest, BatchValidatesBeforeServing) {
+  FlowInstance instance = TestInstance();
+  Compressor session(std::move(instance.graph));
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {instance.source, instance.sink}, {instance.source, -3}};
+  EXPECT_EQ(session.MaxFlowBatch(pairs).status().code(),
+            StatusCode::kInvalidArgument);
+  // The valid first pair must not have been served.
+  EXPECT_EQ(session.stats().coloring.lookups, 0);
+}
+
+// --- equivalence with the legacy one-shot entry points --------------------
+
+TEST(CompressorTest, MaxFlowMatchesLegacyEntryPoint) {
+  FlowInstance instance = TestInstance(3);
+  FlowApproxOptions legacy_options;
+  legacy_options.rothko.max_colors = 12;
+  legacy_options.compute_lower_bound = true;
+  const FlowApproxResult legacy = ApproximateMaxFlow(
+      instance.graph, instance.source, instance.sink, legacy_options);
+
+  Compressor session(std::move(instance.graph));
+  QueryOptions query;
+  query.max_colors = 12;
+  query.compute_lower_bound = true;
+  const auto result = session.MaxFlow(instance.source, instance.sink, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->upper_bound, legacy.upper_bound);
+  EXPECT_EQ(result->lower_bound, legacy.lower_bound);
+  EXPECT_EQ(result->num_colors, legacy.num_colors);
+  EXPECT_TRUE(*result->coloring == legacy.coloring);
+}
+
+TEST(CompressorTest, CentralityMatchesLegacyEntryPoint) {
+  Graph g = TestGraph(29);
+  ColorPivotOptions legacy_options;
+  legacy_options.rothko.max_colors = 24;
+  legacy_options.seed = 99;
+  const ApproxBetweennessResult legacy =
+      ApproximateBetweenness(g, legacy_options);
+
+  Compressor session(std::move(g));
+  QueryOptions query;
+  query.max_colors = 24;
+  query.seed = 99;
+  const auto result = session.Centrality(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_colors, legacy.num_colors);
+  EXPECT_EQ(result->scores, legacy.scores);  // bitwise
+  EXPECT_TRUE(*result->coloring == legacy.coloring);
+}
+
+TEST(CompressorTest, SolveLpMatchesLegacyReduceAndSolve) {
+  const LpProblem lp = MakeQapLikeLp(6, 3);
+  LpReduceOptions legacy_options;
+  legacy_options.max_colors = 16;
+  const ReducedLp legacy = ReduceLp(lp, legacy_options);
+  const LpResult legacy_solve = SolveSimplex(legacy.lp);
+
+  Compressor session;
+  QueryOptions query;
+  query.max_colors = 16;
+  const auto result = session.SolveLp(lp, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reduced.lp.num_rows, legacy.lp.num_rows);
+  EXPECT_EQ(result->reduced.lp.num_cols, legacy.lp.num_cols);
+  EXPECT_EQ(result->reduced.row_color, legacy.row_color);
+  EXPECT_EQ(result->reduced.col_color, legacy.col_color);
+  EXPECT_EQ(result->solution.objective, legacy_solve.objective);
+  if (result->solution.status == LpStatus::kOptimal) {
+    EXPECT_EQ(result->lifted_x, LiftSolution(legacy, legacy_solve.x));
+  }
+}
+
+TEST(CompressorTest, ColoringMatchesRothkoColoring) {
+  Graph g = TestGraph(41);
+  RothkoOptions rothko;
+  rothko.max_colors = 20;
+  const Partition fresh = RothkoColoring(g, rothko);
+
+  Compressor session(std::move(g));
+  QueryOptions query;
+  query.max_colors = 20;
+  const auto result = session.Coloring(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result->coloring == fresh);
+}
+
+// --- cache semantics and telemetry ----------------------------------------
+
+TEST(CompressorTest, RepeatedQueriesShareOneColoring) {
+  FlowInstance instance = TestInstance(5);
+  Compressor session(std::move(instance.graph));
+  QueryOptions query;
+  query.max_colors = 10;
+
+  const auto first = session.MaxFlow(instance.source, instance.sink, query);
+  const auto second = session.MaxFlow(instance.source, instance.sink, query);
+  const auto third = session.MaxFlow(instance.source, instance.sink, query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(third.ok());
+
+  EXPECT_FALSE(first->telemetry.coloring_cache_hit);
+  EXPECT_TRUE(second->telemetry.coloring_cache_hit);
+  EXPECT_TRUE(third->telemetry.coloring_cache_hit);
+  EXPECT_EQ(second->telemetry.coloring_splits, 0);
+  // The snapshot is shared, not copied per query.
+  EXPECT_EQ(first->coloring.get(), second->coloring.get());
+  EXPECT_EQ(first->coloring.get(), third->coloring.get());
+  EXPECT_EQ(first->upper_bound, third->upper_bound);
+
+  const CompressorStats& stats = session.stats();
+  EXPECT_EQ(stats.coloring.lookups, 3);
+  EXPECT_EQ(stats.coloring.misses, 1);
+  EXPECT_EQ(stats.coloring.hits, 2);
+}
+
+TEST(CompressorTest, DistinctSpecsGetDistinctEntries) {
+  Graph g = TestGraph(7);
+  Compressor session(std::move(g));
+  QueryOptions a;
+  a.max_colors = 8;
+  QueryOptions b = a;
+  b.alpha = 1.0;  // different witness weighting -> different spec
+  ASSERT_TRUE(session.Coloring(a).ok());
+  ASSERT_TRUE(session.Coloring(b).ok());
+  EXPECT_EQ(session.stats().coloring.misses, 2);
+  EXPECT_EQ(session.stats().coloring.hits, 0);
+}
+
+TEST(CompressorTest, DownBudgetQueryMatchesFreshRunAndIsMemoized) {
+  Graph g = TestGraph(13);
+  RothkoOptions rothko;
+  rothko.max_colors = 12;
+  const Partition fresh12 = RothkoColoring(g, rothko);
+
+  Compressor session(std::move(g));
+  QueryOptions query;
+  query.max_colors = 48;
+  ASSERT_TRUE(session.Coloring(query).ok());
+
+  query.max_colors = 12;  // below the cached refiner's 48 colors
+  const auto down = session.Coloring(query);
+  ASSERT_TRUE(down.ok());
+  EXPECT_TRUE(*down->coloring == fresh12);
+  EXPECT_FALSE(down->telemetry.coloring_cache_hit);
+  EXPECT_EQ(session.stats().coloring.recolorings, 1);
+
+  // Served again: memoized snapshot, no recompute.
+  const auto again = session.Coloring(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->telemetry.coloring_cache_hit);
+  EXPECT_EQ(again->coloring.get(), down->coloring.get());
+  EXPECT_EQ(session.stats().coloring.recolorings, 1);
+}
+
+TEST(CompressorTest, MaxFlowBatchMatchesPerQueryLoop) {
+  Rng rng(21);
+  FlowInstance instance = GridFlowNetwork(12, 8, 10, 30, rng);
+  const NodeId n = instance.graph.num_nodes();
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {instance.source, instance.sink},
+      {instance.source, instance.sink},  // repeat: shares the coloring
+      {0, n - 1},
+      {instance.source, instance.sink},
+  };
+  QueryOptions query;
+  query.max_colors = 14;
+
+  Compressor loop_session(Graph{instance.graph});
+  std::vector<FlowQueryResult> loop_results;
+  for (const auto& [s, t] : pairs) {
+    auto r = loop_session.MaxFlow(s, t, query);
+    ASSERT_TRUE(r.ok());
+    loop_results.push_back(std::move(r).value());
+  }
+
+  Compressor batch_session(std::move(instance.graph));
+  const auto batch = batch_session.MaxFlowBatch(pairs, query);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*batch)[i].upper_bound, loop_results[i].upper_bound) << i;
+    EXPECT_EQ((*batch)[i].num_colors, loop_results[i].num_colors) << i;
+    EXPECT_TRUE(*(*batch)[i].coloring == *loop_results[i].coloring) << i;
+  }
+  // 4 queries over 2 distinct (s, t) pin sets: 2 misses, 2 hits.
+  EXPECT_EQ(batch_session.stats().coloring.lookups, 4);
+  EXPECT_EQ(batch_session.stats().coloring.misses, 2);
+  EXPECT_EQ(batch_session.stats().coloring.hits, 2);
+}
+
+TEST(CompressorTest, SolveLpReusesMatrixColoringAcrossBudgets) {
+  const LpProblem lp = MakeQapLikeLp(6, 3);
+  Compressor session;
+  QueryOptions query;
+  query.max_colors = 8;
+  ASSERT_TRUE(session.SolveLp(lp, query).ok());
+  query.max_colors = 24;
+  const auto finer = session.SolveLp(lp, query);
+  ASSERT_TRUE(finer.ok());
+  EXPECT_TRUE(finer->telemetry.coloring_cache_hit);
+  EXPECT_EQ(session.stats().lp_lookups, 2);
+  EXPECT_EQ(session.stats().lp_misses, 1);
+  EXPECT_EQ(session.stats().lp_hits, 1);
+
+  // Resumed reduction matches a cold reduction at the finer budget.
+  LpReduceOptions cold;
+  cold.max_colors = 24;
+  const ReducedLp fresh = ReduceLp(lp, cold);
+  EXPECT_EQ(finer->reduced.row_color, fresh.row_color);
+  EXPECT_EQ(finer->reduced.col_color, fresh.col_color);
+  const LpResult fresh_solve = SolveSimplex(fresh.lp);
+  EXPECT_EQ(finer->solution.objective, fresh_solve.objective);
+}
+
+TEST(CompressorTest, BudgetBelowPinCountServesInitialPartition) {
+  // Run() cannot go below the initial color count (terminals + rest), and
+  // neither can the session — without taking the down-budget recompute
+  // path or misreporting stats.
+  FlowInstance instance = TestInstance(17);
+  FlowApproxOptions cold;
+  cold.rothko.max_colors = 1;
+  const FlowApproxResult legacy = ApproximateMaxFlow(
+      instance.graph, instance.source, instance.sink, cold);
+  EXPECT_EQ(legacy.num_colors, 3);
+
+  Compressor session(std::move(instance.graph));
+  QueryOptions query;
+  query.max_colors = 1;
+  const auto result = session.MaxFlow(instance.source, instance.sink, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_colors, 3);
+  EXPECT_EQ(result->upper_bound, legacy.upper_bound);
+  EXPECT_EQ(session.stats().coloring.recolorings, 0);
+}
+
+TEST(CompressorTest, SolveLpDownBudgetMatchesColdAndIsMemoized) {
+  const LpProblem lp = MakeQapLikeLp(6, 3);
+  Compressor session;
+  QueryOptions query;
+  query.max_colors = 40;
+  ASSERT_TRUE(session.SolveLp(lp, query).ok());
+
+  query.max_colors = 8;  // below the cached matrix coloring's colors
+  const auto down = session.SolveLp(lp, query);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(session.stats().lp_recolorings, 1);
+  LpReduceOptions cold;
+  cold.max_colors = 8;
+  const ReducedLp fresh = ReduceLp(lp, cold);
+  EXPECT_EQ(down->reduced.row_color, fresh.row_color);
+  EXPECT_EQ(down->reduced.col_color, fresh.col_color);
+  EXPECT_EQ(down->solution.objective, SolveSimplex(fresh.lp).objective);
+
+  // Second down-budget query: served from the memo, no recompute.
+  const auto again = session.SolveLp(lp, query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->telemetry.coloring_cache_hit);
+  EXPECT_EQ(session.stats().lp_recolorings, 1);
+  EXPECT_EQ(again->solution.objective, down->solution.objective);
+}
+
+TEST(CompressorTest, SolveLpDistinguishesDifferentLpsByContent) {
+  Compressor session;
+  const LpProblem a = MakeQapLikeLp(6, 3);
+  LpProblem b = a;
+  b.c[0] += 1.0;  // different problem, same shape
+  ASSERT_TRUE(session.SolveLp(a).ok());
+  ASSERT_TRUE(session.SolveLp(b).ok());
+  EXPECT_EQ(session.stats().lp_misses, 2);
+  EXPECT_EQ(session.stats().lp_hits, 0);
+}
+
+TEST(CompressorTest, MovedSessionKeepsServing) {
+  FlowInstance instance = TestInstance(9);
+  Compressor session(std::move(instance.graph));
+  QueryOptions query;
+  query.max_colors = 8;
+  const auto before = session.MaxFlow(instance.source, instance.sink, query);
+  ASSERT_TRUE(before.ok());
+
+  Compressor moved = std::move(session);
+  const auto after = moved.MaxFlow(instance.source, instance.sink, query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->telemetry.coloring_cache_hit);
+  EXPECT_EQ(after->upper_bound, before->upper_bound);
+}
+
+}  // namespace
+}  // namespace qsc

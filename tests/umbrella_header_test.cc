@@ -11,11 +11,19 @@ namespace qsc {
 namespace {
 
 TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
-  // Touch one symbol from each module (graph, coloring, flow, lp,
+  // Touch one symbol from each module (api, graph, coloring, flow, lp,
   // centrality, util) to ensure the umbrella actually pulls in the full
   // public API, not just empty headers.
   const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}, true);
   EXPECT_EQ(g.num_nodes(), 3);
+
+  // qsc/api: the session facade and its cache types.
+  Compressor session(Graph{g});
+  const StatusOr<ColoringResult> coloring = session.Coloring();
+  ASSERT_TRUE(coloring.ok());
+  EXPECT_GE(coloring->coloring->num_colors(), 1);
+  EXPECT_EQ(session.stats().coloring.misses, 1);
+  EXPECT_EQ(ColoringSpec{}, ColoringSpec{});
 
   const Partition stable = StableColoring(g);
   EXPECT_GE(stable.num_colors(), 1);
