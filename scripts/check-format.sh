@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The formatting gate, runnable locally: clang-format over every
+# first-party source. The CI `format` job runs exactly this script, so a
+# clean local run means the job cannot be the first thing you trip on.
+#
+#   scripts/check-format.sh        # dry-run, fails on drift (CI mode)
+#   scripts/check-format.sh --fix  # rewrite files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check-format: clang-format not found on PATH (apt-get install" \
+       "clang-format); style is defined by .clang-format" >&2
+  exit 1
+fi
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 clang-format "${mode[@]}"

@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "qsc/api/hashing.h"
+#include "qsc/parallel/thread_pool.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
 namespace {
 
-RothkoOptions ToRothkoOptions(const ColoringSpec& spec) {
+RothkoOptions ToRothkoOptions(const ColoringSpec& spec, ThreadPool* pool) {
   RothkoOptions options;
   // max_colors is owned by the Refine() loop, not the refiner (Run() is
   // never called on cached refiners).
@@ -17,6 +18,7 @@ RothkoOptions ToRothkoOptions(const ColoringSpec& spec) {
   options.alpha = spec.alpha;
   options.beta = spec.beta;
   options.split_mean = spec.split_mean;
+  options.pool = pool;  // speeds up split scoring; never changes a split
   return options;
 }
 
@@ -48,15 +50,20 @@ Partition InitialPartition(const ColoringSpec& spec, NodeId num_nodes) {
 }
 
 struct ColoringCache::Entry {
-  Entry(const Graph& g, const ColoringSpec& spec)
-      : refiner(g, InitialPartition(spec, g.num_nodes()),
-                ToRothkoOptions(spec)),
-        initial_colors(refiner.partition().num_colors()) {}
+  // Serializes every read and write of the fields below. Held for the
+  // whole refinement of one request, so concurrent requests against one
+  // spec queue behind each other while distinct specs proceed in
+  // parallel.
+  std::mutex mutex;
 
-  RothkoRefiner refiner;
+  // Built lazily under `mutex` on first use, so inserting the map slot
+  // (under the cache-wide unique lock) stays O(1) and never blocks other
+  // specs behind a graph scan.
+  std::unique_ptr<RothkoRefiner> refiner;
+
   // Colors of the spec's initial partition (pins + 1); no budget can go
   // below this, exactly as in RothkoRefiner::Run().
-  ColorId initial_colors;
+  ColorId initial_colors = 0;
   // Step() returned false: the coloring converged (q <= tolerance or no
   // splittable color); larger budgets cannot advance it.
   bool converged = false;
@@ -68,82 +75,123 @@ struct ColoringCache::Entry {
       served;
 };
 
-ColoringCache::ColoringCache(std::shared_ptr<const Graph> graph)
-    : graph_(std::move(graph)) {
+ColoringCache::ColoringCache(std::shared_ptr<const Graph> graph,
+                             ThreadPool* pool)
+    : graph_(std::move(graph)), pool_(pool) {
   QSC_CHECK(graph_ != nullptr);
 }
 
 ColoringCache::~ColoringCache() = default;
+
+CacheStats ColoringCache::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+int64_t ColoringCache::num_entries() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return static_cast<int64_t>(entries_.size());
+}
 
 ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
                                             ColorId budget) {
   QSC_CHECK_GT(budget, 0);
   WallTimer timer;
   Handle handle;
-  ++stats_.lookups;
 
-  auto it = entries_.find(spec);
-  const bool found = it != entries_.end();
-  if (!found) {
-    ++stats_.misses;
-    it = entries_.emplace(spec, std::make_unique<Entry>(*graph_, spec)).first;
+  // Find-or-insert the spec's entry: optimistic shared lock first, then
+  // the unique lock only on the insert path (double-checked via
+  // try_emplace, so two racing first queries create one entry and the
+  // loser counts as a hit — the same totals a serialized pair produces).
+  Entry* entry = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = entries_.find(spec);
+    if (it != entries_.end()) entry = it->second.get();
   }
-  Entry& entry = *it->second;
+  bool found = true;
+  if (entry == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.try_emplace(spec, nullptr);
+    if (inserted) it->second = std::make_unique<Entry>();
+    found = !inserted;
+    entry = it->second.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.lookups;
+    if (!found) ++stats_.misses;
+  }
+
+  std::lock_guard<std::mutex> entry_lock(entry->mutex);
+  if (entry->refiner == nullptr) {
+    entry->refiner = std::make_unique<RothkoRefiner>(
+        *graph_, InitialPartition(spec, graph_->num_nodes()),
+        ToRothkoOptions(spec, pool_));
+    entry->initial_colors = entry->refiner->partition().num_colors();
+  }
 
   // A budget below the initial color count cannot be met (pins are never
   // merged); Run() serves the initial partition there, and so do we —
   // without taking the down-budget recompute path.
-  budget = std::max(budget, entry.initial_colors);
+  budget = std::max(budget, entry->initial_colors);
 
   // Down-budget request on a refiner that has already split past `budget`:
   // serve the memoized snapshot, or recompute this budget once.
-  if (entry.refiner.partition().num_colors() > budget) {
-    const auto served = entry.served.find(budget);
-    if (served != entry.served.end()) {
-      ++stats_.hits;
+  if (entry->refiner->partition().num_colors() > budget) {
+    const auto served = entry->served.find(budget);
+    if (served != entry->served.end()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.hits;
+      }
       handle.cache_hit = true;
       handle.partition = served->second.first;
       handle.max_error = served->second.second;
       handle.seconds = timer.ElapsedSeconds();
       return handle;
     }
-    ++stats_.recolorings;
     RothkoRefiner fresh(*graph_, InitialPartition(spec, graph_->num_nodes()),
-                        ToRothkoOptions(spec));
+                        ToRothkoOptions(spec, pool_));
     const ColorId initial = fresh.partition().num_colors();
     while (fresh.partition().num_colors() < budget && fresh.Step(budget)) {
     }
     handle.splits = fresh.partition().num_colors() - initial;
-    stats_.refine_splits += handle.splits;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.recolorings;
+      stats_.refine_splits += handle.splits;
+    }
     handle.partition = std::make_shared<const Partition>(fresh.partition());
     handle.max_error = fresh.CurrentMaxError();
-    entry.served[budget] = {handle.partition, handle.max_error};
+    entry->served[budget] = {handle.partition, handle.max_error};
     handle.seconds = timer.ElapsedSeconds();
     return handle;
   }
 
   // Continue the cached refinement — the same loop as RothkoRefiner::Run(),
   // so the result is bit-identical to a fresh run at `budget`.
-  if (found) {
-    ++stats_.hits;
-    handle.cache_hit = true;
-  }
-  const ColorId before = entry.refiner.partition().num_colors();
-  while (!entry.converged &&
-         entry.refiner.partition().num_colors() < budget) {
-    if (!entry.refiner.Step(budget)) {
-      entry.converged = true;
+  handle.cache_hit = found;
+  const ColorId before = entry->refiner->partition().num_colors();
+  while (!entry->converged &&
+         entry->refiner->partition().num_colors() < budget) {
+    if (!entry->refiner->Step(budget)) {
+      entry->converged = true;
     }
   }
-  handle.splits = entry.refiner.partition().num_colors() - before;
-  stats_.refine_splits += handle.splits;
-  if (handle.splits > 0 || entry.head == nullptr) {
-    entry.head =
-        std::make_shared<const Partition>(entry.refiner.partition());
+  handle.splits = entry->refiner->partition().num_colors() - before;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (found) ++stats_.hits;
+    stats_.refine_splits += handle.splits;
   }
-  handle.partition = entry.head;
-  handle.max_error = entry.refiner.CurrentMaxError();
-  entry.served[budget] = {handle.partition, handle.max_error};
+  if (handle.splits > 0 || entry->head == nullptr) {
+    entry->head =
+        std::make_shared<const Partition>(entry->refiner->partition());
+  }
+  handle.partition = entry->head;
+  handle.max_error = entry->refiner->CurrentMaxError();
+  entry->served[budget] = {handle.partition, handle.max_error};
   handle.seconds = timer.ElapsedSeconds();
   return handle;
 }

@@ -16,6 +16,17 @@
 // scratch once and memoize the result per budget ("recoloring" in the
 // stats). Sessions that sweep budgets in ascending order — the anytime
 // direction, and what NormalizeBudgets produces — never pay this.
+//
+// Thread-safety: Refine() may be called concurrently from any number of
+// threads. The spec map is guarded by a shared_mutex and each entry owns
+// a mutex that serializes refinement of that spec, so queries against
+// distinct specs refine concurrently while queries against one spec
+// queue. The partition served for (spec, budget) is bit-identical no
+// matter how calls interleave — an up-budget continuation equals a fresh
+// run and a down-budget recompute starts from scratch — so only the
+// *stats attribution* (hit vs recoloring for racing down-budget queries)
+// depends on arrival order; totals still satisfy
+// hits + misses + recolorings == lookups.
 
 #ifndef QSC_API_COLORING_CACHE_H_
 #define QSC_API_COLORING_CACHE_H_
@@ -23,6 +34,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +44,8 @@
 #include "qsc/graph/graph.h"
 
 namespace qsc {
+
+class ThreadPool;
 
 // Cache key: the parameters that determine the Rothko split sequence from
 // a given graph. The color budget is deliberately absent — one entry
@@ -84,8 +99,9 @@ struct CacheStats {
   int64_t refine_splits = 0; // total witness splits performed
 };
 
-// Spec-keyed store of live anytime refiners over one graph. Single-
-// threaded: callers (Compressor) must serialize access.
+// Spec-keyed store of live anytime refiners over one graph. Safe for
+// concurrent Refine() calls (see the file comment for the locking
+// granularity and the determinism guarantee).
 class ColoringCache {
  public:
   // One served coloring. `partition` is a shared immutable snapshot —
@@ -98,8 +114,12 @@ class ColoringCache {
     double seconds = 0.0;    // wall-clock cost of this request
   };
 
-  // `graph` must be non-null; the cache shares ownership.
-  explicit ColoringCache(std::shared_ptr<const Graph> graph);
+  // `graph` must be non-null; the cache shares ownership. `pool` (not
+  // owned, may be null) accelerates each refiner's split scoring without
+  // changing any partition — refinement is bit-identical for any pool
+  // size (RothkoOptions::pool).
+  explicit ColoringCache(std::shared_ptr<const Graph> graph,
+                         ThreadPool* pool = nullptr);
   ~ColoringCache();
 
   ColoringCache(const ColoringCache&) = delete;
@@ -114,21 +134,29 @@ class ColoringCache {
   //   RothkoColoring(graph, InitialPartition(spec, n),
   //                  {budget, spec.q_tolerance, spec.alpha, spec.beta,
   //                   spec.split_mean})
-  // regardless of which budgets were served before.
+  // regardless of which budgets were served before and of concurrent
+  // callers.
   Handle Refine(const ColoringSpec& spec, ColorId budget);
 
   const Graph& graph() const { return *graph_; }
   const std::shared_ptr<const Graph>& shared_graph() const { return graph_; }
 
-  const CacheStats& stats() const { return stats_; }
-  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+  // Snapshot of the amortization counters (consistent under concurrency).
+  CacheStats stats() const;
+  int64_t num_entries() const;
 
  private:
   struct Entry;
 
   std::shared_ptr<const Graph> graph_;
+  ThreadPool* pool_;
+
+  mutable std::shared_mutex mutex_;  // guards entries_ (the map, not the
+                                     // entries: each Entry has its own)
   std::unordered_map<ColoringSpec, std::unique_ptr<Entry>, ColoringSpecHash>
       entries_;
+
+  mutable std::mutex stats_mutex_;
   CacheStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "qsc/coloring/reduced_graph.h"
 #include "qsc/flow/push_relabel.h"
 #include "qsc/flow/uniform_flow.h"
+#include "qsc/parallel/parallel_for.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
@@ -111,10 +113,10 @@ bool LpEquals(const LpProblem& a, const LpProblem& b) {
 
 class Compressor::Impl {
  public:
-  explicit Impl(std::shared_ptr<const Graph> graph)
-      : graph_(std::move(graph)) {
+  Impl(std::shared_ptr<const Graph> graph, ThreadPool* pool)
+      : graph_(std::move(graph)), pool_(pool) {
     if (graph_ != nullptr && graph_->num_nodes() > 0) {
-      cache_ = std::make_unique<ColoringCache>(graph_);
+      cache_ = std::make_unique<ColoringCache>(graph_, pool_);
     }
   }
 
@@ -170,14 +172,20 @@ class Compressor::Impl {
     for (const auto& [source, sink] : st_pairs) {
       QSC_RETURN_IF_ERROR(ValidateFlowQuery(source, sink, options));
     }
-    std::vector<FlowQueryResult> results;
-    results.reserve(st_pairs.size());
-    for (const auto& [source, sink] : st_pairs) {
-      StatusOr<FlowQueryResult> result =
-          MaxFlowUnchecked(source, sink, options);
-      QSC_CHECK_OK(result);  // validated above; failures are internal bugs
-      results.push_back(std::move(result).value());
-    }
+    // Fan the pairs out over the session pool (sequential when there is
+    // none): each pair writes only its own slot and the coloring cache is
+    // concurrency-safe, so the results match the sequential loop bit for
+    // bit — distinct terminal pairs color concurrently, repeated pairs
+    // queue on their shared spec and hit its cache.
+    std::vector<FlowQueryResult> results(st_pairs.size());
+    ParallelFor(pool_, static_cast<int64_t>(st_pairs.size()), /*grain=*/1,
+                [&](int64_t i) {
+                  StatusOr<FlowQueryResult> result = MaxFlowUnchecked(
+                      st_pairs[i].first, st_pairs[i].second, options);
+                  // Validated above; failures are internal bugs.
+                  QSC_CHECK_OK(result);
+                  results[i] = std::move(result).value();
+                });
     return results;
   }
 
@@ -204,54 +212,66 @@ class Compressor::Impl {
     reduce_options.beta = options.beta.value_or(reduce_options.beta);
     reduce_options.split_mean = options.split_mean;
     reduce_options.variant = options.lp_variant;
+    reduce_options.pool = pool_;
 
     WallTimer timer;
-    ++stats_.lp_lookups;
     const LpSessionKey key{FingerprintLp(lp), reduce_options.alpha,
                            reduce_options.beta, reduce_options.q_tolerance,
                            static_cast<int>(reduce_options.split_mean),
                            static_cast<int>(reduce_options.variant)};
-    // The fingerprint is not collision-resistant, so a key maps to a
-    // bucket of sessions and a hit requires content equality.
-    std::vector<std::unique_ptr<LpSession>>& bucket = lp_entries_[key];
+    // Find-or-insert under the map lock; the expensive matrix coloring
+    // happens later under the per-session mutex, so distinct LPs reduce
+    // concurrently. The fingerprint is not collision-resistant, so a key
+    // maps to a bucket of sessions and a hit requires content equality.
     LpSession* session = nullptr;
-    for (const std::unique_ptr<LpSession>& candidate : bucket) {
-      if (LpEquals(candidate->lp, lp)) {
-        session = candidate.get();
-        break;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(lp_mutex_);
+      ++stats_.lp_lookups;
+      std::vector<std::unique_ptr<LpSession>>& bucket = lp_entries_[key];
+      for (const std::unique_ptr<LpSession>& candidate : bucket) {
+        if (LpEquals(candidate->lp, lp)) {
+          session = candidate.get();
+          found = true;
+          break;
+        }
       }
-    }
-    const bool found = session != nullptr;
-    if (!found) {
-      ++stats_.lp_misses;
-      auto entry = std::make_unique<LpSession>();
-      entry->lp = lp;
-      entry->refiner =
-          std::make_unique<LpColoringRefiner>(entry->lp, reduce_options);
-      bucket.push_back(std::move(entry));
-      session = bucket.back().get();
+      if (!found) {
+        ++stats_.lp_misses;
+        auto entry = std::make_unique<LpSession>();
+        entry->lp = lp;
+        bucket.push_back(std::move(entry));
+        session = bucket.back().get();
+      }
     }
 
     LpQueryResult result;
-    if (session->refiner->num_colors() > options.max_colors) {
-      // The cached matrix coloring has refined past this budget and splits
-      // are not invertible: recompute this budget from scratch once and
-      // memoize (mirrors ColoringCache's down-budget path).
-      const auto served = session->down_served.find(options.max_colors);
-      if (served != session->down_served.end()) {
-        ++stats_.lp_hits;
-        result.telemetry.coloring_cache_hit = true;
-        result.reduced = served->second;
-      } else {
-        ++stats_.lp_recolorings;
-        LpColoringRefiner fresh(session->lp, reduce_options);
-        result.reduced = fresh.ReduceTo(options.max_colors);
-        session->down_served.emplace(options.max_colors, result.reduced);
+    {
+      std::lock_guard<std::mutex> session_lock(session->mutex);
+      if (session->refiner == nullptr) {
+        session->refiner =
+            std::make_unique<LpColoringRefiner>(session->lp, reduce_options);
       }
-    } else {
-      if (found) ++stats_.lp_hits;
-      result.telemetry.coloring_cache_hit = found;
-      result.reduced = session->refiner->ReduceTo(options.max_colors);
+      if (session->refiner->num_colors() > options.max_colors) {
+        // The cached matrix coloring has refined past this budget and
+        // splits are not invertible: recompute this budget from scratch
+        // once and memoize (mirrors ColoringCache's down-budget path).
+        const auto served = session->down_served.find(options.max_colors);
+        if (served != session->down_served.end()) {
+          CountLpStat(&CompressorStats::lp_hits);
+          result.telemetry.coloring_cache_hit = true;
+          result.reduced = served->second;
+        } else {
+          CountLpStat(&CompressorStats::lp_recolorings);
+          LpColoringRefiner fresh(session->lp, reduce_options);
+          result.reduced = fresh.ReduceTo(options.max_colors);
+          session->down_served.emplace(options.max_colors, result.reduced);
+        }
+      } else {
+        if (found) CountLpStat(&CompressorStats::lp_hits);
+        result.telemetry.coloring_cache_hit = found;
+        result.reduced = session->refiner->ReduceTo(options.max_colors);
+      }
     }
     result.telemetry.coloring_seconds = timer.ElapsedSeconds();
 
@@ -285,15 +305,21 @@ class Compressor::Impl {
     result.num_colors = handle.partition->num_colors();
     result.telemetry = TelemetryFor(handle);
     WallTimer timer;
-    result.scores = ColorPivotScores(*graph_, *handle.partition,
-                                     options.pivots_per_color, options.seed);
+    result.scores =
+        ColorPivotScores(*graph_, *handle.partition, options.pivots_per_color,
+                         options.seed, pool_);
     result.telemetry.solve_seconds = timer.ElapsedSeconds();
     return result;
   }
 
-  const CompressorStats& stats() {
-    stats_.coloring = cache_ != nullptr ? cache_->stats() : CacheStats{};
-    return stats_;
+  CompressorStats stats() const {
+    CompressorStats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(lp_mutex_);
+      snapshot = stats_;
+    }
+    snapshot.coloring = cache_ != nullptr ? cache_->stats() : CacheStats{};
+    return snapshot;
   }
 
  private:
@@ -311,11 +337,19 @@ class Compressor::Impl {
   };
 
   struct LpSession {
+    // Serializes refinement of this LP; distinct LPs reduce concurrently.
+    std::mutex mutex;
     LpProblem lp;  // owned copy; the refiner holds a reference into it
+    // Built lazily under `mutex`, so map insertion stays cheap.
     std::unique_ptr<LpColoringRefiner> refiner;
     // Down-budget reductions already recomputed, keyed by budget.
     std::map<ColorId, ReducedLp> down_served;
   };
+
+  void CountLpStat(int64_t CompressorStats::* counter) {
+    std::lock_guard<std::mutex> lock(lp_mutex_);
+    ++(stats_.*counter);
+  }
 
   static QueryTelemetry TelemetryFor(const ColoringCache::Handle& handle) {
     QueryTelemetry t;
@@ -408,18 +442,23 @@ class Compressor::Impl {
   }
 
   std::shared_ptr<const Graph> graph_;
+  ThreadPool* pool_;
   std::unique_ptr<ColoringCache> cache_;
+
+  // Guards lp_entries_ (map and buckets, not the sessions) and the lp_*
+  // counters of stats_ (the coloring counters live in the cache).
+  mutable std::mutex lp_mutex_;
   std::map<LpSessionKey, std::vector<std::unique_ptr<LpSession>>> lp_entries_;
   CompressorStats stats_;
 };
 
-Compressor::Compressor() : impl_(new Impl(nullptr)) {}
+Compressor::Compressor() : impl_(new Impl(nullptr, nullptr)) {}
 
-Compressor::Compressor(Graph graph)
-    : impl_(new Impl(std::make_shared<const Graph>(std::move(graph)))) {}
+Compressor::Compressor(Graph graph, ThreadPool* pool)
+    : impl_(new Impl(std::make_shared<const Graph>(std::move(graph)), pool)) {}
 
-Compressor::Compressor(std::shared_ptr<const Graph> graph)
-    : impl_(new Impl(std::move(graph))) {}
+Compressor::Compressor(std::shared_ptr<const Graph> graph, ThreadPool* pool)
+    : impl_(new Impl(std::move(graph), pool)) {}
 
 Compressor::~Compressor() = default;
 Compressor::Compressor(Compressor&&) noexcept = default;
@@ -453,6 +492,6 @@ StatusOr<CentralityQueryResult> Compressor::Centrality(
   return impl_->Centrality(options);
 }
 
-const CompressorStats& Compressor::stats() const { return impl_->stats(); }
+CompressorStats Compressor::stats() const { return impl_->stats(); }
 
 }  // namespace qsc

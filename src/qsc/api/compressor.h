@@ -11,9 +11,21 @@
 // functions (ApproximateMaxFlow, ApproximateBetweenness) remain as thin
 // one-shot wrappers that abort on errors the session API reports.
 //
-// Thread-safety: a Compressor is single-threaded. Queries mutate the
-// internal caches; callers must serialize access (one Compressor per
-// thread, or external locking).
+// Thread-safety (docs/API.md "Concurrency contract"): all queries and
+// stats() may be called concurrently from any number of threads. The
+// coloring cache serializes per ColoringSpec (distinct specs refine in
+// parallel), the SolveLp cache serializes per cached LP, and every query
+// result is bit-identical to the same query issued against a
+// single-threaded session — concurrency changes wall-clock time and the
+// hit/recoloring *attribution* of racing queries, never a result.
+// Construction, move, and destruction are not thread-safe; publish the
+// session to worker threads with the usual happens-before edge.
+//
+// Constructed with a ThreadPool, the session also parallelizes inside
+// queries: Rothko split scoring, MaxFlowBatch fan-out, and the Centrality
+// pivot passes all run on the pool, again with bit-identical results for
+// any pool size (the deterministic ordered-commit primitives of
+// qsc/parallel).
 
 #ifndef QSC_API_COMPRESSOR_H_
 #define QSC_API_COMPRESSOR_H_
@@ -137,18 +149,23 @@ struct CompressorStats {
   int64_t lp_recolorings = 0;  // down-budget SolveLp recomputes
 };
 
+class ThreadPool;
+
 class Compressor {
  public:
   // An LP-only session: SolveLp works, graph queries return
   // FailedPrecondition.
   Compressor();
 
-  // Takes ownership of (a move of) the graph.
-  explicit Compressor(Graph graph);
+  // Takes ownership of (a move of) the graph. `pool` (not owned, may be
+  // null, must outlive the session) enables intra- and inter-query
+  // parallelism; results are bit-identical with and without it.
+  explicit Compressor(Graph graph, ThreadPool* pool = nullptr);
 
   // Shares ownership; use the aliasing shared_ptr constructor to borrow a
   // caller-owned graph that outlives the session.
-  explicit Compressor(std::shared_ptr<const Graph> graph);
+  explicit Compressor(std::shared_ptr<const Graph> graph,
+                      ThreadPool* pool = nullptr);
 
   ~Compressor();
 
@@ -171,10 +188,13 @@ class Compressor {
   StatusOr<FlowQueryResult> MaxFlow(NodeId source, NodeId sink,
                                     const QueryOptions& options = {});
 
-  // Serves each (source, sink) pair in order; pairs that agree share one
-  // coloring through the cache, so k queries on one pair cost one coloring
-  // plus k reduced solves. Validates every pair before running any query.
-  // Results are identical to calling MaxFlow in a loop.
+  // Serves each (source, sink) pair; pairs that agree share one coloring
+  // through the cache, so k queries on one pair cost one coloring plus k
+  // reduced solves. Validates every pair before running any query.
+  // Results are identical to calling MaxFlow in a loop; with a session
+  // ThreadPool the pairs fan out over the pool (distinct pairs color
+  // concurrently) and only per-query telemetry attribution may differ
+  // from the sequential loop.
   StatusOr<std::vector<FlowQueryResult>> MaxFlowBatch(
       const std::vector<std::pair<NodeId, NodeId>>& st_pairs,
       const QueryOptions& options = {});
@@ -192,7 +212,8 @@ class Compressor {
   // alpha = beta = 1.
   StatusOr<CentralityQueryResult> Centrality(const QueryOptions& options = {});
 
-  const CompressorStats& stats() const;
+  // Snapshot of the session counters (consistent under concurrency).
+  CompressorStats stats() const;
 
  private:
   class Impl;

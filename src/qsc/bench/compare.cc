@@ -335,6 +335,8 @@ CompareReport CompareBenchReports(const JsonValue& baseline,
                         cur_s->Get("counters"),
                         options.counter_rel_tolerance, &report);
 
+    if (options.counters_only) continue;  // timings deliberately ignored
+
     const JsonValue* base_timing = base_s.Get("timing");
     const JsonValue* cur_timing = cur_s->Get("timing");
     const double base_median =
@@ -377,8 +379,16 @@ CompareReport CompareBenchReports(const JsonValue& baseline,
       }
     }
     if (!in_baseline) {
-      report.notes.push_back(n->string_value +
-                             ": new scenario (not in baseline)");
+      if (options.counters_only) {
+        // Counter-identity runs come from one binary: a scenario present
+        // on one side only means the two runs did different work.
+        report.violations.push_back(
+            {n->string_value,
+             "scenario present in current run but missing from baseline"});
+      } else {
+        report.notes.push_back(n->string_value +
+                               ": new scenario (not in baseline)");
+      }
     }
   }
 

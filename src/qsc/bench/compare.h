@@ -64,6 +64,12 @@ struct CompareOptions {
   // Baseline medians below this many seconds are too noisy to gate on and
   // are skipped.
   double min_median_seconds = 0.01;
+  // Counter-identity mode (qsc_bench --compare-counters): compare only
+  // params and counters — timings and the timing floor are ignored — and
+  // require the two documents to contain exactly the same scenario set.
+  // Used by CI to pin that a --threads N run reproduces the 1-thread
+  // counters bit for bit.
+  bool counters_only = false;
   // Relative tolerance for params/counters comparisons. Bitwise equality
   // in practice — a fixed seed reproduces identical doubles on one
   // machine — but libm functions (std::pow in the refiner's priorities)

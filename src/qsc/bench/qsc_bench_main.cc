@@ -24,6 +24,7 @@
 #include "qsc/bench/compare.h"
 #include "qsc/bench/report.h"
 #include "qsc/bench/scenario.h"
+#include "qsc/parallel/thread_pool.h"
 #include "qsc/util/table.h"
 
 namespace qsc {
@@ -39,6 +40,8 @@ void PrintUsage(FILE* out) {
       "  --suite=smoke|full     scenario selection (default smoke)\n"
       "  --scenario=NAME        run NAME (repeatable; overrides --suite)\n"
       "  --seed=N               uint64 instance seed (default 1)\n"
+      "  --threads=N            worker threads (counters are identical for\n"
+      "                         any N; only timings change; default 1)\n"
       "  --warmup=N             un-timed runs per scenario (default 1)\n"
       "  --repeats=N            timed runs per scenario (default 5)\n"
       "  --json                 write BENCH_<group>.json artifacts\n"
@@ -46,6 +49,8 @@ void PrintUsage(FILE* out) {
       "  --compact              single-line JSON artifacts\n"
       "compare mode:\n"
       "  --compare BASE CURRENT gate CURRENT against committed BASE\n"
+      "  --compare-counters A B gate counter identity only (no timings;\n"
+      "                         scenario sets must match exactly)\n"
       "  --tolerance=X          max median slowdown (default 2.0)\n"
       "  --min-median=S         timing-gate floor in seconds (default 0.01)\n"
       "flags accept both --flag=value and --flag value forms\n");
@@ -155,13 +160,16 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       PrintUsage(stdout);
       return 0;
-    } else if (std::strcmp(arg, "--compare") == 0) {
+    } else if (std::strcmp(arg, "--compare") == 0 ||
+               std::strcmp(arg, "--compare-counters") == 0) {
       if (i + 2 >= argc) {
-        std::fprintf(stderr,
-                     "qsc_bench: --compare needs BASELINE and CURRENT\n");
+        std::fprintf(stderr, "qsc_bench: %s needs BASELINE and CURRENT\n",
+                     arg);
         return 2;
       }
       compare = true;
+      compare_options.counters_only =
+          std::strcmp(arg, "--compare-counters") == 0;
       baseline_path = argv[++i];
       current_path = argv[++i];
     } else if (MatchFlag(argc, argv, &i, "--suite", &value)) {
@@ -177,6 +185,12 @@ int Main(int argc, char** argv) {
       context.seed = std::strtoull(value.c_str(), &end, 10);
       if (value.empty() || value[0] == '-' || *end != '\0') {
         std::fprintf(stderr, "qsc_bench: bad seed '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (MatchFlag(argc, argv, &i, "--threads", &value)) {
+      context.threads = static_cast<int>(ParseInt(value, "--threads"));
+      if (context.threads < 1) {
+        std::fprintf(stderr, "qsc_bench: --threads must be >= 1\n");
         return 2;
       }
     } else if (MatchFlag(argc, argv, &i, "--warmup", &value)) {
@@ -209,6 +223,10 @@ int Main(int argc, char** argv) {
     return RunCompare(baseline_path, current_path, compare_options);
   }
 
+  // Size the process pool before any scenario runs; the parallel
+  // scenarios pick it up via DefaultPool().
+  SetDefaultPoolThreads(context.threads);
+
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
   std::vector<const Scenario*> selected;
   if (!names.empty()) {
@@ -231,6 +249,7 @@ int Main(int argc, char** argv) {
   BenchReport report;
   report.suite = suite;
   report.seed = context.seed;
+  report.threads = context.threads;
   report.measure = context.measure;
   for (size_t i = 0; i < selected.size(); ++i) {
     std::fprintf(stderr, "[%zu/%zu] %s\n", i + 1, selected.size(),

@@ -67,6 +67,7 @@ std::string ReportGroupJson(const BenchReport& report,
   w.KV("seed", report.seed);
   w.KV("warmup", static_cast<int64_t>(report.measure.warmup));
   w.KV("repeats", static_cast<int64_t>(report.measure.repeats));
+  w.KV("threads", static_cast<int64_t>(report.threads));
   w.Key("scenarios");
   w.BeginArray();
   for (const ScenarioResult* r : selected) WriteScenarioJson(*r, w);

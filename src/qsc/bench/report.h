@@ -12,6 +12,7 @@
 //     "seed": 1,
 //     "warmup": 1,
 //     "repeats": 5,
+//     "threads": 1,
 //     "scenarios": [
 //       {
 //         "name": "coloring/rothko-ba-100k-c256",
@@ -47,6 +48,10 @@ constexpr int64_t kBenchSchemaVersion = 1;
 struct BenchReport {
   std::string suite;  // "smoke", "full", or "custom" (explicit --scenario)
   uint64_t seed = 1;
+  // Worker threads the run used (--threads). Affects only the timing
+  // section: counters are bit-identical across thread counts, which the
+  // CI counter-identity gate (--compare-counters) enforces.
+  int threads = 1;
   MeasureOptions measure;
   std::vector<ScenarioResult> results;
 };

@@ -26,6 +26,10 @@ namespace bench {
 // Cross-cutting run configuration, set from the qsc_bench CLI.
 struct BenchContext {
   uint64_t seed = 1;  // instance seed; counters are a function of this
+  // Worker threads (--threads); the CLI sizes the default pool to match.
+  // Counters stay a function of the seed alone — the parallel scenarios
+  // are bit-identical across thread counts (the CI counter-identity gate).
+  int threads = 1;
   MeasureOptions measure;
 };
 

@@ -47,9 +47,13 @@ ApproxBetweennessResult ApproximateBetweennessWithColoring(
 
 // The estimator core: one size-weighted Brandes pass per sampled pivot.
 // Returns only the scores, so callers holding a shared coloring (the
-// session API) do not pay a Partition copy per query.
+// session API) do not pay a Partition copy per query. With a pool the
+// pivot passes run concurrently and their contributions merge strictly in
+// pivot order; each pass writes every node's score once, so the result is
+// bit-identical to the sequential loop for any pool size.
 std::vector<double> ColorPivotScores(const Graph& g, const Partition& coloring,
-                                     int32_t pivots_per_color, uint64_t seed);
+                                     int32_t pivots_per_color, uint64_t seed,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace qsc
 

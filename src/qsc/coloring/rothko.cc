@@ -6,9 +6,19 @@
 #include <vector>
 
 #include "qsc/coloring/flat_rows.h"
+#include "qsc/parallel/parallel_for.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
+namespace {
+
+// Members below these sizes are cheaper to scan inline than to dispatch;
+// both thresholds only gate the dispatch, never the result (the parallel
+// and sequential paths are bit-identical by construction).
+constexpr int64_t kMinParallelMembers = 4096;
+constexpr int64_t kMemberGrain = 2048;
+
+}  // namespace
 
 class RothkoRefiner::Impl {
  public:
@@ -243,25 +253,75 @@ class RothkoRefiner::Impl {
     PushEntries(src, dst, direction, agg);
   }
 
-  // Recomputes the two aggregates over members of `c` toward the split
-  // halves in ONE pass over the members' rows (this is the per-split hot
-  // loop — every color adjacent to the split pays it). `new_key` is the
+  // The two recomputed aggregates of one affected color: stats over its
+  // members toward the split color and toward the new color.
+  struct SplitPairScore {
+    PairAgg split_agg;
+    PairAgg new_agg;
+  };
+
+  // Scores the two aggregates over members of `c` toward the split halves
+  // in ONE pass over the members' rows (this is the per-split hot loop —
+  // every color adjacent to the split pays it). `new_key` is the
   // just-created color and therefore the maximum id, so its entry can only
   // sit at a row's tail: an O(1) check replaces the second binary search.
-  void RecomputeSplitPair(ColorId c, ColorId split_key, ColorId new_key,
-                          const FlatWeightRows& deg, AggRow& aggs,
-                          bool source_side, uint8_t direction) {
+  //
+  // Pure with respect to shared state (reads the partition and the degree
+  // rows, writes nothing), so distinct colors score concurrently; the
+  // order-sensitive half — version assignment and heap pushes — lives in
+  // CommitSplitPair, which ParallelOrderedFor serializes in the exact
+  // sequential order.
+  SplitPairScore ScoreSplitPair(ColorId c, ColorId split_key, ColorId new_key,
+                                const FlatWeightRows& deg) const {
     QSC_DCHECK(new_key + 1 == partition_.num_colors());
-    PairAgg split_agg, new_agg;
+    SplitPairScore score;
     for (NodeId v : partition_.Members(c)) {
       const FlatWeightRows::Row& row = deg.RowOf(v);
       if (row.empty()) continue;
-      if (row.back().key == new_key) MergeWeight(new_agg, row.back().weight);
+      if (row.back().key == new_key) {
+        MergeWeight(score.new_agg, row.back().weight);
+      }
       const RowEntry* e = deg.Find(v, split_key);
-      if (e != nullptr) MergeWeight(split_agg, e->weight);
+      if (e != nullptr) MergeWeight(score.split_agg, e->weight);
     }
-    StoreAndPush(c, split_key, split_agg, aggs, source_side, direction);
-    StoreAndPush(c, new_key, new_agg, aggs, source_side, direction);
+    return score;
+  }
+
+  void CommitSplitPair(ColorId c, ColorId split_key, ColorId new_key,
+                       const SplitPairScore& score, AggRow& aggs,
+                       bool source_side, uint8_t direction) {
+    StoreAndPush(c, split_key, score.split_agg, aggs, source_side, direction);
+    StoreAndPush(c, new_key, score.new_agg, aggs, source_side, direction);
+  }
+
+  // Recomputes every affected color's aggregates toward the two split
+  // halves: scored in parallel over the pool, committed in list order.
+  void RecomputeAffected(const std::vector<ColorId>& colors,
+                         ColorId split_key, ColorId new_key,
+                         const FlatWeightRows& deg, std::vector<AggRow>& aggs,
+                         bool source_side, uint8_t direction) {
+    score_scratch_.resize(colors.size());
+    ParallelOrderedFor(
+        options_.pool, static_cast<int64_t>(colors.size()),
+        [&](int64_t k) {
+          score_scratch_[k] =
+              ScoreSplitPair(colors[k], split_key, new_key, deg);
+        },
+        [&](int64_t k) {
+          CommitSplitPair(colors[k], split_key, new_key, score_scratch_[k],
+                          aggs[colors[k]], source_side, direction);
+        });
+  }
+
+  // Filters the split halves out of a touched-color list into
+  // affected_scratch_, preserving touch order (the sequential commit
+  // order).
+  void GatherAffected(const std::vector<ColorId>& touched, ColorId split_color,
+                      ColorId new_color) {
+    affected_scratch_.clear();
+    for (const ColorId c : touched) {
+      if (c != split_color && c != new_color) affected_scratch_.push_back(c);
+    }
   }
 
   // Pops stale entries off `heap` until its top is current; returns false
@@ -292,23 +352,36 @@ class RothkoRefiner::Impl {
     const size_t size = members.size();
     QSC_CHECK_GE(size, 2u);
 
-    // Witness degrees of every member (0 when absent).
+    // Witness degrees of every member (0 when absent). The gather is
+    // independent per member and the min/max envelope is an associative
+    // reduction, so both parallelize bit-identically; the arithmetic-mean
+    // sum is order-sensitive and stays a sequential fold over the
+    // materialized values, which accumulates in exactly the reference
+    // implementation's index order.
     std::vector<double>& values = split_values_;
     values.resize(size);
-    bool has_negative = false;
-    double lo = 0.0, hi = 0.0, sum = 0.0;
-    for (size_t i = 0; i < size; ++i) {
-      const double val = deg_rows.WeightOrZero(members[i], other);
-      values[i] = val;
-      has_negative |= val < 0.0;
-      sum += val;
-      if (i == 0) {
-        lo = hi = val;
-      } else {
-        lo = std::min(lo, val);
-        hi = std::max(hi, val);
-      }
-    }
+    ThreadPool* scan_pool =
+        static_cast<int64_t>(size) >= kMinParallelMembers ? options_.pool
+                                                          : nullptr;
+    ParallelFor(scan_pool, static_cast<int64_t>(size), kMemberGrain,
+                [&](int64_t i) {
+                  values[i] = deg_rows.WeightOrZero(members[i], other);
+                });
+    struct Envelope {
+      double lo, hi;
+    };
+    const Envelope env = ParallelReduce(
+        scan_pool, static_cast<int64_t>(size), kMemberGrain,
+        Envelope{values[0], values[0]},
+        [&](int64_t i) { return Envelope{values[i], values[i]}; },
+        [](const Envelope& a, const Envelope& b) {
+          return Envelope{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+        });
+    const double lo = env.lo;
+    const double hi = env.hi;
+    bool has_negative = lo < 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < size; ++i) sum += values[i];
     QSC_CHECK_GT(hi, lo);  // Witness error was positive.
 
     double threshold;
@@ -371,17 +444,13 @@ class RothkoRefiner::Impl {
       RebuildTargetInAggregates(split_color);
       RebuildTargetInAggregates(new_color);
     }
-    for (ColorId c : out_affected_.touched()) {
-      if (c == split_color || c == new_color) continue;
-      RecomputeSplitPair(c, split_color, new_color, out_deg_, out_agg_[c],
-                         /*source_side=*/true, /*direction=*/0);
-    }
+    GatherAffected(out_affected_.touched(), split_color, new_color);
+    RecomputeAffected(affected_scratch_, split_color, new_color, out_deg_,
+                      out_agg_, /*source_side=*/true, /*direction=*/0);
     if (directed_) {
-      for (ColorId c : in_affected_.touched()) {
-        if (c == split_color || c == new_color) continue;
-        RecomputeSplitPair(c, split_color, new_color, in_deg_, in_agg_[c],
-                           /*source_side=*/false, /*direction=*/1);
-      }
+      GatherAffected(in_affected_.touched(), split_color, new_color);
+      RecomputeAffected(affected_scratch_, split_color, new_color, in_deg_,
+                        in_agg_, /*source_side=*/false, /*direction=*/1);
     }
 
     history_.push_back({split_color, new_color, hi - lo,
@@ -414,6 +483,8 @@ class RothkoRefiner::Impl {
   std::vector<ColorId> sorted_keys_;
   std::vector<double> split_values_;
   std::vector<NodeId> eject_;
+  std::vector<ColorId> affected_scratch_;
+  std::vector<SplitPairScore> score_scratch_;
 
   WallTimer timer_;
   std::vector<RothkoStep> history_;

@@ -32,6 +32,8 @@
 
 namespace qsc {
 
+class ThreadPool;
+
 struct RothkoOptions {
   // Stop once the partition reaches this many colors (n in Algorithm 1).
   ColorId max_colors = 64;
@@ -55,6 +57,17 @@ struct RothkoOptions {
                   // negative degree is present.
   };
   SplitMean split_mean = SplitMean::kArithmetic;
+
+  // Optional worker pool for split scoring (qsc/parallel). Candidate
+  // colors are scored concurrently but scores commit through an ordered
+  // reduction, so the split sequence — and therefore every partition and
+  // q-error this refiner produces — is bit-identical for any pool size,
+  // including none (tests/coloring_rothko_equivalence_test.cc checks
+  // threads 1/2/8 against the frozen reference). Not owned; must outlive
+  // the refiner; may be shared by many refiners (the pool is re-entrant).
+  // Does NOT make the refiner itself thread-safe: concurrent Step() calls
+  // on one refiner still require external serialization.
+  ThreadPool* pool = nullptr;
 };
 
 // Telemetry for one split, recorded for the responsiveness study (paper

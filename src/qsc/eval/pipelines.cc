@@ -38,7 +38,7 @@ std::vector<RunMetrics> RunMaxFlowPipeline(const FlowInstance& instance,
   // refinement (bit-identical to a fresh coloring per budget), so
   // approx_seconds is the *incremental* session cost of that budget
   // (resume coloring + reduce + solve).
-  Compressor session(Borrow(instance.graph));
+  Compressor session(Borrow(instance.graph), options.pool);
 
   std::vector<RunMetrics> out;
   out.reserve(budgets.size());
@@ -128,7 +128,7 @@ std::vector<RunMetrics> RunCentralityPipeline(const Graph& g,
   const std::vector<double> exact = BetweennessExact(g);
   const double exact_seconds = timer.ElapsedSeconds();
 
-  Compressor session(Borrow(g));
+  Compressor session(Borrow(g), options.pool);
 
   std::vector<RunMetrics> out;
   out.reserve(budgets.size());

@@ -22,6 +22,7 @@
 #include "qsc/eval/json.h"
 #include "qsc/eval/suites.h"
 #include "qsc/eval/workload.h"
+#include "qsc/parallel/thread_pool.h"
 
 namespace qsc {
 namespace eval {
@@ -42,6 +43,8 @@ void PrintUsage(FILE* out) {
       "  --flow-solver=S        dinic | edmonds-karp | push-relabel\n"
       "  --lp-oracle=S          simplex | interior-point\n"
       "  --split-mean=S         arithmetic | geometric\n"
+      "  --threads=N            worker threads (metrics are identical for\n"
+      "                         any N; default 1)\n"
       "  --flow-lower-bound     also compute the Theorem-6 c^1 bound\n"
       "  --check                run the differential invariant suite too\n"
       "  --compact              single-line JSON (default: pretty)\n",
@@ -154,6 +157,15 @@ int Main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "--colors", &value)) {
       options.color_budgets = ParseColorList(value);
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads < 1) {
+        std::fprintf(stderr, "qsc_eval: bad --threads '%s'\n", value.c_str());
+        return 2;
+      }
+      SetDefaultPoolThreads(static_cast<int>(threads));
+      options.pool = DefaultPool();
     } else if (ParseFlag(arg, "--flow-solver", &value)) {
       if (value == "dinic") {
         options.flow_solver = FlowSolver::kDinic;

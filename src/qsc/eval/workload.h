@@ -71,6 +71,11 @@ struct EvalOptions {
   // Also compute the Theorem-6 lower bound for max-flow workloads
   // (expensive: one maxUFlow bisection per color pair).
   bool compute_flow_lower_bound = false;
+
+  // Optional worker pool for the pipeline sessions (qsc_eval --threads).
+  // Not owned. Metric values are bit-identical for any pool size — the
+  // qsc/parallel determinism contract — so this is pure wall-clock.
+  ThreadPool* pool = nullptr;
 };
 
 // Metrics for one (instance, color budget) pipeline run. Fields that do

@@ -145,6 +145,7 @@ RothkoOptions ToRothkoOptions(const LpReduceOptions& options) {
   rothko.alpha = options.alpha;
   rothko.beta = options.beta;
   rothko.split_mean = options.split_mean;
+  rothko.pool = options.pool;
   return rothko;
 }
 

@@ -37,6 +37,9 @@ struct LpReduceOptions {
   // Split-mean rule for the matrix-graph coloring (paper Sec 5.2).
   RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
   LpReduction variant = LpReduction::kSqrtNormalized;
+  // Optional worker pool for the matrix-graph split scoring (not owned;
+  // see RothkoOptions::pool — never changes the reduction).
+  ThreadPool* pool = nullptr;
 };
 
 struct ReducedLp {

@@ -4,6 +4,11 @@
 // over the shared 56-graph property corpus: the full history() trace
 // (split color, new color, witness error, color count — everything except
 // wall-clock), the final partition, and the error trajectory.
+//
+// Since the parallel split scorer (RothkoOptions::pool), every corpus
+// point also runs at pool sizes 1, 2, and 8: the thread count must change
+// nothing — the deterministic ordered commit makes every pool size
+// bit-identical to the sequential reference.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +18,7 @@
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/graph/graph.h"
+#include "qsc/parallel/thread_pool.h"
 #include "rothko_corpus.h"
 #include "rothko_reference.h"
 
@@ -21,15 +27,17 @@ namespace {
 
 class RothkoEquivalenceTest
     : public testing::TestWithParam<
-          std::tuple<uint64_t, bool, RothkoOptions::SplitMean>> {};
+          std::tuple<uint64_t, bool, RothkoOptions::SplitMean, int>> {};
 
 TEST_P(RothkoEquivalenceTest, SplitHistoryMatchesReferenceImplementation) {
-  const auto [seed, directed, split_mean] = GetParam();
+  const auto [seed, directed, split_mean, threads] = GetParam();
   const Graph g = testing_corpus::CorpusGraph(seed, directed);
 
+  ThreadPool pool(threads);
   RothkoOptions options;
   options.split_mean = split_mean;
   options.max_colors = g.num_nodes();  // run all the way to stability
+  options.pool = &pool;
 
   RothkoRefiner optimized(g, Partition::Trivial(g.num_nodes()), options);
   reference::ReferenceRefiner ref(g, Partition::Trivial(g.num_nodes()),
@@ -68,7 +76,8 @@ std::string EquivalenceParamName(
          (std::get<1>(info.param) ? "_directed_" : "_undirected_") +
          (std::get<2>(info.param) == RothkoOptions::SplitMean::kGeometric
               ? "geometric"
-              : "arithmetic");
+              : "arithmetic") +
+         "_threads" + std::to_string(std::get<3>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -76,7 +85,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::ValuesIn(testing_corpus::CorpusSeeds()),
                      testing::Bool(),
                      testing::Values(RothkoOptions::SplitMean::kArithmetic,
-                                     RothkoOptions::SplitMean::kGeometric)),
+                                     RothkoOptions::SplitMean::kGeometric),
+                     testing::Values(1, 2, 8)),
     EquivalenceParamName);
 
 }  // namespace
