@@ -50,10 +50,10 @@ Partition InitialPartition(const ColoringSpec& spec, NodeId num_nodes) {
 }
 
 struct ColoringCache::Entry {
-  // Serializes every read and write of the fields below. Held for the
-  // whole refinement of one request, so concurrent requests against one
-  // spec queue behind each other while distinct specs proceed in
-  // parallel.
+  // Serializes every read and write of the refinement fields below. Held
+  // for the whole refinement of one request, so concurrent requests
+  // against one spec queue behind each other while distinct specs proceed
+  // in parallel.
   std::mutex mutex;
 
   // Built lazily under `mutex` on first use, so inserting the map slot
@@ -73,19 +73,65 @@ struct ColoringCache::Entry {
   // down-budget requests without rerunning (splits are not invertible).
   std::map<ColorId, std::pair<std::shared_ptr<const Partition>, double>>
       served;
+
+  // Pin count of in-flight Refine() calls. Increments happen under the
+  // cache map lock (shared or unique) and the eviction scan runs under
+  // the unique lock, so a scan that observes 0 cannot race a new pin;
+  // only entries with active == 0 are evictable.
+  std::atomic<int32_t> active{0};
+  // LRU stamp from the cache-wide use clock, set at acquisition.
+  std::atomic<uint64_t> last_used{0};
+  // Footprint last folded into the cache total; guarded by the cache
+  // map's unique lock.
+  int64_t bytes = 0;
+
+  // Footprint of this entry: the live refiner plus every distinct served
+  // snapshot (down-budget memoizations often alias the head or each
+  // other; each partition is counted once). Caller holds `mutex`.
+  int64_t MemoryBytes() const {
+    int64_t total = static_cast<int64_t>(sizeof(Entry));
+    if (refiner != nullptr) total += refiner->MemoryBytes();
+    std::vector<const Partition*> counted;
+    const auto count = [&](const std::shared_ptr<const Partition>& p) {
+      if (p == nullptr) return;
+      if (std::find(counted.begin(), counted.end(), p.get()) !=
+          counted.end()) {
+        return;
+      }
+      counted.push_back(p.get());
+      total += p->MemoryBytes();
+    };
+    count(head);
+    for (const auto& [budget, snapshot] : served) {
+      total += static_cast<int64_t>(sizeof(ColorId) + sizeof(snapshot));
+      count(snapshot.first);
+    }
+    return total;
+  }
 };
 
 ColoringCache::ColoringCache(std::shared_ptr<const Graph> graph,
-                             ThreadPool* pool)
-    : graph_(std::move(graph)), pool_(pool) {
+                             ThreadPool* pool,
+                             const ColoringCacheOptions& options)
+    : graph_(std::move(graph)), pool_(pool), options_(options) {
   QSC_CHECK(graph_ != nullptr);
+  QSC_CHECK_GE(options_.byte_budget, 0);
 }
 
 ColoringCache::~ColoringCache() = default;
 
 CacheStats ColoringCache::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  CacheStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    snapshot.bytes_in_use = total_bytes_;
+    snapshot.peak_bytes = peak_bytes_;
+  }
+  return snapshot;
 }
 
 int64_t ColoringCache::num_entries() const {
@@ -103,97 +149,153 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   // the unique lock only on the insert path (double-checked via
   // try_emplace, so two racing first queries create one entry and the
   // loser counts as a hit — the same totals a serialized pair produces).
-  Entry* entry = nullptr;
+  // The entry is pinned (active++) under the map lock, which keeps the
+  // eviction scan — it runs under the unique lock and skips active
+  // entries — from dropping an entry a request is about to refine.
+  std::shared_ptr<Entry> entry;
+  bool found = true;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     const auto it = entries_.find(spec);
-    if (it != entries_.end()) entry = it->second.get();
+    if (it != entries_.end()) {
+      entry = it->second;
+      entry->active.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  bool found = true;
   if (entry == nullptr) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     const auto [it, inserted] = entries_.try_emplace(spec, nullptr);
-    if (inserted) it->second = std::make_unique<Entry>();
+    if (inserted) it->second = std::make_shared<Entry>();
     found = !inserted;
-    entry = it->second.get();
+    entry = it->second;
+    entry->active.fetch_add(1, std::memory_order_relaxed);
   }
+  entry->last_used.store(
+      1 + use_clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.lookups;
     if (!found) ++stats_.misses;
   }
 
-  std::lock_guard<std::mutex> entry_lock(entry->mutex);
-  if (entry->refiner == nullptr) {
-    entry->refiner = std::make_unique<RothkoRefiner>(
-        *graph_, InitialPartition(spec, graph_->num_nodes()),
-        ToRothkoOptions(spec, pool_));
-    entry->initial_colors = entry->refiner->partition().num_colors();
-  }
+  int64_t entry_bytes = 0;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    if (entry->refiner == nullptr) {
+      entry->refiner = std::make_unique<RothkoRefiner>(
+          *graph_, InitialPartition(spec, graph_->num_nodes()),
+          ToRothkoOptions(spec, pool_));
+      entry->initial_colors = entry->refiner->partition().num_colors();
+    }
 
-  // A budget below the initial color count cannot be met (pins are never
-  // merged); Run() serves the initial partition there, and so do we —
-  // without taking the down-budget recompute path.
-  budget = std::max(budget, entry->initial_colors);
+    // A budget below the initial color count cannot be met (pins are never
+    // merged); Run() serves the initial partition there, and so do we —
+    // without taking the down-budget recompute path.
+    budget = std::max(budget, entry->initial_colors);
 
-  // Down-budget request on a refiner that has already split past `budget`:
-  // serve the memoized snapshot, or recompute this budget once.
-  if (entry->refiner->partition().num_colors() > budget) {
-    const auto served = entry->served.find(budget);
-    if (served != entry->served.end()) {
+    if (entry->refiner->partition().num_colors() > budget) {
+      // Down-budget request on a refiner that has already split past
+      // `budget`: serve the memoized snapshot, or recompute this budget
+      // once.
+      const auto served = entry->served.find(budget);
+      if (served != entry->served.end()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.hits;
+        }
+        handle.cache_hit = true;
+        handle.partition = served->second.first;
+        handle.max_error = served->second.second;
+      } else {
+        RothkoRefiner fresh(*graph_,
+                            InitialPartition(spec, graph_->num_nodes()),
+                            ToRothkoOptions(spec, pool_));
+        const ColorId initial = fresh.partition().num_colors();
+        while (fresh.partition().num_colors() < budget && fresh.Step(budget)) {
+        }
+        handle.splits = fresh.partition().num_colors() - initial;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.recolorings;
+          stats_.refine_splits += handle.splits;
+        }
+        handle.partition =
+            std::make_shared<const Partition>(fresh.partition());
+        handle.max_error = fresh.CurrentMaxError();
+        entry->served[budget] = {handle.partition, handle.max_error};
+      }
+    } else {
+      // Continue the cached refinement — the same loop as
+      // RothkoRefiner::Run(), so the result is bit-identical to a fresh
+      // run at `budget`.
+      handle.cache_hit = found;
+      const ColorId before = entry->refiner->partition().num_colors();
+      while (!entry->converged &&
+             entry->refiner->partition().num_colors() < budget) {
+        if (!entry->refiner->Step(budget)) {
+          entry->converged = true;
+        }
+      }
+      handle.splits = entry->refiner->partition().num_colors() - before;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.hits;
+        if (found) ++stats_.hits;
+        stats_.refine_splits += handle.splits;
       }
-      handle.cache_hit = true;
-      handle.partition = served->second.first;
-      handle.max_error = served->second.second;
-      handle.seconds = timer.ElapsedSeconds();
-      return handle;
+      if (handle.splits > 0 || entry->head == nullptr) {
+        entry->head =
+            std::make_shared<const Partition>(entry->refiner->partition());
+      }
+      handle.partition = entry->head;
+      handle.max_error = entry->refiner->CurrentMaxError();
+      entry->served[budget] = {handle.partition, handle.max_error};
     }
-    RothkoRefiner fresh(*graph_, InitialPartition(spec, graph_->num_nodes()),
-                        ToRothkoOptions(spec, pool_));
-    const ColorId initial = fresh.partition().num_colors();
-    while (fresh.partition().num_colors() < budget && fresh.Step(budget)) {
-    }
-    handle.splits = fresh.partition().num_colors() - initial;
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.recolorings;
-      stats_.refine_splits += handle.splits;
-    }
-    handle.partition = std::make_shared<const Partition>(fresh.partition());
-    handle.max_error = fresh.CurrentMaxError();
-    entry->served[budget] = {handle.partition, handle.max_error};
-    handle.seconds = timer.ElapsedSeconds();
-    return handle;
+    entry_bytes = entry->MemoryBytes();
   }
 
-  // Continue the cached refinement — the same loop as RothkoRefiner::Run(),
-  // so the result is bit-identical to a fresh run at `budget`.
-  handle.cache_hit = found;
-  const ColorId before = entry->refiner->partition().num_colors();
-  while (!entry->converged &&
-         entry->refiner->partition().num_colors() < budget) {
-    if (!entry->refiner->Step(budget)) {
-      entry->converged = true;
-    }
-  }
-  handle.splits = entry->refiner->partition().num_colors() - before;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (found) ++stats_.hits;
-    stats_.refine_splits += handle.splits;
-  }
-  if (handle.splits > 0 || entry->head == nullptr) {
-    entry->head =
-        std::make_shared<const Partition>(entry->refiner->partition());
-  }
-  handle.partition = entry->head;
-  handle.max_error = entry->refiner->CurrentMaxError();
-  entry->served[budget] = {handle.partition, handle.max_error};
+  FinishUse(entry, entry_bytes);
   handle.seconds = timer.ElapsedSeconds();
   return handle;
+}
+
+void ColoringCache::FinishUse(const std::shared_ptr<Entry>& entry,
+                              int64_t new_bytes) {
+  int64_t evicted = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    total_bytes_ += new_bytes - entry->bytes;
+    entry->bytes = new_bytes;
+    if (total_bytes_ > peak_bytes_) peak_bytes_ = total_bytes_;
+    // Unpin before evicting so the budget can be enforced even when this
+    // request's own entry is the only candidate (a single entry larger
+    // than the budget must not park the cache above it).
+    entry->active.fetch_sub(1, std::memory_order_relaxed);
+    if (options_.byte_budget > 0) {
+      while (total_bytes_ > options_.byte_budget) {
+        auto victim = entries_.end();
+        uint64_t oldest = 0;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+          const Entry& candidate = *it->second;
+          if (candidate.active.load(std::memory_order_relaxed) != 0) continue;
+          const uint64_t stamp =
+              candidate.last_used.load(std::memory_order_relaxed);
+          if (victim == entries_.end() || stamp < oldest) {
+            victim = it;
+            oldest = stamp;
+          }
+        }
+        if (victim == entries_.end()) break;  // everything pinned
+        total_bytes_ -= victim->second->bytes;
+        entries_.erase(victim);
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.evictions += evicted;
+  }
 }
 
 }  // namespace qsc

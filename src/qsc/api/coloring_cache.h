@@ -27,10 +27,23 @@
 // *stats attribution* (hit vs recoloring for racing down-budget queries)
 // depends on arrival order; totals still satisfy
 // hits + misses + recolorings == lookups.
+//
+// Byte budget (ColoringCacheOptions): a long-lived server cannot let the
+// entry map grow without bound, so the cache tracks the footprint of every
+// entry (live refiner + distinct served snapshots) and, when a budget is
+// configured, evicts least-recently-used idle entries after each request
+// until the total is back within the budget. Eviction never changes a
+// result: a re-queried evicted spec recomputes from scratch — a miss in
+// the stats — and the anytime determinism makes the recomputed partition
+// bitwise equal to the evicted one (tests/api_cache_eviction_test.cc
+// proves this over the shared 56-graph corpus). Entries pinned by
+// in-flight requests are not evictable, so under concurrency the budget
+// is enforced whenever no request is mid-flight.
 
 #ifndef QSC_API_COLORING_CACHE_H_
 #define QSC_API_COLORING_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -97,6 +110,23 @@ struct CacheStats {
   int64_t misses = 0;        // new spec: refiner built and run from scratch
   int64_t recolorings = 0;   // down-budget recomputes within a cached spec
   int64_t refine_splits = 0; // total witness splits performed
+  int64_t evictions = 0;     // entries evicted to satisfy the byte budget
+  int64_t bytes_in_use = 0;  // tracked footprint of all current entries
+  int64_t peak_bytes = 0;    // high-water mark of bytes_in_use
+};
+
+// Session-construction knobs for the cache.
+struct ColoringCacheOptions {
+  // Maximum total entry footprint in bytes; 0 = unlimited (never evict).
+  // An entry's footprint is its live refiner (RothkoRefiner::MemoryBytes)
+  // plus every distinct partition snapshot it serves. When a request
+  // leaves the total above the budget, least-recently-used idle entries
+  // are evicted — possibly including the entry the request itself used —
+  // until the total is back within the budget, so with no concurrent
+  // requests in flight, bytes_in_use <= byte_budget after every Refine().
+  // Eviction is invisible to results: a re-queried evicted spec
+  // recomputes bit-identically (and counts as a miss).
+  int64_t byte_budget = 0;
 };
 
 // Spec-keyed store of live anytime refiners over one graph. Safe for
@@ -117,9 +147,10 @@ class ColoringCache {
   // `graph` must be non-null; the cache shares ownership. `pool` (not
   // owned, may be null) accelerates each refiner's split scoring without
   // changing any partition — refinement is bit-identical for any pool
-  // size (RothkoOptions::pool).
+  // size (RothkoOptions::pool). `options` configures the byte budget.
   explicit ColoringCache(std::shared_ptr<const Graph> graph,
-                         ThreadPool* pool = nullptr);
+                         ThreadPool* pool = nullptr,
+                         const ColoringCacheOptions& options = {});
   ~ColoringCache();
 
   ColoringCache(const ColoringCache&) = delete;
@@ -148,13 +179,26 @@ class ColoringCache {
  private:
   struct Entry;
 
+  // Footprint accounting + unpin + budget enforcement after one Refine():
+  // folds `new_bytes` into the total, releases the caller's pin, and
+  // evicts LRU idle entries while the total exceeds the budget.
+  void FinishUse(const std::shared_ptr<Entry>& entry, int64_t new_bytes);
+
   std::shared_ptr<const Graph> graph_;
   ThreadPool* pool_;
+  ColoringCacheOptions options_;
 
-  mutable std::shared_mutex mutex_;  // guards entries_ (the map, not the
-                                     // entries: each Entry has its own)
-  std::unordered_map<ColoringSpec, std::unique_ptr<Entry>, ColoringSpecHash>
+  mutable std::shared_mutex mutex_;  // guards entries_ and the byte
+                                     // accounting (total_bytes_,
+                                     // peak_bytes_, Entry::bytes); each
+                                     // Entry serializes itself
+  std::unordered_map<ColoringSpec, std::shared_ptr<Entry>, ColoringSpecHash>
       entries_;
+  int64_t total_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+
+  // LRU clock: each Refine() stamps its entry with the next tick.
+  std::atomic<uint64_t> use_clock_{0};
 
   mutable std::mutex stats_mutex_;
   CacheStats stats_;

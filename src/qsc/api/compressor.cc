@@ -113,10 +113,13 @@ bool LpEquals(const LpProblem& a, const LpProblem& b) {
 
 class Compressor::Impl {
  public:
-  Impl(std::shared_ptr<const Graph> graph, ThreadPool* pool)
+  Impl(std::shared_ptr<const Graph> graph, ThreadPool* pool,
+       const CompressorOptions& options)
       : graph_(std::move(graph)), pool_(pool) {
     if (graph_ != nullptr && graph_->num_nodes() > 0) {
-      cache_ = std::make_unique<ColoringCache>(graph_, pool_);
+      ColoringCacheOptions cache_options;
+      cache_options.byte_budget = options.coloring_cache_byte_budget;
+      cache_ = std::make_unique<ColoringCache>(graph_, pool_, cache_options);
     }
   }
 
@@ -452,13 +455,16 @@ class Compressor::Impl {
   CompressorStats stats_;
 };
 
-Compressor::Compressor() : impl_(new Impl(nullptr, nullptr)) {}
+Compressor::Compressor() : impl_(new Impl(nullptr, nullptr, {})) {}
 
-Compressor::Compressor(Graph graph, ThreadPool* pool)
-    : impl_(new Impl(std::make_shared<const Graph>(std::move(graph)), pool)) {}
+Compressor::Compressor(Graph graph, ThreadPool* pool,
+                       const CompressorOptions& options)
+    : impl_(new Impl(std::make_shared<const Graph>(std::move(graph)), pool,
+                     options)) {}
 
-Compressor::Compressor(std::shared_ptr<const Graph> graph, ThreadPool* pool)
-    : impl_(new Impl(std::move(graph), pool)) {}
+Compressor::Compressor(std::shared_ptr<const Graph> graph, ThreadPool* pool,
+                       const CompressorOptions& options)
+    : impl_(new Impl(std::move(graph), pool, options)) {}
 
 Compressor::~Compressor() = default;
 Compressor::Compressor(Compressor&&) noexcept = default;

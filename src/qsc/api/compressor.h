@@ -151,6 +151,16 @@ struct CompressorStats {
 
 class ThreadPool;
 
+// Session-construction knobs. Everything here affects resource usage only,
+// never results: a budgeted session answers every query bit-identically to
+// an unbudgeted one (evicted colorings recompute deterministically).
+struct CompressorOptions {
+  // Byte budget for the session's coloring cache (live refiners plus
+  // served partition snapshots); 0 = unlimited. See
+  // ColoringCacheOptions::byte_budget for the eviction contract.
+  int64_t coloring_cache_byte_budget = 0;
+};
+
 class Compressor {
  public:
   // An LP-only session: SolveLp works, graph queries return
@@ -160,12 +170,14 @@ class Compressor {
   // Takes ownership of (a move of) the graph. `pool` (not owned, may be
   // null, must outlive the session) enables intra- and inter-query
   // parallelism; results are bit-identical with and without it.
-  explicit Compressor(Graph graph, ThreadPool* pool = nullptr);
+  explicit Compressor(Graph graph, ThreadPool* pool = nullptr,
+                      const CompressorOptions& options = {});
 
   // Shares ownership; use the aliasing shared_ptr constructor to borrow a
   // caller-owned graph that outlives the session.
   explicit Compressor(std::shared_ptr<const Graph> graph,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      const CompressorOptions& options = {});
 
   ~Compressor();
 

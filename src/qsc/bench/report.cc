@@ -32,6 +32,12 @@ void WriteScenarioJson(const ScenarioResult& r, eval::JsonWriter& w) {
   w.BeginObject();
   for (const auto& [key, value] : r.counters) w.KV(key, value);
   w.EndObject();
+  if (!r.gauges.empty()) {
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [key, value] : r.gauges) w.KV(key, value);
+    w.EndObject();
+  }
   w.Key("timing");
   w.BeginObject();
   w.KV("repeats", r.timing.seconds.count);

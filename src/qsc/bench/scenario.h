@@ -48,6 +48,12 @@ struct ScenarioResult {
   // Machine-dependent measurements; compared within a noise tolerance.
   Measurement timing;
 
+  // Machine-dependent scalar metrics beyond wall time (tail latencies,
+  // qps, cache byte gauges of the serving scenarios). Serialized under
+  // "gauges" for trend tracking but never compared against baselines —
+  // the comparator only inspects params/counters/timing.
+  std::vector<std::pair<std::string, double>> gauges;
+
   // Optional human-readable detail (per-dataset rows for the fig7-style
   // scenarios). Printed by the table frontends, never serialized.
   std::vector<std::string> table_header;
@@ -59,7 +65,7 @@ class Scenario {
  public:
   struct Info {
     std::string name;   // "<group>/<scenario>", e.g. "coloring/rothko-ba-10k"
-    std::string group;  // "coloring" | "pipelines"
+    std::string group;  // "coloring" | "pipelines" | "serving"
     std::string description;
     // Part of the fast CI suite (--suite=smoke). Full-only scenarios run
     // with --suite=full or by name.
@@ -103,9 +109,14 @@ class ScenarioRegistry {
 
 // Registers the builtin perf scenarios (scenarios.cc): Rothko refinement
 // on Barabási–Albert / Erdős–Rényi / segmentation-grid graphs at 10k-200k
-// nodes, the end-to-end eval pipelines, and the fig7 dataset sweeps.
-// Idempotent; call before Find()/List().
+// nodes, the end-to-end eval pipelines, the fig7 dataset sweeps, and the
+// serving load scenarios. Idempotent; call before Find()/List().
 void RegisterBuiltinScenarios();
+
+// The "serving" group (scenarios_serving.cc): seeded workload traces
+// replayed against a Compressor session by the qsc/workload load runner.
+// Called by RegisterBuiltinScenarios().
+void RegisterServingScenarios();
 
 }  // namespace bench
 }  // namespace qsc

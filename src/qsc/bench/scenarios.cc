@@ -1,5 +1,5 @@
 // Builtin perf scenarios (see docs/BENCHMARKING.md for the registry
-// contract). Two groups:
+// contract). Three groups:
 //
 //  - "coloring": the refiner and its kernels on synthetic graphs at
 //    10k-200k nodes. The headline scenario is rothko-ba-100k-c256 —
@@ -8,6 +8,8 @@
 //  - "pipelines": end-to-end instance -> coloring -> solve -> error runs
 //    through qsc/eval, plus the solver kernels and the fig7 dataset
 //    sweeps (single-shot paper reproductions at their canonical seeds).
+//  - "serving": workload traces replayed against a Compressor session by
+//    the qsc/workload load runner (scenarios_serving.cc).
 //
 // Scenario counters are deterministic given the seed; instance
 // construction happens outside the timed closure.
@@ -685,6 +687,7 @@ void RegisterBuiltinScenarios() {
     RegisterCompressorBatchFlow();
     RegisterCompressorColdFlow();
     RegisterCompressorParallelFlow();
+    RegisterServingScenarios();
     return true;
   }();
   (void)registered;

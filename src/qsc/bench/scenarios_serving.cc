@@ -1,0 +1,200 @@
+// The "serving" scenario group (docs/SERVING.md): seeded workload traces
+// replayed against one Compressor session by the qsc/workload load
+// runner, measuring end-to-end service behavior — throughput, tail
+// latency, cache amortization — rather than a single kernel.
+//
+// The split between gated and reported values follows the load runner's
+// determinism contract: params and counters are pure functions of
+// (seed), bitwise identical for any --threads value (the CI serving gate
+// compares --threads 1 against 4), while tail latencies, qps, and the
+// cache byte/hit gauges land in ScenarioResult::gauges — serialized for
+// trend tracking, never compared against baselines.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/api/compressor.h"
+#include "qsc/bench/scenario.h"
+#include "qsc/graph/generators.h"
+#include "qsc/lp/generators.h"
+#include "qsc/parallel/thread_pool.h"
+#include "qsc/util/check.h"
+#include "qsc/util/random.h"
+#include "qsc/workload/load_runner.h"
+#include "qsc/workload/trace.h"
+
+namespace qsc {
+namespace bench {
+namespace {
+
+// A 1500-node directed scale-free graph: large enough that a cold
+// coloring is measurable work, small enough that a few hundred mixed
+// queries stay inside a CI smoke budget.
+Graph DirectedBa1500(uint64_t seed) {
+  Rng rng(seed);
+  const Graph ba = BarabasiAlbert(1500, 3, rng);
+  return Graph::FromArcs(ba.num_nodes(), ba.Arcs(), /*undirected=*/false);
+}
+
+// Shared trace shape of both serving scenarios; only the arrival model
+// (and the session's byte budget) differs.
+workload::TraceGenOptions ServingTraceOptions(uint64_t seed) {
+  workload::TraceGenOptions options;
+  options.seed = seed;
+  options.num_events = 300;
+  options.num_specs = 10;
+  options.budgets = {8, 16, 32, 64};
+  options.batch_size = 4;
+  return options;
+}
+
+std::vector<LpProblem> ServingLpUniverse(uint64_t seed) {
+  BlockLpSpec spec;
+  spec.num_row_groups = 4;
+  spec.num_col_groups = 4;
+  spec.rows_per_group = 4;
+  spec.cols_per_group = 4;
+  spec.seed = seed;
+  return {Figure3Lp(), MakeBlockLp(spec)};
+}
+
+// Fills the result's params/counters/gauges from one load run. The
+// deterministic counters are the load runner's (per-kind counts and
+// result checksums); everything schedule-dependent goes to gauges.
+void FillServingResult(const workload::LoadReport& report,
+                       ScenarioResult* r) {
+  r->counters = {
+      {"total_queries", static_cast<double>(report.total_queries)},
+      {"failed_queries", static_cast<double>(report.failed_queries)},
+  };
+  for (int k = 0; k < workload::kNumQueryKinds; ++k) {
+    const std::string kind =
+        workload::QueryKindName(static_cast<workload::QueryKind>(k));
+    r->counters.push_back(
+        {kind + "_queries", static_cast<double>(report.kind_counts[k])});
+    r->counters.push_back({kind + "_checksum", report.kind_checksums[k]});
+  }
+  const CacheStats& cache = report.session_stats.coloring;
+  r->gauges = {
+      {"qps", report.qps},
+      {"latency_p50_ms", report.latency_p50_s * 1e3},
+      {"latency_p95_ms", report.latency_p95_s * 1e3},
+      {"latency_p99_ms", report.latency_p99_s * 1e3},
+      {"latency_max_ms", report.latency_max_s * 1e3},
+      {"cache_hits", static_cast<double>(cache.hits)},
+      {"cache_misses", static_cast<double>(cache.misses)},
+      {"cache_recolorings", static_cast<double>(cache.recolorings)},
+      {"cache_evictions", static_cast<double>(cache.evictions)},
+      {"cache_bytes_in_use", static_cast<double>(cache.bytes_in_use)},
+      {"cache_peak_bytes", static_cast<double>(cache.peak_bytes)},
+      {"lp_hits", static_cast<double>(report.session_stats.lp_hits)},
+  };
+}
+
+// Registers one serving scenario: `generator` drives the trace,
+// `byte_budget` configures the session's coloring cache (0 = unbounded).
+// Every repeat replays the same trace against a *fresh* session — the
+// measured unit is a cold service warming its cache over the trace.
+void RegisterServing(const char* name, const char* description,
+                     const char* generator, uint64_t salt,
+                     int64_t byte_budget) {
+  Scenario::Info info;
+  info.name = name;
+  info.group = "serving";
+  info.description = description;
+  info.smoke = true;
+  const std::string generator_name = generator;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info),
+      [generator_name, salt, byte_budget](const BenchContext& ctx) {
+        const uint64_t seed = ctx.seed ^ salt;
+        const Graph g = DirectedBa1500(seed);
+        const workload::TraceGenOptions trace_options =
+            ServingTraceOptions(seed);
+        StatusOr<std::unique_ptr<workload::TraceSource>> source =
+            workload::MakeTraceSource(generator_name, trace_options);
+        QSC_CHECK_OK(source);
+        const std::vector<workload::TraceEvent> trace =
+            workload::DrainTrace(**source);
+
+        workload::LoadRunnerOptions load_options;
+        load_options.num_client_threads = ctx.threads;
+        load_options.lp_universe = ServingLpUniverse(seed);
+        CompressorOptions session_options;
+        session_options.coloring_cache_byte_budget = byte_budget;
+
+        workload::LoadReport report;
+        ScenarioResult r;
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          Compressor session(
+              std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(),
+                                           &g),
+              DefaultPool(), session_options);
+          StatusOr<workload::LoadReport> run =
+              workload::RunLoad(session, trace, load_options);
+          QSC_CHECK_OK(run);
+          report = std::move(run).value();
+        });
+
+        r.params = {
+            {"nodes", static_cast<double>(g.num_nodes())},
+            {"arcs", static_cast<double>(g.num_arcs())},
+            {"events", static_cast<double>(trace_options.num_events)},
+            {"specs", static_cast<double>(trace_options.num_specs)},
+            {"budget_rungs",
+             static_cast<double>(trace_options.budgets.size())},
+            {"batch_size", static_cast<double>(trace_options.batch_size)},
+            {"cache_byte_budget", static_cast<double>(byte_budget)},
+        };
+        FillServingResult(report, &r);
+
+        if (byte_budget > 0) {
+          // Eviction-transparency witness, outside the timed closure: an
+          // unbudgeted single-client replay must produce bitwise equal
+          // checksums (evicted specs recompute deterministically). The
+          // committed baseline gates the diff at exactly 0.
+          Compressor reference(
+              std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(),
+                                           &g),
+              DefaultPool());
+          workload::LoadRunnerOptions serial = load_options;
+          serial.num_client_threads = 1;
+          StatusOr<workload::LoadReport> want =
+              workload::RunLoad(reference, trace, serial);
+          QSC_CHECK_OK(want);
+          double abs_diff = 0.0;
+          for (int k = 0; k < workload::kNumQueryKinds; ++k) {
+            abs_diff += std::abs(report.kind_checksums[k] -
+                                 want->kind_checksums[k]);
+          }
+          abs_diff += std::abs(
+              static_cast<double>(report.failed_queries -
+                                  want->failed_queries));
+          r.counters.push_back({"abs_diff_vs_unbudgeted", abs_diff});
+        }
+        return r;
+      }));
+}
+
+}  // namespace
+
+void RegisterServingScenarios() {
+  RegisterServing(
+      "serving/mixed-poisson-ba1500",
+      "300 mixed coloring/flow/LP/centrality queries (Poisson arrivals, "
+      "Zipf spec skew) replayed against one Compressor session on a "
+      "1500-node BA graph by --threads client threads",
+      "poisson-zipf-mixed", 0x9a0e, /*byte_budget=*/0);
+  RegisterServing(
+      "serving/bursty-churn-ba1500",
+      "the same mixed workload with bursty on/off arrivals against a "
+      "4 MiB byte-budgeted coloring cache (LRU eviction churn; checksums "
+      "gated bitwise against an unbudgeted replay)",
+      "bursty-zipf-mixed", 0x9a0f, /*byte_budget=*/4 << 20);
+}
+
+}  // namespace bench
+}  // namespace qsc

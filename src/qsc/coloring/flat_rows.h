@@ -100,6 +100,15 @@ class FlatWeightRows {
   // lives in one place.
   void Subtract(NodeId v, ColorId key, double w) { Add(v, key, -w); }
 
+  // Heap footprint (row capacities) for the byte-budgeted cache.
+  int64_t MemoryBytes() const {
+    int64_t bytes = static_cast<int64_t>(rows_.capacity() * sizeof(Row));
+    for (const Row& row : rows_) {
+      bytes += static_cast<int64_t>(row.capacity() * sizeof(RowEntry));
+    }
+    return bytes;
+  }
+
  private:
   static Row::iterator LowerBound(Row& row, ColorId key) {
     return std::lower_bound(
@@ -165,6 +174,13 @@ class EpochScratch {
   }
 
   const std::vector<ColorId>& touched() const { return touched_; }
+
+  // Heap footprint (backing-store capacities) for the byte-budgeted cache.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(slots_.capacity() * sizeof(T) +
+                                stamps_.capacity() * sizeof(uint64_t) +
+                                touched_.capacity() * sizeof(ColorId));
+  }
 
  private:
   std::vector<T> slots_;

@@ -104,6 +104,17 @@ double Partition::CompressionRatio() const {
   return static_cast<double>(num_nodes()) / num_colors();
 }
 
+int64_t Partition::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Partition));
+  bytes += static_cast<int64_t>(color_of_.capacity() * sizeof(ColorId));
+  bytes +=
+      static_cast<int64_t>(members_.capacity() * sizeof(std::vector<NodeId>));
+  for (const auto& m : members_) {
+    bytes += static_cast<int64_t>(m.capacity() * sizeof(NodeId));
+  }
+  return bytes;
+}
+
 bool operator==(const Partition& a, const Partition& b) {
   if (a.num_nodes() != b.num_nodes()) return false;
   return a.IsRefinementOf(b) && b.IsRefinementOf(a);

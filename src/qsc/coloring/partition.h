@@ -67,6 +67,11 @@ class Partition {
   // "87:1").
   double CompressionRatio() const;
 
+  // Heap footprint of this partition in bytes (capacities, not sizes, so
+  // the number tracks what the allocator actually holds). Used by the
+  // byte-budgeted ColoringCache to account cached snapshots.
+  int64_t MemoryBytes() const;
+
   friend bool operator==(const Partition& a, const Partition& b);
 
  private:

@@ -74,6 +74,32 @@ class RothkoRefiner::Impl {
 
   const std::vector<RothkoStep>& history() const { return history_; }
 
+  int64_t MemoryBytes() const {
+    int64_t bytes = static_cast<int64_t>(sizeof(Impl));
+    bytes += partition_.MemoryBytes();
+    bytes += out_deg_.MemoryBytes() + in_deg_.MemoryBytes();
+    bytes += static_cast<int64_t>(out_agg_.capacity() * sizeof(AggRow));
+    for (const AggRow& row : out_agg_) {
+      bytes += static_cast<int64_t>(row.capacity() * sizeof(AggEntry));
+    }
+    bytes += static_cast<int64_t>(in_agg_.capacity() * sizeof(AggRow));
+    for (const AggRow& row : in_agg_) {
+      bytes += static_cast<int64_t>(row.capacity() * sizeof(AggEntry));
+    }
+    bytes += static_cast<int64_t>(
+        (weighted_heap_.size() + raw_heap_.size()) * sizeof(HeapEntry));
+    bytes += agg_scratch_.MemoryBytes() + out_affected_.MemoryBytes() +
+             in_affected_.MemoryBytes();
+    bytes += static_cast<int64_t>(
+        sorted_keys_.capacity() * sizeof(ColorId) +
+        split_values_.capacity() * sizeof(double) +
+        eject_.capacity() * sizeof(NodeId) +
+        affected_scratch_.capacity() * sizeof(ColorId) +
+        score_scratch_.capacity() * sizeof(SplitPairScore) +
+        history_.capacity() * sizeof(RothkoStep));
+    return bytes;
+  }
+
  private:
   // Max/min/presence-count of the witness degrees for one ordered color
   // pair in one direction. `version` identifies the generation; heap
@@ -507,6 +533,7 @@ double RothkoRefiner::CurrentMaxError() const {
 const std::vector<RothkoStep>& RothkoRefiner::history() const {
   return impl_->history();
 }
+int64_t RothkoRefiner::MemoryBytes() const { return impl_->MemoryBytes(); }
 
 Partition RothkoColoring(const Graph& g, Partition initial,
                          const RothkoOptions& options) {

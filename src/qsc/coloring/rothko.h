@@ -118,6 +118,13 @@ class RothkoRefiner {
 
   const std::vector<RothkoStep>& history() const;
 
+  // Approximate heap footprint of the live refiner (degree rows, pair
+  // aggregates, witness heaps, scratch, history), in bytes. Capacities are
+  // counted where accessible, element counts where not (the heaps), so the
+  // number is a close lower bound on the allocator's view. Used by the
+  // byte-budgeted ColoringCache to decide eviction.
+  int64_t MemoryBytes() const;
+
  private:
   class Impl;
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,243 @@
+#include "qsc/workload/load_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qsc/util/timer.h"
+
+namespace qsc {
+namespace workload {
+namespace {
+
+// Deterministic event -> query mapping. All index math is 64-bit and
+// wraps into range, so any trace replay (including fuzzed spec indices)
+// maps to *some* query; out-of-contract queries fail through the
+// Compressor's validation and count into failed_queries.
+NodeId WrapToNode(int64_t value, NodeId n) {
+  return static_cast<NodeId>(((value % n) + n) % n);
+}
+
+std::pair<NodeId, NodeId> TerminalsFor(int64_t spec, NodeId n) {
+  const NodeId source = WrapToNode(spec, n);
+  if (n < 2) return {source, source};  // rejected by MaxFlow, by design
+  const NodeId sink_base = n - 1 - WrapToNode(spec, n - 1);
+  const NodeId sink =
+      sink_base == source ? (source + 1) % n : sink_base;
+  return {source, sink};
+}
+
+// Per-event result slot; written by exactly one client thread, reduced
+// in event order after the join so aggregates are thread-count
+// invariant.
+struct EventSlot {
+  double primary = 0.0;  // per-kind checksum contribution
+  double latency_seconds = 0.0;
+  bool ok = false;
+};
+
+Status ValidateRun(const Compressor& session,
+                   const std::vector<TraceEvent>& trace,
+                   const LoadRunnerOptions& options) {
+  if (options.num_client_threads < 1) {
+    return Status::InvalidArgument(
+        "num_client_threads must be >= 1; got " +
+        std::to_string(options.num_client_threads));
+  }
+  if (!std::isfinite(options.time_scale) || options.time_scale < 0.0) {
+    return Status::InvalidArgument("time_scale must be finite and >= 0; got " +
+                                   std::to_string(options.time_scale));
+  }
+  bool needs_graph = false;
+  bool needs_lp = false;
+  for (const TraceEvent& event : trace) {
+    if (event.kind == QueryKind::kSolveLp) {
+      needs_lp = true;
+    } else {
+      needs_graph = true;
+    }
+  }
+  if (needs_graph && !session.has_graph()) {
+    return Status::FailedPrecondition(
+        "trace contains graph queries but the session has no graph");
+  }
+  if (needs_lp && options.lp_universe.empty()) {
+    return Status::InvalidArgument(
+        "trace contains solvelp events but lp_universe is empty");
+  }
+  return Status::Ok();
+}
+
+// Issues one event's query and fills its slot. The primary value is the
+// checksum contribution documented on LoadReport::kind_checksums.
+void ServeEvent(Compressor& session, const TraceEvent& event,
+                const LoadRunnerOptions& options, EventSlot* slot) {
+  const int64_t spec = event.spec_index;
+  switch (event.kind) {
+    case QueryKind::kColoring: {
+      QueryOptions q;
+      q.max_colors = event.budget;
+      q.pinned = {WrapToNode(spec, session.graph().num_nodes())};
+      StatusOr<ColoringResult> result = session.Coloring(q);
+      if (result.ok()) {
+        slot->ok = true;
+        slot->primary =
+            result->max_q + static_cast<double>(result->coloring->num_colors());
+      }
+      break;
+    }
+    case QueryKind::kMaxFlow: {
+      QueryOptions q;
+      q.max_colors = event.budget;
+      const auto [source, sink] =
+          TerminalsFor(spec, session.graph().num_nodes());
+      StatusOr<FlowQueryResult> result = session.MaxFlow(source, sink, q);
+      if (result.ok()) {
+        slot->ok = true;
+        slot->primary = result->upper_bound;
+      }
+      break;
+    }
+    case QueryKind::kMaxFlowBatch: {
+      QueryOptions q;
+      q.max_colors = event.budget;
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      pairs.reserve(event.batch_size);
+      for (int32_t j = 0; j < event.batch_size; ++j) {
+        pairs.push_back(TerminalsFor(spec + j, session.graph().num_nodes()));
+      }
+      StatusOr<std::vector<FlowQueryResult>> result =
+          session.MaxFlowBatch(pairs, q);
+      if (result.ok()) {
+        slot->ok = true;
+        double sum = 0.0;
+        for (const FlowQueryResult& r : *result) sum += r.upper_bound;
+        slot->primary = sum;
+      }
+      break;
+    }
+    case QueryKind::kSolveLp: {
+      QueryOptions q;
+      // SolveLp's floor of 4 colors (two pins + a row and a column
+      // color) is a query contract, not a trace concern.
+      q.max_colors = std::max<ColorId>(event.budget, 4);
+      const size_t which = static_cast<size_t>(
+          ((spec % static_cast<int64_t>(options.lp_universe.size())) +
+           static_cast<int64_t>(options.lp_universe.size())) %
+          static_cast<int64_t>(options.lp_universe.size()));
+      StatusOr<LpQueryResult> result =
+          session.SolveLp(options.lp_universe[which], q);
+      if (result.ok()) {
+        slot->ok = true;
+        slot->primary = result->solution.status == LpStatus::kOptimal
+                            ? result->solution.objective
+                            : 0.0;
+      }
+      break;
+    }
+    case QueryKind::kCentrality: {
+      QueryOptions q;
+      q.max_colors = event.budget;
+      q.pinned = {WrapToNode(spec, session.graph().num_nodes())};
+      StatusOr<CentralityQueryResult> result = session.Centrality(q);
+      if (result.ok()) {
+        slot->ok = true;
+        double sum = 0.0;
+        for (const double s : result->scores) sum += s;
+        slot->primary = sum;
+      }
+      break;
+    }
+  }
+}
+
+double NearestRank(const std::vector<double>& sorted, double percentile) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(percentile / 100.0 *
+                                static_cast<double>(sorted.size()));
+  const size_t index = static_cast<size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+  return sorted[index - 1];
+}
+
+}  // namespace
+
+StatusOr<LoadReport> RunLoad(Compressor& session,
+                             const std::vector<TraceEvent>& trace,
+                             const LoadRunnerOptions& options) {
+  QSC_RETURN_IF_ERROR(ValidateRun(session, trace, options));
+
+  const size_t num_events = trace.size();
+  const int32_t num_threads = std::min<int32_t>(
+      options.num_client_threads,
+      std::max<int32_t>(1, static_cast<int32_t>(num_events)));
+  std::vector<EventSlot> slots(num_events);
+
+  const auto run_start = std::chrono::steady_clock::now();
+  WallTimer run_timer;
+  const auto client = [&](int32_t thread_id) {
+    for (size_t i = thread_id; i < num_events; i += num_threads) {
+      if (options.paced) {
+        const auto due =
+            run_start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                trace[i].arrival_seconds *
+                                options.time_scale));
+        std::this_thread::sleep_until(due);
+      }
+      WallTimer latency;
+      ServeEvent(session, trace[i], options, &slots[i]);
+      slots[i].latency_seconds = latency.ElapsedSeconds();
+    }
+  };
+
+  if (num_threads == 1) {
+    client(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int32_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back(client, t);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_seconds = run_timer.ElapsedSeconds();
+
+  // Event-order reduction: identical totals for every thread count.
+  LoadReport report;
+  report.kind_counts.assign(kNumQueryKinds, 0);
+  report.kind_checksums.assign(kNumQueryKinds, 0.0);
+  std::vector<double> latencies;
+  latencies.reserve(num_events);
+  for (size_t i = 0; i < num_events; ++i) {
+    const int kind = static_cast<int>(trace[i].kind);
+    ++report.total_queries;
+    ++report.kind_counts[kind];
+    if (slots[i].ok) {
+      report.kind_checksums[kind] += slots[i].primary;
+    } else {
+      ++report.failed_queries;
+    }
+    latencies.push_back(slots[i].latency_seconds);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  report.wall_seconds = wall_seconds;
+  report.qps = wall_seconds > 0.0
+                   ? static_cast<double>(report.total_queries) / wall_seconds
+                   : 0.0;
+  report.latency_p50_s = NearestRank(latencies, 50.0);
+  report.latency_p95_s = NearestRank(latencies, 95.0);
+  report.latency_p99_s = NearestRank(latencies, 99.0);
+  report.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
+  report.session_stats = session.stats();
+  return report;
+}
+
+}  // namespace workload
+}  // namespace qsc

@@ -1,0 +1,91 @@
+// The service-style load harness (docs/SERVING.md): fan a workload trace
+// over one qsc::Compressor session from N client threads and report
+// throughput, tail latency, and the session's amortization counters.
+//
+// Determinism contract — the backbone of the serving benchmarks and the
+// seeded-determinism test tier: every *counter* in LoadReport
+// (total/failed query counts, per-kind counts, per-kind result checksums)
+// is a pure function of the trace and the query universe. Client threads
+// claim events round-robin (thread t serves events i with i % T == t) and
+// write only their own per-event result slots; the reduction into the
+// report walks the slots in event order. Since every Compressor query
+// result is itself bit-identical under concurrency (docs/API.md), the
+// counters are bitwise equal for any thread count — LoadRunnerTest checks
+// T in {1, 2, 8}, and the CI benchmark job gates --threads 1 against 4.
+// Latency percentiles, qps, and wall time are gauges: machine- and
+// schedule-dependent by nature, never gated.
+
+#ifndef QSC_WORKLOAD_LOAD_RUNNER_H_
+#define QSC_WORKLOAD_LOAD_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/api/compressor.h"
+#include "qsc/lp/model.h"
+#include "qsc/util/status.h"
+#include "qsc/workload/trace.h"
+
+namespace qsc {
+namespace workload {
+
+struct LoadRunnerOptions {
+  // Client threads issuing queries concurrently. Each runs a closed loop
+  // over its share of the trace unless `paced` is set.
+  int32_t num_client_threads = 1;
+
+  // Open-loop mode: each event waits until its trace arrival time
+  // (scaled by `time_scale`) before issuing. Off by default — tests and
+  // benchmarks want maximum pressure, not a wall-clock replay.
+  bool paced = false;
+  double time_scale = 1.0;
+
+  // Universe of LP instances for kSolveLp events (spec_index selects
+  // modulo its size). Required non-empty when the trace contains any
+  // kSolveLp event.
+  std::vector<LpProblem> lp_universe;
+};
+
+// Aggregate result of one load run. See the file comment for which
+// fields are deterministic counters and which are gauges.
+struct LoadReport {
+  // -- Deterministic counters (gated in CI) --
+  int64_t total_queries = 0;   // trace events served
+  int64_t failed_queries = 0;  // events whose query returned an error
+  // Per QueryKind (indexed by the enum), the event count and a checksum
+  // of the results: coloring sums max_q + num_colors, maxflow the upper
+  // bound, maxflow-batch the batch's summed upper bounds, solvelp the
+  // reduced objective, centrality the summed scores. Any change in any
+  // served result moves a checksum.
+  std::vector<int64_t> kind_counts;
+  std::vector<double> kind_checksums;
+
+  // -- Gauges (machine-dependent; reported, never gated) --
+  double wall_seconds = 0.0;
+  double qps = 0.0;  // total_queries / wall_seconds
+  // Nearest-rank percentiles over all per-event latencies.
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  // Session counters snapshotted after the run (cache hits/misses/
+  // evictions/bytes); deterministic at one thread count but attribution
+  // can shift under races, so treated as a gauge.
+  CompressorStats session_stats;
+};
+
+// Replays `trace` against `session` and aggregates a LoadReport.
+// Validates options and the trace's requirements up front: a graph query
+// in the trace needs a session with a graph, a kSolveLp event a
+// non-empty lp_universe. Individual query failures during the run are
+// *not* errors — they count into failed_queries (deterministically, so a
+// trace that trips validation trips it identically at every thread
+// count).
+StatusOr<LoadReport> RunLoad(Compressor& session,
+                             const std::vector<TraceEvent>& trace,
+                             const LoadRunnerOptions& options = {});
+
+}  // namespace workload
+}  // namespace qsc
+
+#endif  // QSC_WORKLOAD_LOAD_RUNNER_H_

@@ -177,6 +177,81 @@ TEST(CompressorConcurrencyTest, EightThreadsMatchSingleThreadedOracle) {
             stats.coloring.lookups);
 }
 
+// The same 8-thread stress under byte-budget eviction churn: a budget
+// small enough that entries are evicted while sibling threads still
+// query them. Every result must still equal the single-threaded
+// unbudgeted oracle (eviction transparency under concurrency), and the
+// stats invariant hits + misses + recolorings == lookups must survive
+// the churn, with eviction actually observed.
+TEST(CompressorConcurrencyTest, ByteBudgetChurnMatchesOracle) {
+  const Graph g = StressGraph();
+  const NodeId source = 0;
+  const NodeId sink = g.num_nodes() - 1;
+
+  ThreadPool pool(4);
+  CompressorOptions session_options;
+  session_options.coloring_cache_byte_budget = 1;  // evict everything idle
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g), &pool,
+      session_options);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<QueryObservation>> observations(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (const StressQuery& query : ScheduleFor(t)) {
+          observations[t].push_back(RunOne(session, query, source, sink));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  Compressor oracle(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  std::map<std::pair<int, ColorId>, QueryObservation> expected;
+  int64_t total_queries = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const QueryObservation& seen : observations[t]) {
+      ++total_queries;
+      const std::pair<int, ColorId> key{static_cast<int>(seen.kind),
+                                        seen.budget};
+      auto it = expected.find(key);
+      if (it == expected.end()) {
+        it = expected
+                 .emplace(key, RunOne(oracle, {seen.kind, seen.budget},
+                                      source, sink))
+                 .first;
+      }
+      const QueryObservation& want = it->second;
+      ASSERT_EQ(seen.num_colors, want.num_colors)
+          << "kind=" << static_cast<int>(seen.kind)
+          << " budget=" << seen.budget;
+      ASSERT_EQ(seen.primary, want.primary)
+          << "kind=" << static_cast<int>(seen.kind)
+          << " budget=" << seen.budget;
+      ASSERT_TRUE(seen.coloring == want.coloring);
+      ASSERT_EQ(seen.scores, want.scores);
+    }
+  }
+
+  const CompressorStats stats = session.stats();
+  EXPECT_EQ(stats.coloring.lookups, total_queries);
+  EXPECT_EQ(stats.coloring.hits + stats.coloring.misses +
+                stats.coloring.recolorings,
+            stats.coloring.lookups);
+  // Under a 1-byte budget misses dominate: every idle entry is gone by
+  // the time its spec comes around again (racing threads can still
+  // share an in-flight entry, so hits are possible, not guaranteed).
+  EXPECT_GT(stats.coloring.misses, 3);
+  EXPECT_GT(stats.coloring.evictions, 0);
+  EXPECT_EQ(stats.coloring.bytes_in_use, 0);
+  EXPECT_GT(stats.coloring.peak_bytes, 0);
+}
+
 TEST(CompressorConcurrencyTest, ParallelBatchMatchesSequentialLoop) {
   const Graph g = StressGraph();
   std::vector<std::pair<NodeId, NodeId>> pairs;

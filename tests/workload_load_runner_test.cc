@@ -1,0 +1,161 @@
+// The seeded-determinism tier of the load harness
+// (qsc/workload/load_runner.h): one trace replayed by 1, 2, and 8 client
+// threads must produce bitwise-identical aggregate counters — counts and
+// result checksums; latencies and qps are explicitly excluded — and a
+// byte-budgeted session must not move any counter despite eviction
+// churn. The CI `thread` sanitizer job runs this binary under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "qsc/api/compressor.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/graph.h"
+#include "qsc/lp/generators.h"
+#include "qsc/util/random.h"
+#include "qsc/workload/load_runner.h"
+#include "qsc/workload/trace.h"
+
+namespace qsc {
+namespace workload {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+// Small directed scale-free graph: real refinement work, fast TSan runs.
+std::shared_ptr<const Graph> ServiceGraph() {
+  Rng rng(kSeed);
+  const Graph ba = BarabasiAlbert(400, 3, rng);
+  return std::make_shared<const Graph>(
+      Graph::FromArcs(ba.num_nodes(), ba.Arcs(), /*undirected=*/false));
+}
+
+std::vector<TraceEvent> MixedTrace() {
+  TraceGenOptions options;
+  options.seed = kSeed;
+  options.num_events = 120;
+  options.num_specs = 6;
+  options.budgets = {8, 16, 32};
+  options.batch_size = 3;
+  StatusOr<std::unique_ptr<TraceSource>> source =
+      MakeTraceSource("poisson-zipf-mixed", options);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return DrainTrace(**source);
+}
+
+LoadRunnerOptions BaseOptions(int32_t threads) {
+  LoadRunnerOptions options;
+  options.num_client_threads = threads;
+  options.lp_universe = {Figure3Lp()};
+  return options;
+}
+
+LoadReport RunFresh(const std::vector<TraceEvent>& trace,
+                    const LoadRunnerOptions& options,
+                    int64_t byte_budget = 0) {
+  CompressorOptions session_options;
+  session_options.coloring_cache_byte_budget = byte_budget;
+  Compressor session(ServiceGraph(), /*pool=*/nullptr, session_options);
+  StatusOr<LoadReport> report = RunLoad(session, trace, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+void ExpectSameCounters(const LoadReport& a, const LoadReport& b) {
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.failed_queries, b.failed_queries);
+  ASSERT_EQ(a.kind_counts.size(), b.kind_counts.size());
+  for (size_t k = 0; k < a.kind_counts.size(); ++k) {
+    EXPECT_EQ(a.kind_counts[k], b.kind_counts[k]) << "kind " << k;
+    // Bitwise: checksums are sums of query results reduced in event
+    // order, so no tolerance is needed or wanted.
+    EXPECT_EQ(a.kind_checksums[k], b.kind_checksums[k]) << "kind " << k;
+  }
+}
+
+TEST(LoadRunnerTest, CountersAreBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<TraceEvent> trace = MixedTrace();
+  const LoadReport single = RunFresh(trace, BaseOptions(1));
+  EXPECT_EQ(single.total_queries, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(single.failed_queries, 0);
+
+  for (const int32_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const LoadReport parallel = RunFresh(trace, BaseOptions(threads));
+    ExpectSameCounters(single, parallel);
+  }
+}
+
+TEST(LoadRunnerTest, ByteBudgetChurnDoesNotMoveAnyCounter) {
+  const std::vector<TraceEvent> trace = MixedTrace();
+  const LoadReport unbudgeted = RunFresh(trace, BaseOptions(2));
+  EXPECT_EQ(unbudgeted.session_stats.coloring.evictions, 0);
+
+  // A 1-byte budget evicts every entry after every request — maximum
+  // churn — yet every counter matches the unbudgeted run bitwise.
+  const LoadReport churned = RunFresh(trace, BaseOptions(2),
+                                      /*byte_budget=*/1);
+  EXPECT_GT(churned.session_stats.coloring.evictions, 0);
+  ExpectSameCounters(unbudgeted, churned);
+}
+
+TEST(LoadRunnerTest, PacedReplayMatchesClosedLoopCounters) {
+  const std::vector<TraceEvent> trace = MixedTrace();
+  const LoadReport closed = RunFresh(trace, BaseOptions(2));
+  LoadRunnerOptions paced = BaseOptions(2);
+  paced.paced = true;
+  paced.time_scale = 1e-6;  // replay the arrival sequence, compressed
+  ExpectSameCounters(closed, RunFresh(trace, paced));
+}
+
+TEST(LoadRunnerTest, ReportsGaugesAndSessionStats) {
+  const std::vector<TraceEvent> trace = MixedTrace();
+  const LoadReport report = RunFresh(trace, BaseOptions(2));
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_GE(report.latency_p95_s, report.latency_p50_s);
+  EXPECT_GE(report.latency_p99_s, report.latency_p95_s);
+  EXPECT_GE(report.latency_max_s, report.latency_p99_s);
+  const CacheStats& cache = report.session_stats.coloring;
+  EXPECT_GT(cache.lookups, 0);
+  EXPECT_EQ(cache.hits + cache.misses + cache.recolorings, cache.lookups);
+  EXPECT_GT(cache.bytes_in_use, 0);
+}
+
+TEST(LoadRunnerTest, ValidatesOptionsAndTraceRequirements) {
+  const std::vector<TraceEvent> trace = MixedTrace();
+  Compressor session(ServiceGraph());
+
+  LoadRunnerOptions zero_threads = BaseOptions(0);
+  EXPECT_EQ(RunLoad(session, trace, zero_threads).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // solvelp events demand an LP universe.
+  LoadRunnerOptions no_lps = BaseOptions(1);
+  no_lps.lp_universe.clear();
+  EXPECT_EQ(RunLoad(session, trace, no_lps).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Graph queries demand a session with a graph.
+  Compressor lp_only;
+  EXPECT_EQ(RunLoad(lp_only, trace, BaseOptions(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // An LP-only trace on an LP-only session is fine.
+  TraceEvent lp_event;
+  lp_event.kind = QueryKind::kSolveLp;
+  lp_event.budget = 8;
+  const StatusOr<LoadReport> lp_run =
+      RunLoad(lp_only, {lp_event}, BaseOptions(1));
+  ASSERT_TRUE(lp_run.ok()) << lp_run.status().ToString();
+  EXPECT_EQ(lp_run->total_queries, 1);
+  EXPECT_EQ(lp_run->failed_queries, 0);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace qsc

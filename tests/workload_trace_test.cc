@@ -1,0 +1,227 @@
+// The workload trace layer (qsc/workload/trace.h): registered generators
+// are seed-deterministic, the text format round-trips bit-identically,
+// and ParseTrace rejects malformed input with a descriptive
+// InvalidArgument instead of crashing — including under a seeded
+// truncation/mutation fuzz loop (the ASan leg runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qsc/util/random.h"
+#include "qsc/util/status.h"
+#include "qsc/workload/trace.h"
+
+namespace qsc {
+namespace workload {
+namespace {
+
+TraceGenOptions SmallOptions(uint64_t seed) {
+  TraceGenOptions options;
+  options.seed = seed;
+  options.num_events = 200;
+  options.num_specs = 6;
+  options.budgets = {8, 16, 32};
+  options.batch_size = 3;
+  return options;
+}
+
+std::vector<TraceEvent> Generate(const std::string& name, uint64_t seed) {
+  StatusOr<std::unique_ptr<TraceSource>> source =
+      MakeTraceSource(name, SmallOptions(seed));
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return DrainTrace(**source);
+}
+
+TEST(WorkloadTraceTest, RegistryListsBuiltinsAndRejectsUnknown) {
+  const std::vector<std::string> names = TraceGeneratorNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "poisson-zipf-mixed"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bursty-zipf-mixed"),
+            names.end());
+
+  const auto unknown = MakeTraceSource("no-such-generator", {});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkloadTraceTest, GeneratorsAreSeedDeterministic) {
+  for (const std::string& name : TraceGeneratorNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<TraceEvent> a = Generate(name, 42);
+    const std::vector<TraceEvent> b = Generate(name, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+    const std::vector<TraceEvent> c = Generate(name, 43);
+    EXPECT_NE(a, c);  // a different seed moves the workload
+  }
+}
+
+TEST(WorkloadTraceTest, GeneratedEventsHonorTheOptionsContract) {
+  const TraceGenOptions options = SmallOptions(7);
+  for (const std::string& name : TraceGeneratorNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<TraceEvent> events = Generate(name, 7);
+    ASSERT_EQ(static_cast<int64_t>(events.size()), options.num_events);
+    double last_arrival = 0.0;
+    std::vector<int64_t> kind_counts(kNumQueryKinds, 0);
+    for (const TraceEvent& e : events) {
+      EXPECT_GE(e.arrival_seconds, last_arrival);
+      last_arrival = e.arrival_seconds;
+      EXPECT_GE(e.spec_index, 0);
+      EXPECT_LT(e.spec_index, options.num_specs);
+      EXPECT_NE(std::find(options.budgets.begin(), options.budgets.end(),
+                          e.budget),
+                options.budgets.end());
+      EXPECT_EQ(e.batch_size, e.kind == QueryKind::kMaxFlowBatch
+                                  ? options.batch_size
+                                  : 1);
+      ++kind_counts[static_cast<int>(e.kind)];
+    }
+    // Every kind with positive weight shows up in 200 draws.
+    for (int k = 0; k < kNumQueryKinds; ++k) {
+      EXPECT_GT(kind_counts[k], 0) << "kind " << k << " never drawn";
+    }
+    // Zipf skew: rank 0 strictly hotter than the coldest rank.
+    std::vector<int64_t> spec_counts(options.num_specs, 0);
+    for (const TraceEvent& e : events) ++spec_counts[e.spec_index];
+    EXPECT_GT(spec_counts[0], spec_counts[options.num_specs - 1]);
+  }
+}
+
+TEST(WorkloadTraceTest, FormatParsesBackBitIdentically) {
+  for (const std::string& name : TraceGeneratorNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<TraceEvent> events = Generate(name, 99);
+    const std::string text = FormatTrace(events);
+
+    StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_EQ(parsed->size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ((*parsed)[i], events[i]) << "event " << i;
+    }
+    // Second leg: re-formatting the parse reproduces the exact text.
+    EXPECT_EQ(FormatTrace(*parsed), text);
+  }
+}
+
+TEST(WorkloadTraceTest, ParserAcceptsCommentsBlanksAndCrLf) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "qsc-trace v1\r\n"
+      "  \t \n"
+      "0.5 coloring 8 0 1\r\n"
+      "# mid-stream comment\n"
+      "0.75 maxflow-batch 16 3 4\n";
+  StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].kind, QueryKind::kColoring);
+  EXPECT_EQ((*parsed)[1].kind, QueryKind::kMaxFlowBatch);
+  EXPECT_EQ((*parsed)[1].batch_size, 4);
+}
+
+TEST(WorkloadTraceTest, ParserRejectsMalformedInputDescriptively) {
+  const struct {
+    const char* text;
+    const char* needle;  // expected fragment of the error message
+  } cases[] = {
+      {"", "missing"},
+      {"qsc-trace v2\n", "expected header"},
+      {"0.5 coloring 8 0 1\n", "expected header"},
+      {"qsc-trace v1\n0.5 coloring 8 0\n", "5 fields"},
+      {"qsc-trace v1\n0.5 coloring 8 0 1 extra\n", "5 fields"},
+      {"qsc-trace v1\nnope coloring 8 0 1\n", "arrival_seconds"},
+      {"qsc-trace v1\n-1 coloring 8 0 1\n", "arrival_seconds"},
+      {"qsc-trace v1\ninf coloring 8 0 1\n", "arrival_seconds"},
+      {"qsc-trace v1\n2 coloring 8 0 1\n1 coloring 8 0 1\n",
+       "non-decreasing"},
+      {"qsc-trace v1\n0.5 warp 8 0 1\n", "unknown query kind"},
+      {"qsc-trace v1\n0.5 coloring 0 0 1\n", "budget"},
+      {"qsc-trace v1\n0.5 coloring -3 0 1\n", "budget"},
+      {"qsc-trace v1\n0.5 coloring 99999999999 0 1\n", "budget"},
+      {"qsc-trace v1\n0.5 coloring 8 -1 1\n", "spec"},
+      {"qsc-trace v1\n0.5 coloring 8 1.5 1\n", "spec"},
+      {"qsc-trace v1\n0.5 coloring 8 0 0\n", "batch"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.text);
+    const StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(c.text);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find(c.needle), std::string::npos)
+        << "message: " << parsed.status().message();
+  }
+  // Line numbers point at the offending line.
+  const auto bad = ParseTrace("qsc-trace v1\n0.5 coloring 8 0 1\nbroken\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(WorkloadTraceTest, GeneratorOptionsAreValidated) {
+  const auto expect_invalid = [](TraceGenOptions options) {
+    const auto source = MakeTraceSource("poisson-zipf-mixed", options);
+    ASSERT_FALSE(source.ok());
+    EXPECT_EQ(source.status().code(), StatusCode::kInvalidArgument);
+  };
+  TraceGenOptions o = SmallOptions(1);
+  o.num_specs = 0;
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.budgets.clear();
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.budgets = {0};
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.kind_weights = {1.0};
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.kind_weights = {0, 0, 0, 0, 0};
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.mean_interarrival_seconds = 0.0;
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.batch_size = 0;
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.burst_speedup = 0.5;
+  expect_invalid(o);
+}
+
+// Fuzz-ish negative tier: random truncations and byte mutations of a
+// valid trace must parse cleanly or fail with InvalidArgument — never
+// crash or corrupt memory (this binary runs under ASan in CI).
+TEST(WorkloadTraceTest, TruncationAndMutationFuzzNeverCrashes) {
+  const std::string valid = FormatTrace(Generate("bursty-zipf-mixed", 5));
+  Rng rng(20260808);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string text = valid;
+    if (iteration % 2 == 0) {
+      text.resize(rng.NextBounded(text.size() + 1));  // truncate
+    } else {
+      const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int m = 0; m < mutations; ++m) {
+        text[rng.NextBounded(text.size())] =
+            static_cast<char>(rng.NextBounded(256));
+      }
+    }
+    const StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace qsc
