@@ -3,7 +3,8 @@
 // Run mode executes registered perf scenarios (steady-clock timing with
 // warmup/repeat and median/MAD stats, peak-RSS sampling) and either prints
 // human tables or, with --json, writes one schema-versioned artifact per
-// scenario group: BENCH_coloring.json and BENCH_pipelines.json.
+// scenario group: BENCH_coloring.json, BENCH_pipelines.json,
+// BENCH_serving.json, and BENCH_flow.json.
 //
 //   qsc_bench --list
 //   qsc_bench --suite smoke --json          # the CI benchmark job

@@ -118,6 +118,11 @@ void RegisterBuiltinScenarios();
 // Called by RegisterBuiltinScenarios().
 void RegisterServingScenarios();
 
+// The "flow" group (scenarios_flow.cc): exact max-flow / min-cut solver
+// kernels over the CSR ResidualNetwork on a shared vision-style grid
+// instance. Called by RegisterBuiltinScenarios().
+void RegisterFlowScenarios();
+
 }  // namespace bench
 }  // namespace qsc
 

@@ -1,5 +1,5 @@
 // Builtin perf scenarios (see docs/BENCHMARKING.md for the registry
-// contract). Three groups:
+// contract). Four groups:
 //
 //  - "coloring": the refiner and its kernels on synthetic graphs at
 //    10k-200k nodes. The headline scenario is rothko-ba-100k-c256 —
@@ -10,6 +10,10 @@
 //    sweeps (single-shot paper reproductions at their canonical seeds).
 //  - "serving": workload traces replayed against a Compressor session by
 //    the qsc/workload load runner (scenarios_serving.cc).
+//  - "flow": the max-flow solvers on the CSR ResidualNetwork, straight
+//    on the ~100k-node segmentation network without the compression
+//    pipeline around them (scenarios_flow.cc); their baseline records
+//    the residual-network CSR speedup.
 //
 // Scenario counters are deterministic given the seed; instance
 // construction happens outside the timed closure.
@@ -688,6 +692,7 @@ void RegisterBuiltinScenarios() {
     RegisterCompressorColdFlow();
     RegisterCompressorParallelFlow();
     RegisterServingScenarios();
+    RegisterFlowScenarios();
     return true;
   }();
   (void)registered;

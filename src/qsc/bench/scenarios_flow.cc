@@ -1,0 +1,103 @@
+// The "flow" scenario group: exact max-flow / min-cut solver kernels on a
+// CI-sized vision-style instance, timed end to end over the CSR
+// ResidualNetwork (network construction + solve — the unit every reduced
+// and exact solve pays). The pair's baseline medians record the
+// adjacency-list -> CSR speedup (docs/BENCHMARKING.md baseline history);
+// the flow-value counters pin the swap to bit-identical results.
+//
+// Both scenarios share one instance (same seed salt): a 400x250
+// segmentation grid — the family of the paper's Table-2 vision
+// benchmarks — whose ~600k stored arcs put the residual network well
+// outside cache, the regime the flat layout targets.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/bench/scenario.h"
+#include "qsc/flow/dinic.h"
+#include "qsc/flow/min_cut.h"
+#include "qsc/flow/network.h"
+#include "qsc/flow/push_relabel.h"
+#include "qsc/graph/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace bench {
+namespace {
+
+constexpr uint64_t kFlowInstanceSalt = 0x9a10;
+
+FlowInstance FlowBenchInstance(uint64_t seed) {
+  Rng rng(seed);
+  return SegmentationGridNetwork(400, 250, 8, rng);
+}
+
+void FillInstanceParams(const FlowInstance& inst, ScenarioResult* r) {
+  r->params = {{"nodes", static_cast<double>(inst.graph.num_nodes())},
+               {"arcs", static_cast<double>(inst.graph.num_arcs())}};
+}
+
+void RegisterDinicMinCut() {
+  Scenario::Info info;
+  info.name = "flow/dinic-mincut-seg-100k";
+  info.group = "flow";
+  info.description =
+      "exact Dinic max-flow + residual-BFS min-cut extraction on a "
+      "400x250 segmentation grid (network construction timed)";
+  info.smoke = true;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext& ctx) {
+        const FlowInstance inst = FlowBenchInstance(ctx.seed ^
+                                                    kFlowInstanceSalt);
+        MinCutResult cut;
+        ScenarioResult r;
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          cut = MinCut(inst.graph, inst.source, inst.sink);
+        });
+        FillInstanceParams(inst, &r);
+        double source_side = 0.0;
+        for (const bool b : cut.in_source_side) source_side += b ? 1.0 : 0.0;
+        double cut_capacity = 0.0;
+        for (const EdgeTriple& a : cut.cut_arcs) cut_capacity += a.weight;
+        r.counters = {
+            {"max_flow", cut.value},
+            {"cut_arcs", static_cast<double>(cut.cut_arcs.size())},
+            {"cut_capacity", cut_capacity},
+            {"source_side", source_side}};
+        return r;
+      }));
+}
+
+void RegisterPushRelabel() {
+  Scenario::Info info;
+  info.name = "flow/pushrelabel-seg-100k";
+  info.group = "flow";
+  info.description =
+      "exact push-relabel max-flow on the same 400x250 segmentation grid "
+      "as flow/dinic-mincut-seg-100k (network construction timed)";
+  info.smoke = true;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext& ctx) {
+        const FlowInstance inst = FlowBenchInstance(ctx.seed ^
+                                                    kFlowInstanceSalt);
+        double flow = 0.0;
+        ScenarioResult r;
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          flow = MaxFlowPushRelabel(inst.graph, inst.source, inst.sink);
+        });
+        FillInstanceParams(inst, &r);
+        r.counters = {{"max_flow", flow}};
+        return r;
+      }));
+}
+
+}  // namespace
+
+void RegisterFlowScenarios() {
+  RegisterDinicMinCut();
+  RegisterPushRelabel();
+}
+
+}  // namespace bench
+}  // namespace qsc

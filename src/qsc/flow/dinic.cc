@@ -79,6 +79,7 @@ class DinicSolver {
 
 double MaxFlowDinic(ResidualNetwork& net, NodeId source, NodeId sink) {
   QSC_CHECK_NE(source, sink);
+  net.Finalize();  // no-op unless arcs were added since the last traversal
   return DinicSolver(net, source, sink).Solve();
 }
 

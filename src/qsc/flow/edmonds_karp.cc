@@ -9,6 +9,7 @@ namespace qsc {
 
 double MaxFlowEdmondsKarp(ResidualNetwork& net, NodeId source, NodeId sink) {
   QSC_CHECK_NE(source, sink);
+  net.Finalize();  // no-op unless arcs were added since the last traversal
   const NodeId n = net.num_nodes();
   double total = 0.0;
   std::vector<int64_t> parent_arc(n);

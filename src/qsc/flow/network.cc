@@ -1,13 +1,36 @@
 #include "qsc/flow/network.h"
 
+#include <algorithm>
+
 namespace qsc {
 
 ResidualNetwork ResidualNetwork::FromGraph(const Graph& g) {
-  ResidualNetwork net(g.num_nodes());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+  const NodeId n = g.num_nodes();
+  ResidualNetwork net(n);
+  net.arcs_.reserve(2 * g.num_arcs());
+
+  // Pass 1: row sizes. Node u's row holds one forward arc per
+  // out-neighbor and one reverse arc per in-neighbor.
+  for (NodeId u = 0; u < n; ++u) {
+    net.arc_offsets_[u + 1] = g.OutDegree(u) + g.InDegree(u);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    net.arc_offsets_[u + 1] += net.arc_offsets_[u];
+  }
+
+  // Pass 2: place arc ids in creation order — ascending within each row,
+  // matching what per-node AddArc appends would have produced.
+  net.arc_ids_.assign(2 * g.num_arcs(), 0);
+  std::vector<int64_t> cursor(net.arc_offsets_.begin(),
+                              net.arc_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
     for (const NeighborEntry& e : g.OutNeighbors(u)) {
       QSC_CHECK_GE(e.weight, 0.0);
-      net.AddArc(u, e.node, e.weight);
+      const int64_t id = static_cast<int64_t>(net.arcs_.size());
+      net.arcs_.push_back({e.node, e.weight});
+      net.arcs_.push_back({u, 0.0});
+      net.arc_ids_[cursor[u]++] = id;
+      net.arc_ids_[cursor[e.node]++] = id + 1;
     }
   }
   return net;
@@ -15,12 +38,31 @@ ResidualNetwork ResidualNetwork::FromGraph(const Graph& g) {
 
 int64_t ResidualNetwork::AddArc(NodeId u, NodeId v, double cap) {
   QSC_CHECK_GE(cap, 0.0);
+  QSC_DCHECK(u >= 0 && u < num_nodes_);
+  QSC_DCHECK(v >= 0 && v < num_nodes_);
   const int64_t id = static_cast<int64_t>(arcs_.size());
   arcs_.push_back({v, cap});
   arcs_.push_back({u, 0.0});
-  adj_[u].push_back(id);
-  adj_[v].push_back(id + 1);
+  finalized_ = false;
   return id;
+}
+
+void ResidualNetwork::Finalize() {
+  if (finalized_) return;
+  const int64_t m = num_arcs();
+  std::fill(arc_offsets_.begin(), arc_offsets_.end(), 0);
+  for (int64_t id = 0; id < m; ++id) {
+    ++arc_offsets_[tail(id) + 1];
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    arc_offsets_[u + 1] += arc_offsets_[u];
+  }
+  arc_ids_.assign(m, 0);
+  std::vector<int64_t> cursor(arc_offsets_.begin(), arc_offsets_.end() - 1);
+  for (int64_t id = 0; id < m; ++id) {
+    arc_ids_[cursor[tail(id)]++] = id;
+  }
+  finalized_ = true;
 }
 
 }  // namespace qsc

@@ -6,10 +6,25 @@
 // reverse. Pushing flow decreases one residual capacity and increases the
 // other, so the flow on a forward arc equals the residual capacity of its
 // reverse.
+//
+// Adjacency is compressed sparse row, mirroring qsc::Graph: one
+// arc_offsets_[|V|+1] index array over a packed arc-id array, so a node's
+// out-arc ids are the contiguous range arc_ids_[arc_offsets_[u],
+// arc_offsets_[u+1]) — no per-node heap vectors, no pointer chasing
+// between rows. Within a row, ids appear in ascending order, which is
+// exactly the historical insertion order of the per-node lists, so every
+// solver traversal (and therefore every flow value and min-cut side) is
+// bit-identical to the pre-CSR representation.
+//
+// Networks built incrementally via AddArc() must be finalized before
+// traversal; the solver entry points call Finalize() (idempotent, a no-op
+// on an up-to-date index) so callers never have to. FromGraph() returns a
+// finalized network directly from a two-pass counting construction.
 
 #ifndef QSC_FLOW_NETWORK_H_
 #define QSC_FLOW_NETWORK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,26 +43,68 @@ class ResidualNetwork {
     double residual;  // remaining capacity
   };
 
-  explicit ResidualNetwork(NodeId num_nodes) : adj_(num_nodes) {}
+  // Iterable view over one node's CSR row of arc ids (ascending).
+  class ArcRange {
+   public:
+    ArcRange(const int64_t* begin, const int64_t* end)
+        : begin_(begin), end_(end) {}
+    const int64_t* begin() const { return begin_; }
+    const int64_t* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    int64_t operator[](size_t i) const { return begin_[i]; }
 
-  // Builds a network whose arc capacities are the graph's weights. All
+   private:
+    const int64_t* begin_;
+    const int64_t* end_;
+  };
+
+  explicit ResidualNetwork(NodeId num_nodes)
+      : num_nodes_(num_nodes), arc_offsets_(num_nodes + 1, 0) {}
+
+  // Builds a finalized network whose arc capacities are the graph's
+  // weights, in one two-pass counting construction (row sizes are
+  // out-degree + in-degree, then arcs are placed in id order). All
   // weights must be non-negative.
   static ResidualNetwork FromGraph(const Graph& g);
 
   // Adds a forward arc u->v with capacity `cap` (and its zero-capacity
   // reverse); returns the forward arc's index. The reverse is index ^ 1.
+  // Invalidates the CSR index until the next Finalize().
   int64_t AddArc(NodeId u, NodeId v, double cap);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  // Grows arc storage for `num_forward_arcs` AddArc calls up front.
+  void ReserveArcs(int64_t num_forward_arcs) {
+    arcs_.reserve(arcs_.size() + 2 * num_forward_arcs);
+  }
+
+  // Rebuilds the CSR index after AddArc calls: counts row sizes, prefix
+  // sums them into arc_offsets_, then places ids in ascending order (a
+  // stable counting sort by tail node — the insertion order of the old
+  // per-node lists). Idempotent; O(|V| + |A|) when work is needed.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  NodeId num_nodes() const { return num_nodes_; }
   int64_t num_arcs() const { return static_cast<int64_t>(arcs_.size()); }
 
   const Arc& arc(int64_t id) const { return arcs_[id]; }
   Arc& arc(int64_t id) { return arcs_[id]; }
 
+  // Tail of arc `id`, i.e. the node whose row contains it (the head of
+  // its paired arc).
+  NodeId tail(int64_t id) const { return arcs_[id ^ 1].head; }
+
   // Flow currently routed on forward arc `id` (reverse residual).
   double Flow(int64_t id) const { return arcs_[id ^ 1].residual; }
 
-  const std::vector<int64_t>& OutArcs(NodeId u) const { return adj_[u]; }
+  // CSR row of node u. Requires a finalized network.
+  ArcRange OutArcs(NodeId u) const {
+    QSC_DCHECK(finalized_);
+    QSC_DCHECK(u >= 0 && u < num_nodes_);
+    return ArcRange(arc_ids_.data() + arc_offsets_[u],
+                    arc_ids_.data() + arc_offsets_[u + 1]);
+  }
 
   // Sends `amount` along arc `id` (forward or residual direction).
   void Push(int64_t id, double amount) {
@@ -56,8 +113,11 @@ class ResidualNetwork {
   }
 
  private:
-  std::vector<Arc> arcs_;
-  std::vector<std::vector<int64_t>> adj_;
+  NodeId num_nodes_;
+  std::vector<Arc> arcs_;             // paired: 2k forward, 2k+1 reverse
+  std::vector<int64_t> arc_offsets_;  // size num_nodes_ + 1
+  std::vector<int64_t> arc_ids_;      // packed rows, ascending ids
+  bool finalized_ = true;             // an empty index is trivially valid
 };
 
 }  // namespace qsc

@@ -161,6 +161,7 @@ class PushRelabelSolver {
 
 double MaxFlowPushRelabel(ResidualNetwork& net, NodeId source, NodeId sink) {
   QSC_CHECK_NE(source, sink);
+  net.Finalize();  // no-op unless arcs were added since the last traversal
   return PushRelabelSolver(net, source, sink).Solve();
 }
 

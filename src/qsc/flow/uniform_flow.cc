@@ -54,6 +54,10 @@ double MaxUniformFlow(const Graph& g, const std::vector<NodeId>& sources,
 
   auto feasible = [&](double f) {
     ResidualNetwork net(num_compact + 2);
+    // One AddArc per terminal and bipartite arc; MaxFlowDinic finalizes
+    // the CSR index before traversing.
+    net.ReserveArcs(static_cast<int64_t>(sources.size() + targets.size() +
+                                         arcs.size()));
     for (size_t i = 0; i < sources.size(); ++i) {
       net.AddArc(super_source, static_cast<NodeId>(i), f / nx);
     }

@@ -1,9 +1,20 @@
 #include "qsc/graph/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace qsc {
@@ -16,6 +27,94 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status LineError(const std::string& path, int64_t line, const std::string& what) {
+  return Status::InvalidArgument(path + " line " + std::to_string(line) +
+                                 ": " + what);
+}
+
+// Reads the whole file into an 8-byte-aligned heap buffer (new char[] is
+// aligned to __STDCPP_DEFAULT_NEW_ALIGNMENT__), so binary payload sections
+// can be reinterpreted in place.
+Status ReadWholeFile(const std::string& path, std::unique_ptr<char[]>* data,
+                     size_t* size) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::InvalidArgument("cannot seek: " + path);
+  }
+  const long end = std::ftell(f.get());
+  if (end < 0) {
+    return Status::InvalidArgument("cannot determine size of: " + path);
+  }
+  std::rewind(f.get());
+  *size = static_cast<size_t>(end);
+  data->reset(new char[*size + 1]);
+  if (*size > 0 && std::fread(data->get(), 1, *size, f.get()) != *size) {
+    return Status::InvalidArgument("short read: " + path);
+  }
+  (*data)[*size] = '\0';
+  return Status::Ok();
+}
+
+// Splits `text` into '\n'-terminated lines (stripping a trailing '\r').
+// Returns false if the final line lacks a terminating newline; *bad_line is
+// then its 1-based number.
+bool SplitLines(const char* text, size_t size,
+                std::vector<std::pair<const char*, size_t>>* lines,
+                int64_t* bad_line) {
+  size_t start = 0;
+  for (size_t i = 0; i < size; ++i) {
+    if (text[i] == '\n') {
+      size_t len = i - start;
+      if (len > 0 && text[start + len - 1] == '\r') --len;
+      lines->push_back({text + start, len});
+      start = i + 1;
+    }
+  }
+  if (start != size) {
+    lines->push_back({text + start, size - start});
+    *bad_line = static_cast<int64_t>(lines->size());
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Tokenize(const char* line, size_t len) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < len) {
+    while (i < len && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const size_t start = i;
+    while (i < len && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line + start, i - start);
+  }
+  return tokens;
+}
+
+bool ParseInt64Token(const std::string& token, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size() || token.empty()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDoubleToken(const std::string& token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size() || token.empty()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
 
 }  // namespace
 
@@ -34,27 +133,56 @@ Status WriteEdgeList(const Graph& g, const std::string& path) {
 }
 
 StatusOr<Graph> ReadEdgeList(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) {
-    return Status::NotFound("cannot open for reading: " + path);
+  std::unique_ptr<char[]> data;
+  size_t size = 0;
+  QSC_RETURN_IF_ERROR(ReadWholeFile(path, &data, &size));
+  std::vector<std::pair<const char*, size_t>> lines;
+  int64_t bad_line = 0;
+  if (!SplitLines(data.get(), size, &lines, &bad_line)) {
+    return LineError(path, bad_line, "unterminated line (missing newline)");
   }
-  int num_nodes = 0;
-  int directed = 0;
-  if (std::fscanf(f.get(), "# nodes %d directed %d\n", &num_nodes,
-                  &directed) != 2) {
-    return Status::InvalidArgument("bad edge-list header in " + path);
+  if (lines.empty()) {
+    return LineError(path, 1, "missing edge-list header");
   }
+
+  // Header: "# nodes <n> directed <0|1>".
+  const auto header = Tokenize(lines[0].first, lines[0].second);
+  int64_t n = 0, directed = 0;
+  if (header.size() != 5 || header[0] != "#" || header[1] != "nodes" ||
+      header[3] != "directed" || !ParseInt64Token(header[2], &n) ||
+      !ParseInt64Token(header[4], &directed)) {
+    return LineError(path, 1,
+                     "expected header '# nodes <n> directed <0|1>'");
+  }
+  if (n < 0 || n > std::numeric_limits<NodeId>::max()) {
+    return LineError(path, 1, "node count out of range: " + header[2]);
+  }
+  if (directed != 0 && directed != 1) {
+    return LineError(path, 1, "directed flag must be 0 or 1");
+  }
+
   std::vector<EdgeTriple> edges;
-  int u = 0, v = 0;
-  double w = 0.0;
-  while (std::fscanf(f.get(), "%d %d %lf", &u, &v, &w) == 3) {
-    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
-      return Status::InvalidArgument("edge endpoint out of range in " + path);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const int64_t lineno = static_cast<int64_t>(i) + 1;
+    if (lines[i].second == 0 || lines[i].first[0] == '#') continue;
+    const auto tokens = Tokenize(lines[i].first, lines[i].second);
+    if (tokens.empty()) continue;
+    int64_t u = 0, v = 0;
+    double w = 0.0;
+    if (tokens.size() != 3 || !ParseInt64Token(tokens[0], &u) ||
+        !ParseInt64Token(tokens[1], &v) || !ParseDoubleToken(tokens[2], &w)) {
+      return LineError(path, lineno, "expected edge '<src> <dst> <weight>'");
+    }
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      return LineError(path, lineno, "edge endpoint out of range [0, " +
+                                         std::to_string(n) + ")");
+    }
+    if (!std::isfinite(w)) {
+      return LineError(path, lineno, "non-finite edge weight: " + tokens[2]);
     }
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
   }
-  return Graph::FromEdges(static_cast<NodeId>(num_nodes), edges,
-                          directed == 0);
+  return Graph::FromEdges(static_cast<NodeId>(n), edges, directed == 0);
 }
 
 Status WriteDimacsMaxFlow(const Graph& g, NodeId source, NodeId sink,
@@ -78,51 +206,418 @@ Status WriteDimacsMaxFlow(const Graph& g, NodeId source, NodeId sink,
 }
 
 StatusOr<DimacsMaxFlowProblem> ReadDimacsMaxFlow(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
-  if (f == nullptr) {
-    return Status::NotFound("cannot open for reading: " + path);
+  std::unique_ptr<char[]> data;
+  size_t size = 0;
+  QSC_RETURN_IF_ERROR(ReadWholeFile(path, &data, &size));
+  std::vector<std::pair<const char*, size_t>> lines;
+  int64_t bad_line = 0;
+  if (!SplitLines(data.get(), size, &lines, &bad_line)) {
+    return LineError(path, bad_line, "unterminated line (missing newline)");
   }
-  int num_nodes = -1;
+
+  int64_t num_nodes = -1;
   int64_t num_arcs = -1;
   NodeId source = -1, sink = -1;
   std::vector<EdgeTriple> arcs;
-  char line[256];
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    if (line[0] == 'c' || line[0] == '\n') continue;
-    if (line[0] == 'p') {
-      if (std::sscanf(line, "p max %d %" SCNd64, &num_nodes, &num_arcs) != 2) {
-        return Status::InvalidArgument("bad DIMACS problem line");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const int64_t lineno = static_cast<int64_t>(i) + 1;
+    if (lines[i].second == 0) continue;
+    const char prefix = lines[i].first[0];
+    if (prefix == 'c') continue;  // comment
+    const auto tokens = Tokenize(lines[i].first, lines[i].second);
+    if (tokens.empty()) continue;
+    if (prefix == 'p') {
+      if (num_nodes >= 0) {
+        return LineError(path, lineno, "duplicate problem line");
       }
-    } else if (line[0] == 'n') {
-      int id = 0;
-      char kind = 0;
-      if (std::sscanf(line, "n %d %c", &id, &kind) != 2) {
-        return Status::InvalidArgument("bad DIMACS node line");
+      if (tokens.size() != 4 || tokens[0] != "p" || tokens[1] != "max" ||
+          !ParseInt64Token(tokens[2], &num_nodes) ||
+          !ParseInt64Token(tokens[3], &num_arcs)) {
+        return LineError(path, lineno, "expected problem line 'p max <n> <m>'");
       }
-      if (kind == 's') {
-        source = id - 1;
-      } else if (kind == 't') {
-        sink = id - 1;
+      if (num_nodes < 0 || num_nodes > std::numeric_limits<NodeId>::max()) {
+        return LineError(path, lineno, "node count out of range: " + tokens[2]);
+      }
+      if (num_arcs < 0) {
+        return LineError(path, lineno, "negative arc count: " + tokens[3]);
+      }
+    } else if (prefix == 'n') {
+      if (num_nodes < 0) {
+        return LineError(path, lineno, "node descriptor before problem line");
+      }
+      int64_t id = 0;
+      if (tokens.size() != 3 || tokens[0] != "n" ||
+          !ParseInt64Token(tokens[1], &id)) {
+        return LineError(path, lineno, "expected node line 'n <id> s|t'");
+      }
+      if (id < 1 || id > num_nodes) {
+        return LineError(path, lineno, "node id out of range [1, " +
+                                           std::to_string(num_nodes) + "]");
+      }
+      if (tokens[2] == "s") {
+        if (source >= 0) return LineError(path, lineno, "duplicate source");
+        source = static_cast<NodeId>(id - 1);
+      } else if (tokens[2] == "t") {
+        if (sink >= 0) return LineError(path, lineno, "duplicate sink");
+        sink = static_cast<NodeId>(id - 1);
       } else {
-        return Status::InvalidArgument("bad DIMACS node kind");
+        return LineError(path, lineno, "node kind must be 's' or 't'");
       }
-    } else if (line[0] == 'a') {
-      int u = 0, v = 0;
+    } else if (prefix == 'a') {
+      if (num_nodes < 0) {
+        return LineError(path, lineno, "arc descriptor before problem line");
+      }
+      int64_t u = 0, v = 0;
       double cap = 0.0;
-      if (std::sscanf(line, "a %d %d %lf", &u, &v, &cap) != 3) {
-        return Status::InvalidArgument("bad DIMACS arc line");
+      if (tokens.size() != 4 || tokens[0] != "a" ||
+          !ParseInt64Token(tokens[1], &u) || !ParseInt64Token(tokens[2], &v) ||
+          !ParseDoubleToken(tokens[3], &cap)) {
+        return LineError(path, lineno, "expected arc line 'a <u> <v> <cap>'");
+      }
+      if (u < 1 || u > num_nodes || v < 1 || v > num_nodes) {
+        return LineError(path, lineno, "arc endpoint out of range [1, " +
+                                           std::to_string(num_nodes) + "]");
+      }
+      if (!std::isfinite(cap) || cap < 0.0) {
+        return LineError(path, lineno, "capacity must be finite and >= 0");
       }
       arcs.push_back({static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1),
                       cap});
+    } else {
+      return LineError(path, lineno, std::string("unknown line prefix '") +
+                                         prefix + "'");
     }
   }
-  if (num_nodes < 0 || source < 0 || sink < 0) {
-    return Status::InvalidArgument("incomplete DIMACS file: " + path);
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("missing problem line in " + path);
+  }
+  if (source < 0 || sink < 0) {
+    return Status::InvalidArgument("missing source or sink in " + path);
+  }
+  if (source == sink) {
+    return Status::InvalidArgument("source equals sink in " + path);
+  }
+  if (static_cast<int64_t>(arcs.size()) != num_arcs) {
+    return Status::InvalidArgument(
+        path + ": arc count mismatch (problem line says " +
+        std::to_string(num_arcs) + ", found " + std::to_string(arcs.size()) +
+        ")");
   }
   return DimacsMaxFlowProblem{
       Graph::FromEdges(static_cast<NodeId>(num_nodes), arcs,
                        /*undirected=*/false),
       source, sink};
+}
+
+// ---------------------------------------------------------------------------
+// qsc-bin v1
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kQscBinMagic[8] = {'q', 's', 'c', 'b', 'i', 'n', '0', '1'};
+constexpr uint32_t kQscBinVersion = 1;
+constexpr uint32_t kQscBinFlagUndirected = 1u;
+constexpr size_t kQscBinHeaderSize = 48;
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvUpdate(uint64_t hash, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Validated zero-copy view of a qsc-bin image in memory.
+struct QscBinView {
+  int64_t num_nodes = 0;
+  int64_t num_arcs = 0;
+  bool undirected = false;
+  const int64_t* offsets = nullptr;
+  const int32_t* dst = nullptr;
+  const double* weights = nullptr;
+};
+
+Status BinError(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("qsc-bin " + path + ": " + what);
+}
+
+// Full structural validation; `data` must be 8-byte aligned. Performs every
+// check needed to guarantee that Materialize()/FromArcs cannot abort: sizes
+// before array access, checksums before structure, canonical CSR form, and
+// (for undirected graphs) bit-identical mirror arcs.
+Status ValidateQscBin(const char* data, size_t size, const std::string& path,
+                      QscBinView* out) {
+  if (size < kQscBinHeaderSize) {
+    return BinError(path, "file smaller than the 48-byte header");
+  }
+  if (std::memcmp(data, kQscBinMagic, sizeof(kQscBinMagic)) != 0) {
+    return BinError(path, "bad magic (not a qsc-bin file)");
+  }
+  uint32_t version = 0, flags = 0;
+  int64_t n = 0, m = 0;
+  uint64_t payload_sum = 0, header_sum = 0;
+  std::memcpy(&version, data + 8, 4);
+  std::memcpy(&flags, data + 12, 4);
+  std::memcpy(&n, data + 16, 8);
+  std::memcpy(&m, data + 24, 8);
+  std::memcpy(&payload_sum, data + 32, 8);
+  std::memcpy(&header_sum, data + 40, 8);
+  if (version != kQscBinVersion) {
+    return BinError(path,
+                    "unsupported version " + std::to_string(version) +
+                        " (expected 1; qsc-bin is little-endian)");
+  }
+  if ((flags & ~kQscBinFlagUndirected) != 0) {
+    return BinError(path, "unknown flag bits set");
+  }
+  if (QscBinChecksum(data, 40) != header_sum) {
+    return BinError(path, "header checksum mismatch");
+  }
+  if (n < 0 || n > std::numeric_limits<NodeId>::max()) {
+    return BinError(path, "node count out of range: " + std::to_string(n));
+  }
+  if (m < 0 || static_cast<uint64_t>(m) > size / 4) {
+    return BinError(path, "arc count out of range: " + std::to_string(m));
+  }
+  const uint64_t off_bytes = 8 * (static_cast<uint64_t>(n) + 1);
+  const uint64_t dst_bytes = 4 * static_cast<uint64_t>(m);
+  const uint64_t pad_bytes = (8 - dst_bytes % 8) % 8;
+  const uint64_t w_bytes = 8 * static_cast<uint64_t>(m);
+  const uint64_t expected =
+      kQscBinHeaderSize + off_bytes + dst_bytes + pad_bytes + w_bytes;
+  if (expected != size) {
+    return BinError(path, "file size mismatch: header implies " +
+                              std::to_string(expected) + " bytes, file has " +
+                              std::to_string(size));
+  }
+  if (QscBinChecksum(data + kQscBinHeaderSize, size - kQscBinHeaderSize) !=
+      payload_sum) {
+    return BinError(path, "payload checksum mismatch");
+  }
+
+  QscBinView view;
+  view.num_nodes = n;
+  view.num_arcs = m;
+  view.undirected = (flags & kQscBinFlagUndirected) != 0;
+  view.offsets = reinterpret_cast<const int64_t*>(data + kQscBinHeaderSize);
+  view.dst =
+      reinterpret_cast<const int32_t*>(data + kQscBinHeaderSize + off_bytes);
+  view.weights = reinterpret_cast<const double*>(
+      data + kQscBinHeaderSize + off_bytes + dst_bytes + pad_bytes);
+
+  if (view.offsets[0] != 0 || view.offsets[n] != m) {
+    return BinError(path, "offset array does not span [0, num_arcs]");
+  }
+  for (int64_t u = 0; u < n; ++u) {
+    if (view.offsets[u + 1] < view.offsets[u]) {
+      return BinError(path,
+                      "offsets decrease at node " + std::to_string(u));
+    }
+    for (int64_t k = view.offsets[u]; k < view.offsets[u + 1]; ++k) {
+      if (view.dst[k] < 0 || view.dst[k] >= n) {
+        return BinError(path, "arc head out of range at node " +
+                                  std::to_string(u));
+      }
+      if (k > view.offsets[u] && view.dst[k] <= view.dst[k - 1]) {
+        return BinError(path, "adjacency row not strictly sorted at node " +
+                                  std::to_string(u));
+      }
+    }
+  }
+  for (int64_t k = 0; k < m; ++k) {
+    if (!std::isfinite(view.weights[k]) || view.weights[k] == 0.0) {
+      return BinError(path, "weight " + std::to_string(k) +
+                                " is not finite and non-zero");
+    }
+  }
+  if (view.undirected) {
+    for (int64_t u = 0; u < n; ++u) {
+      for (int64_t k = view.offsets[u]; k < view.offsets[u + 1]; ++k) {
+        const int32_t v = view.dst[k];
+        const int64_t lo = view.offsets[v], hi = view.offsets[v + 1];
+        const int32_t* row = view.dst + lo;
+        const int32_t* pos = std::lower_bound(row, view.dst + hi,
+                                              static_cast<int32_t>(u));
+        if (pos == view.dst + hi || *pos != static_cast<int32_t>(u)) {
+          return BinError(path, "undirected graph missing mirror arc " +
+                                    std::to_string(v) + "->" +
+                                    std::to_string(u));
+        }
+        uint64_t wa = 0, wb = 0;
+        std::memcpy(&wa, &view.weights[k], 8);
+        std::memcpy(&wb, &view.weights[lo + (pos - row)], 8);
+        if (wa != wb) {
+          return BinError(path, "undirected mirror arcs " +
+                                    std::to_string(u) + "<->" +
+                                    std::to_string(v) +
+                                    " disagree on weight");
+        }
+      }
+    }
+  }
+  *out = view;
+  return Status::Ok();
+}
+
+Graph GraphFromView(const QscBinView& view) {
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(static_cast<size_t>(view.num_arcs));
+  for (int64_t u = 0; u < view.num_nodes; ++u) {
+    for (int64_t k = view.offsets[u]; k < view.offsets[u + 1]; ++k) {
+      arcs.push_back({static_cast<NodeId>(u), view.dst[k], view.weights[k]});
+    }
+  }
+  return Graph::FromArcs(static_cast<NodeId>(view.num_nodes), arcs,
+                         view.undirected);
+}
+
+}  // namespace
+
+uint64_t QscBinChecksum(const void* data, size_t size) {
+  return FnvUpdate(kFnvOffsetBasis, data, size);
+}
+
+Status WriteBinary(const Graph& g, const std::string& path) {
+  const int64_t n = g.num_nodes();
+  const int64_t m = g.num_arcs();
+  std::vector<int64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<int32_t> dst;
+  std::vector<double> weights;
+  dst.reserve(static_cast<size_t>(m));
+  weights.reserve(static_cast<size_t>(m));
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NeighborEntry& e : g.OutNeighbors(u)) {
+      dst.push_back(e.node);
+      weights.push_back(e.weight);
+    }
+    offsets[static_cast<size_t>(u) + 1] = static_cast<int64_t>(dst.size());
+  }
+
+  char header[kQscBinHeaderSize] = {};
+  std::memcpy(header, kQscBinMagic, sizeof(kQscBinMagic));
+  const uint32_t version = kQscBinVersion;
+  const uint32_t flags = g.undirected() ? kQscBinFlagUndirected : 0u;
+  std::memcpy(header + 8, &version, 4);
+  std::memcpy(header + 12, &flags, 4);
+  std::memcpy(header + 16, &n, 8);
+  std::memcpy(header + 24, &m, 8);
+
+  const uint64_t pad_bytes = (8 - (4 * static_cast<uint64_t>(m)) % 8) % 8;
+  const char pad[8] = {};
+  uint64_t payload_sum = kFnvOffsetBasis;
+  payload_sum = FnvUpdate(payload_sum, offsets.data(), 8 * offsets.size());
+  payload_sum = FnvUpdate(payload_sum, dst.data(), 4 * dst.size());
+  payload_sum = FnvUpdate(payload_sum, pad, pad_bytes);
+  payload_sum = FnvUpdate(payload_sum, weights.data(), 8 * weights.size());
+  std::memcpy(header + 32, &payload_sum, 8);
+  const uint64_t header_sum = QscBinChecksum(header, 40);
+  std::memcpy(header + 40, &header_sum, 8);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const auto write_all = [&f](const void* buf, size_t bytes) {
+    return bytes == 0 || std::fwrite(buf, 1, bytes, f.get()) == bytes;
+  };
+  if (!write_all(header, kQscBinHeaderSize) ||
+      !write_all(offsets.data(), 8 * offsets.size()) ||
+      !write_all(dst.data(), 4 * dst.size()) || !write_all(pad, pad_bytes) ||
+      !write_all(weights.data(), 8 * weights.size())) {
+    return Status::InvalidArgument("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Graph> ReadBinary(const std::string& path) {
+  std::unique_ptr<char[]> data;
+  size_t size = 0;
+  QSC_RETURN_IF_ERROR(ReadWholeFile(path, &data, &size));
+  QscBinView view;
+  QSC_RETURN_IF_ERROR(ValidateQscBin(data.get(), size, path, &view));
+  return GraphFromView(view);
+}
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+    map_base_ = other.map_base_;
+    map_size_ = other.map_size_;
+    num_nodes_ = other.num_nodes_;
+    num_arcs_ = other.num_arcs_;
+    undirected_ = other.undirected_;
+    offsets_ = other.offsets_;
+    dst_ = other.dst_;
+    weights_ = other.weights_;
+    other.map_base_ = nullptr;
+    other.map_size_ = 0;
+    other.offsets_ = nullptr;
+    other.dst_ = nullptr;
+    other.weights_ = nullptr;
+  }
+  return *this;
+}
+
+MappedGraph::~MappedGraph() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+}
+
+Graph MappedGraph::Materialize() const {
+  QscBinView view;
+  view.num_nodes = num_nodes_;
+  view.num_arcs = num_arcs_;
+  view.undirected = undirected_;
+  view.offsets = offsets_;
+  view.dst = dst_;
+  view.weights = weights_;
+  return GraphFromView(view);
+}
+
+StatusOr<MappedGraph> MapBinary(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kQscBinHeaderSize) {
+    ::close(fd);
+    return BinError(path, "file smaller than the 48-byte header");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    return Status::InvalidArgument("mmap failed: " + path);
+  }
+  QscBinView view;
+  const Status status =
+      ValidateQscBin(static_cast<const char*>(base), size, path, &view);
+  if (!status.ok()) {
+    ::munmap(base, size);
+    return status;
+  }
+  MappedGraph mapped;
+  mapped.map_base_ = base;
+  mapped.map_size_ = size;
+  mapped.num_nodes_ = view.num_nodes;
+  mapped.num_arcs_ = view.num_arcs;
+  mapped.undirected_ = view.undirected;
+  mapped.offsets_ = view.offsets;
+  mapped.dst_ = view.dst;
+  mapped.weights_ = view.weights;
+  return mapped;
 }
 
 }  // namespace qsc

@@ -1,9 +1,17 @@
-// Graph serialization: weighted edge lists and DIMACS max-flow files (the
-// format of the paper's Table 2 flow instances, e.g. the vision benchmarks).
+// Graph serialization: weighted edge lists, DIMACS max-flow files (the
+// format of the paper's Table 2 flow instances, e.g. the vision benchmarks),
+// and the mmap-able `qsc-bin v1` binary CSR container.
+//
+// Error contract: every reader returns Status instead of aborting. Malformed
+// input — wrong header, out-of-range endpoint, non-finite weight, truncated
+// or corrupted binary payload — yields InvalidArgument with the offending
+// line number ("<path> line <n>: <what>") or byte-level diagnosis; a missing
+// file yields NotFound. Readers never QSC_CHECK on file contents.
 
 #ifndef QSC_GRAPH_IO_H_
 #define QSC_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "qsc/graph/graph.h"
@@ -16,7 +24,9 @@ namespace qsc {
 // (src <= dst).
 Status WriteEdgeList(const Graph& g, const std::string& path);
 
-// Reads the format produced by WriteEdgeList.
+// Reads the format produced by WriteEdgeList. After the header, blank lines
+// and '#' comment lines are skipped; every other line must be exactly
+// "src dst weight" with endpoints in [0, nodes) and a finite weight.
 StatusOr<Graph> ReadEdgeList(const std::string& path);
 
 // DIMACS max-flow format ("p max <n> <m>", "n <id> s|t", "a <u> <v> <cap>",
@@ -28,7 +38,84 @@ struct DimacsMaxFlowProblem {
 };
 Status WriteDimacsMaxFlow(const Graph& g, NodeId source, NodeId sink,
                           const std::string& path);
+// Requires one "p max" line before any node/arc lines, exactly one source
+// and one sink (distinct, in range), exactly <m> arc lines with finite
+// non-negative capacities, and no unknown line prefixes. Lines of any
+// length are handled.
 StatusOr<DimacsMaxFlowProblem> ReadDimacsMaxFlow(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// qsc-bin v1: little-endian binary CSR container (see docs/FORMATS.md).
+//
+//   offset  size  field
+//        0     8  magic "qscbin01"
+//        8     4  version (u32, = 1)
+//       12     4  flags (u32, bit 0 = undirected; other bits must be 0)
+//       16     8  num_nodes (i64)
+//       24     8  num_arcs (i64, stored arcs; both directions if undirected)
+//       32     8  payload checksum (u64, FNV-1a over every byte after the
+//                 header)
+//       40     8  header checksum (u64, FNV-1a over bytes [0, 40))
+//       48        payload: i64 offsets[num_nodes + 1], i32 dst[num_arcs],
+//                 zero pad to 8-byte alignment, f64 weights[num_arcs]
+//
+// The payload arrays are the graph's CSR adjacency verbatim, in canonical
+// form: offsets non-decreasing from 0 to num_arcs, each row sorted by dst
+// with no duplicates, weights finite and non-zero, and (if undirected) a
+// bit-identical mirror arc for every arc. Readers validate all of this
+// before constructing a Graph, so no file contents can abort the process.
+// ---------------------------------------------------------------------------
+
+// FNV-1a 64-bit checksum used by the qsc-bin header. Exposed so tests can
+// re-seal deliberately mutated files and reach the deep validators.
+uint64_t QscBinChecksum(const void* data, size_t size);
+
+// Writes `g` as qsc-bin v1. Overwrites `path`.
+Status WriteBinary(const Graph& g, const std::string& path);
+
+// Reads a qsc-bin v1 file into an owning Graph.
+StatusOr<Graph> ReadBinary(const std::string& path);
+
+// Read-only zero-copy view of a qsc-bin v1 file backed by mmap. Move-only;
+// the mapping is released on destruction. All accessors are valid only
+// while the object is alive.
+class MappedGraph {
+ public:
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  ~MappedGraph();
+
+  NodeId num_nodes() const { return static_cast<NodeId>(num_nodes_); }
+  int64_t num_arcs() const { return num_arcs_; }
+  bool undirected() const { return undirected_; }
+
+  // CSR views into the mapped file (validated at open time).
+  const int64_t* offsets() const { return offsets_; }  // num_nodes() + 1
+  const int32_t* dst() const { return dst_; }          // num_arcs()
+  const double* weights() const { return weights_; }   // num_arcs()
+
+  // Materializes an owning Graph equal to the one WriteBinary serialized.
+  Graph Materialize() const;
+
+ private:
+  friend StatusOr<MappedGraph> MapBinary(const std::string& path);
+  MappedGraph() = default;
+
+  void* map_base_ = nullptr;
+  size_t map_size_ = 0;
+  int64_t num_nodes_ = 0;
+  int64_t num_arcs_ = 0;
+  bool undirected_ = false;
+  const int64_t* offsets_ = nullptr;
+  const int32_t* dst_ = nullptr;
+  const double* weights_ = nullptr;
+};
+
+// Maps a qsc-bin v1 file read-only and validates it fully (same checks as
+// ReadBinary) before returning the view.
+StatusOr<MappedGraph> MapBinary(const std::string& path);
 
 }  // namespace qsc
 

@@ -182,5 +182,69 @@ TEST(ResidualNetworkTest, NegativeCapacityDies) {
   EXPECT_DEATH(net.AddArc(0, 1, -1.0), "QSC_CHECK");
 }
 
+// The CSR index must list each node's arcs in ascending arc id — the same
+// order the old per-node vectors produced — so solver traversal order (and
+// therefore every flow decomposition) is unchanged by the flattening.
+TEST(ResidualNetworkTest, OutArcsAreSortedByArcId) {
+  ResidualNetwork net(4);
+  net.AddArc(0, 1, 1.0);  // ids 0, 1
+  net.AddArc(2, 0, 2.0);  // ids 2, 3
+  net.AddArc(0, 3, 3.0);  // ids 4, 5
+  net.AddArc(1, 0, 4.0);  // ids 6, 7
+  net.Finalize();
+  const auto arcs = net.OutArcs(0);
+  ASSERT_EQ(arcs.size(), 4u);
+  EXPECT_EQ(arcs[0], 0);  // forward to 1
+  EXPECT_EQ(arcs[1], 3);  // reverse of 2->0
+  EXPECT_EQ(arcs[2], 4);  // forward to 3
+  EXPECT_EQ(arcs[3], 7);  // reverse of 1->0
+  for (const int64_t id : arcs) {
+    EXPECT_EQ(net.tail(id), 0);
+  }
+}
+
+TEST(ResidualNetworkTest, FromGraphMatchesIncrementalConstruction) {
+  Rng rng(17);
+  const Graph g = ErdosRenyiGnm(20, 60, rng);
+  const ResidualNetwork from_graph = ResidualNetwork::FromGraph(g);
+  EXPECT_TRUE(from_graph.finalized());
+
+  ResidualNetwork incremental(g.num_nodes());
+  incremental.ReserveArcs(g.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NeighborEntry& e : g.OutNeighbors(u)) {
+      incremental.AddArc(u, e.node, e.weight);
+    }
+  }
+  EXPECT_FALSE(incremental.finalized());
+  incremental.Finalize();
+  ASSERT_EQ(from_graph.num_arcs(), incremental.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = from_graph.OutArcs(u);
+    const auto b = incremental.OutArcs(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]);
+      EXPECT_EQ(from_graph.arc(a[k]).head, incremental.arc(b[k]).head);
+      EXPECT_DOUBLE_EQ(from_graph.arc(a[k]).residual,
+                       incremental.arc(b[k]).residual);
+    }
+  }
+}
+
+TEST(ResidualNetworkTest, FinalizeAfterLateAddArcReindexes) {
+  ResidualNetwork net(3);
+  net.AddArc(0, 1, 4.0);
+  net.Finalize();
+  EXPECT_EQ(net.OutArcs(0).size(), 1u);
+  // A later AddArc invalidates the index; Finalize rebuilds it and solvers
+  // call it at entry, so the bypass arc becomes reachable.
+  net.AddArc(1, 2, 4.0);
+  EXPECT_FALSE(net.finalized());
+  EXPECT_DOUBLE_EQ(MaxFlowDinic(net, 0, 2), 4.0);
+  EXPECT_TRUE(net.finalized());
+  EXPECT_EQ(net.OutArcs(1).size(), 2u);
+}
+
 }  // namespace
 }  // namespace qsc

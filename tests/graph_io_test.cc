@@ -1,12 +1,23 @@
+// Graph serialization (qsc/graph/io.h): text and binary round trips over
+// the Rothko property corpus, the qsc-bin v1 validation ladder, and a
+// truncation/mutation fuzz tier over all three formats — no input file may
+// crash or abort the process (the ASan leg runs this binary).
+
 #include "qsc/graph/io.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <utility>
 #include <string>
+#include <vector>
 
 #include "qsc/graph/generators.h"
 #include "qsc/util/random.h"
+#include "rothko_corpus.h"
 
 namespace qsc {
 namespace {
@@ -14,6 +25,49 @@ namespace {
 std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+// Recomputes both qsc-bin checksums after a deliberate payload or header
+// mutation, so tests can reach the validators behind the checksum wall.
+void ResealQscBin(std::string* bytes) {
+  ASSERT_GE(bytes->size(), 48u);
+  const uint64_t payload_sum =
+      QscBinChecksum(bytes->data() + 48, bytes->size() - 48);
+  std::memcpy(&(*bytes)[32], &payload_sum, 8);
+  const uint64_t header_sum = QscBinChecksum(bytes->data(), 40);
+  std::memcpy(&(*bytes)[40], &header_sum, 8);
+}
+
+std::string BinaryBytes(const Graph& g, const std::string& name) {
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(WriteBinary(g, path).ok());
+  return ReadFileBytes(path);
+}
+
+// --------------------------------------------------------------------------
+// Text edge lists
+// --------------------------------------------------------------------------
 
 TEST(EdgeListIoTest, DirectedRoundTrip) {
   const Graph g = Graph::FromEdges(
@@ -26,6 +80,7 @@ TEST(EdgeListIoTest, DirectedRoundTrip) {
   EXPECT_EQ(back->num_arcs(), 3);
   EXPECT_DOUBLE_EQ(back->ArcWeight(2, 3), -2.25);
   EXPECT_FALSE(back->undirected());
+  EXPECT_EQ(*back, g);
 }
 
 TEST(EdgeListIoTest, UndirectedRoundTrip) {
@@ -48,15 +103,62 @@ TEST(EdgeListIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
-TEST(EdgeListIoTest, BadHeaderIsInvalidArgument) {
-  const std::string path = TempPath("bad_header.el");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  std::fputs("garbage\n", f);
-  std::fclose(f);
-  const auto result = ReadEdgeList(path);
-  EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+TEST(EdgeListIoTest, AcceptsCommentsBlanksAndCrLf) {
+  const std::string path = TempPath("comments.el");
+  WriteFileBytes(path,
+                 "# nodes 3 directed 1\r\n"
+                 "\n"
+                 "# mid-stream comment\n"
+                 "0 1 2.5\r\n"
+                 "1 2 -4\n");
+  const auto back = ReadEdgeList(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_arcs(), 2);
+  EXPECT_DOUBLE_EQ(back->ArcWeight(0, 1), 2.5);
 }
+
+TEST(EdgeListIoTest, RejectsMalformedInputDescriptively) {
+  const struct {
+    const char* text;
+    const char* needle;  // expected fragment of the error message
+  } cases[] = {
+      {"", "missing edge-list header"},
+      {"garbage\n", "expected header"},
+      {"# nodes 4 directed 1 junk\n", "expected header"},
+      {"# nodes -3 directed 1\n", "node count out of range"},
+      {"# nodes 99999999999 directed 1\n", "node count out of range"},
+      {"# nodes 4 directed 2\n", "directed flag"},
+      {"# nodes 4 directed 1\n0 1\n", "expected edge"},
+      {"# nodes 4 directed 1\n0 1 2.0 junk\n", "expected edge"},
+      {"# nodes 4 directed 1\n0 x 2.0\n", "expected edge"},
+      {"# nodes 4 directed 1\n0 9 1.0\n", "out of range"},
+      {"# nodes 4 directed 1\n-1 1 1.0\n", "out of range"},
+      {"# nodes 4 directed 1\n0 1 inf\n", "non-finite"},
+      {"# nodes 4 directed 1\n0 1 nan\n", "non-finite"},
+      {"# nodes 4 directed 1\n0 1 1.0", "unterminated"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.text);
+    const std::string path = TempPath("bad.el");
+    WriteFileBytes(path, c.text);
+    const auto result = ReadEdgeList(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find(c.needle), std::string::npos)
+        << "message: " << result.status().message();
+  }
+  // Line numbers point at the offending line.
+  const std::string path = TempPath("bad_line3.el");
+  WriteFileBytes(path, "# nodes 4 directed 1\n0 1 1.0\nbroken line\n");
+  const auto bad = ReadEdgeList(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos)
+      << bad.status().message();
+}
+
+// --------------------------------------------------------------------------
+// DIMACS max-flow
+// --------------------------------------------------------------------------
 
 TEST(DimacsIoTest, RoundTrip) {
   Rng rng(2);
@@ -79,13 +181,357 @@ TEST(DimacsIoTest, RejectsUndirected) {
   EXPECT_FALSE(WriteDimacsMaxFlow(g, 0, 1, TempPath("x.dimacs")).ok());
 }
 
-TEST(DimacsIoTest, IncompleteFileRejected) {
-  const std::string path = TempPath("incomplete.dimacs");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  std::fputs("p max 4 2\na 1 2 3\n", f);  // no source/sink lines
-  std::fclose(f);
-  const auto result = ReadDimacsMaxFlow(path);
-  EXPECT_FALSE(result.ok());
+TEST(DimacsIoTest, HandlesLinesLongerThanLegacyBuffers) {
+  // Earlier readers used a 256-byte fgets buffer that silently split long
+  // lines; comments and whitespace-padded lines of any length must work.
+  const std::string path = TempPath("long_lines.dimacs");
+  std::string text = "c " + std::string(2000, 'x') + "\n";
+  text += "p max 3 1\n";
+  text += "n 1 s\n";
+  text += "n 3 t\n";
+  text += "a" + std::string(500, ' ') + "1 2 4.5\n";
+  WriteFileBytes(path, text);
+  const auto back = ReadDimacsMaxFlow(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->source, 0);
+  EXPECT_EQ(back->sink, 2);
+  EXPECT_DOUBLE_EQ(back->graph.ArcWeight(0, 1), 4.5);
+}
+
+TEST(DimacsIoTest, RejectsMalformedInputDescriptively) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } cases[] = {
+      {"", "missing problem line"},
+      {"q max 4 2\n", "unknown line prefix"},
+      {"p max 4 1\np max 4 1\n", "duplicate problem line"},
+      {"p min 4 1\n", "expected problem line"},
+      {"p max x 1\n", "expected problem line"},
+      {"p max -1 1\n", "node count out of range"},
+      {"p max 99999999999 1\n", "node count out of range"},
+      {"p max 4 -2\n", "negative arc count"},
+      {"a 1 2 3\n", "before problem line"},
+      {"n 1 s\n", "before problem line"},
+      {"p max 4 1\nn 5 s\n", "node id out of range"},
+      {"p max 4 1\nn 0 s\n", "node id out of range"},
+      {"p max 4 1\nn 1 s junk\n", "expected node line"},
+      {"p max 4 1\nn 1 x\n", "'s' or 't'"},
+      {"p max 4 1\nn 1 s\nn 2 s\n", "duplicate source"},
+      {"p max 4 1\nn 1 t\nn 2 t\n", "duplicate sink"},
+      {"p max 4 1\nn 1 s\nn 1 t\na 1 2 3\n", "source equals sink"},
+      {"p max 4 2\nn 1 s\nn 2 t\na 1 2 3\n", "arc count mismatch"},
+      {"p max 4 0\nn 1 s\nn 2 t\na 1 2 3\n", "arc count mismatch"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2\n", "expected arc line"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2 3 junk\n", "expected arc line"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 0 2 3\n", "arc endpoint out of range"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 5 3\n", "arc endpoint out of range"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2 -3\n", "finite and >= 0"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2 inf\n", "finite and >= 0"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2 nan\n", "finite and >= 0"},
+      {"p max 4 1\nn 1 s\na 1 2 3\n", "missing source or sink"},
+      {"p max 4 1\nn 1 s\nn 2 t\na 1 2 3", "unterminated"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.text);
+    const std::string path = TempPath("bad.dimacs");
+    WriteFileBytes(path, c.text);
+    const auto result = ReadDimacsMaxFlow(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find(c.needle), std::string::npos)
+        << "message: " << result.status().message();
+  }
+  // Line numbers point at the offending line.
+  const std::string path = TempPath("bad_line4.dimacs");
+  WriteFileBytes(path, "p max 4 1\nn 1 s\nn 2 t\na 1 9 3\n");
+  const auto bad = ReadDimacsMaxFlow(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 4"), std::string::npos)
+      << bad.status().message();
+}
+
+// --------------------------------------------------------------------------
+// qsc-bin v1
+// --------------------------------------------------------------------------
+
+TEST(QscBinIoTest, RoundTripsEmptyAndTinyGraphs) {
+  const Graph empty = Graph::FromEdges(0, {}, false);
+  const std::string path = TempPath("empty.qscbin");
+  ASSERT_TRUE(WriteBinary(empty, path).ok());
+  const auto back = ReadBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, empty);
+
+  // Odd arc count exercises the 4-byte pad between dst and weights.
+  const Graph odd = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, -0.5},
+                                         {2, 0, 3.25}},
+                                     false);
+  ASSERT_TRUE(WriteBinary(odd, path).ok());
+  const auto odd_back = ReadBinary(path);
+  ASSERT_TRUE(odd_back.ok()) << odd_back.status().ToString();
+  EXPECT_EQ(*odd_back, odd);
+}
+
+// The corpus oracle: every (seed, directedness) cell must round-trip
+// bit-identically through both the text and the binary format, and the two
+// formats must agree with each other — 56 reads in total.
+TEST(QscBinIoTest, TextAndBinaryRoundTripAgreeOverCorpus) {
+  for (const uint64_t seed : testing_corpus::CorpusSeeds()) {
+    for (const bool directed : {false, true}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) +
+                   (directed ? " directed" : " undirected"));
+      const Graph g = testing_corpus::CorpusGraph(seed, directed);
+
+      const std::string bin_path = TempPath("corpus.qscbin");
+      ASSERT_TRUE(WriteBinary(g, bin_path).ok());
+      const auto from_bin = ReadBinary(bin_path);
+      ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+      EXPECT_EQ(*from_bin, g);
+
+      const std::string text_path = TempPath("corpus.el");
+      ASSERT_TRUE(WriteEdgeList(g, text_path).ok());
+      const auto from_text = ReadEdgeList(text_path);
+      ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+      EXPECT_EQ(*from_text, g);
+
+      EXPECT_EQ(*from_bin, *from_text);
+
+      const auto mapped = MapBinary(bin_path);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      EXPECT_EQ(mapped->Materialize(), g);
+    }
+  }
+}
+
+TEST(QscBinIoTest, MappedViewExposesCsrArrays) {
+  const Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {0, 3, 2.0}, {2, 1, 4.0}},
+                                   false);
+  const std::string path = TempPath("view.qscbin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  auto mapped = MapBinary(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->num_nodes(), 4);
+  EXPECT_EQ(mapped->num_arcs(), 3);
+  EXPECT_FALSE(mapped->undirected());
+  EXPECT_EQ(mapped->offsets()[0], 0);
+  EXPECT_EQ(mapped->offsets()[4], 3);
+  EXPECT_EQ(mapped->dst()[0], 1);
+  EXPECT_EQ(mapped->dst()[1], 3);
+  EXPECT_DOUBLE_EQ(mapped->weights()[2], 4.0);
+
+  // Move-only semantics: the view survives a move.
+  MappedGraph moved = std::move(*mapped);
+  EXPECT_EQ(moved.num_arcs(), 3);
+  EXPECT_EQ(moved.Materialize(), g);
+}
+
+TEST(QscBinIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadBinary("/nonexistent/x.qscbin").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MapBinary("/nonexistent/x.qscbin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QscBinIoTest, RejectsCorruptionDescriptively) {
+  const Graph directed = Graph::FromEdges(3, {{0, 1, 2.0}, {0, 2, 3.0}},
+                                          false);
+  const Graph undirected = Graph::FromEdges(2, {{0, 1, 5.0}}, true);
+  const std::string valid = BinaryBytes(directed, "seed.qscbin");
+  const std::string valid_undirected =
+      BinaryBytes(undirected, "seed_undirected.qscbin");
+  const std::string path = TempPath("corrupt.qscbin");
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+    const char* needle;
+  };
+  std::vector<Case> cases;
+
+  cases.push_back({"too small", "qs", "smaller than the 48-byte header"});
+  {
+    std::string b = valid;
+    b[0] = 'X';
+    cases.push_back({"bad magic", b, "bad magic"});
+  }
+  {
+    std::string b = valid;
+    b[8] = 2;  // version
+    const uint64_t sum = QscBinChecksum(b.data(), 40);
+    std::memcpy(&b[40], &sum, 8);
+    cases.push_back({"bad version", b, "unsupported version"});
+  }
+  {
+    std::string b = valid;
+    b[12] |= 2;  // unknown flag bit
+    const uint64_t sum = QscBinChecksum(b.data(), 40);
+    std::memcpy(&b[40], &sum, 8);
+    cases.push_back({"unknown flag", b, "unknown flag bits"});
+  }
+  {
+    std::string b = valid;
+    b[16] ^= 0x7;  // num_nodes, without resealing
+    cases.push_back({"header bitflip", b, "header checksum mismatch"});
+  }
+  {
+    std::string b = valid;
+    b[b.size() - 1] ^= 0x1;  // payload, without resealing
+    cases.push_back({"payload bitflip", b, "payload checksum mismatch"});
+  }
+  {
+    std::string b = valid.substr(0, valid.size() - 8);
+    cases.push_back({"truncated", b, "file size mismatch"});
+  }
+  {
+    std::string b = valid + std::string(4, '\0');
+    cases.push_back({"trailing bytes", b, "file size mismatch"});
+  }
+  {
+    std::string b = valid;
+    const int64_t n = -1;
+    std::memcpy(&b[16], &n, 8);
+    const uint64_t sum = QscBinChecksum(b.data(), 40);
+    std::memcpy(&b[40], &sum, 8);
+    cases.push_back({"negative nodes", b, "node count out of range"});
+  }
+  {
+    std::string b = valid;
+    const int64_t m = int64_t{1} << 60;
+    std::memcpy(&b[24], &m, 8);
+    const uint64_t sum = QscBinChecksum(b.data(), 40);
+    std::memcpy(&b[40], &sum, 8);
+    cases.push_back({"huge arc count", b, "arc count out of range"});
+  }
+  {
+    std::string b = valid;
+    const int64_t bad_first = 1;  // offsets[0] must be 0
+    std::memcpy(&b[48], &bad_first, 8);
+    ResealQscBin(&b);
+    cases.push_back({"offsets span", b, "does not span"});
+  }
+  {
+    // directed graph layout: offsets (4 x i64) at 48, dst (2 x i32) at 80.
+    std::string b = valid;
+    const int32_t bad_head = 7;
+    std::memcpy(&b[80], &bad_head, 4);
+    ResealQscBin(&b);
+    cases.push_back({"head out of range", b, "arc head out of range"});
+  }
+  {
+    std::string b = valid;
+    const int32_t dup = 2;  // row 0 becomes [2, 2]
+    std::memcpy(&b[80], &dup, 4);
+    ResealQscBin(&b);
+    cases.push_back({"unsorted row", b, "not strictly sorted"});
+  }
+  {
+    // weights at 48 + 32 + 8 (dst + pad) = 88.
+    std::string b = valid;
+    const double zero = 0.0;
+    std::memcpy(&b[88], &zero, 8);
+    ResealQscBin(&b);
+    cases.push_back({"zero weight", b, "finite and non-zero"});
+  }
+  {
+    std::string b = valid;
+    const double nan = std::nan("");
+    std::memcpy(&b[88], &nan, 8);
+    ResealQscBin(&b);
+    cases.push_back({"nan weight", b, "finite and non-zero"});
+  }
+  {
+    // undirected layout: offsets (3 x i64) at 48, dst (2 x i32) at 72,
+    // weights at 80. Breaking one mirror weight must not abort in FromArcs.
+    std::string b = valid_undirected;
+    const double skew = 6.0;
+    std::memcpy(&b[80], &skew, 8);
+    ResealQscBin(&b);
+    cases.push_back({"mirror weight", b, "disagree on weight"});
+  }
+  {
+    std::string b = valid_undirected;
+    const int32_t self = 1;  // arc 1->0 becomes 1->1: mirror 1->0 vanishes
+    std::memcpy(&b[76], &self, 4);
+    ResealQscBin(&b);
+    cases.push_back({"missing mirror", b, "missing mirror arc"});
+  }
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    WriteFileBytes(path, c.bytes);
+    const auto read = ReadBinary(path);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(read.status().message().find(c.needle), std::string::npos)
+        << "message: " << read.status().message();
+    const auto mapped = MapBinary(path);
+    ASSERT_FALSE(mapped.ok());
+    EXPECT_EQ(mapped.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(mapped.status().message().find(c.needle), std::string::npos)
+        << "message: " << mapped.status().message();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fuzz tier: truncations and byte mutations of valid files must parse
+// cleanly or fail with InvalidArgument — never crash (ASan runs this).
+// --------------------------------------------------------------------------
+
+template <typename Reader>
+void RunFileFuzz(const std::string& valid, const std::string& path,
+                 uint64_t seed, const Reader& read) {
+  Rng rng(seed);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string bytes = valid;
+    if (iteration % 2 == 0) {
+      bytes.resize(rng.NextBounded(bytes.size() + 1));  // truncate
+    } else {
+      const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int m = 0; m < mutations; ++m) {
+        bytes[rng.NextBounded(bytes.size())] =
+            static_cast<char>(rng.NextBounded(256));
+      }
+    }
+    WriteFileBytes(path, bytes);
+    const Status status = read(path);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << status.ToString();
+      EXPECT_FALSE(status.message().empty());
+    }
+  }
+}
+
+TEST(GraphIoFuzzTest, EdgeListTruncationAndMutationNeverCrashes) {
+  const Graph g = testing_corpus::CorpusGraph(3, /*directed=*/true);
+  const std::string path = TempPath("fuzz.el");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  const std::string valid = ReadFileBytes(path);
+  RunFileFuzz(valid, path, 20260808,
+              [](const std::string& p) { return ReadEdgeList(p).status(); });
+}
+
+TEST(GraphIoFuzzTest, DimacsTruncationAndMutationNeverCrashes) {
+  Rng rng(11);
+  const FlowInstance inst = GridFlowNetwork(6, 5, 7, 7, rng);
+  const std::string path = TempPath("fuzz.dimacs");
+  ASSERT_TRUE(
+      WriteDimacsMaxFlow(inst.graph, inst.source, inst.sink, path).ok());
+  const std::string valid = ReadFileBytes(path);
+  RunFileFuzz(valid, path, 20260809, [](const std::string& p) {
+    return ReadDimacsMaxFlow(p).status();
+  });
+}
+
+TEST(GraphIoFuzzTest, BinaryTruncationAndMutationNeverCrashes) {
+  const Graph g = testing_corpus::CorpusGraph(5, /*directed=*/false);
+  const std::string path = TempPath("fuzz.qscbin");
+  const std::string valid = BinaryBytes(g, "fuzz_seed.qscbin");
+  RunFileFuzz(valid, path, 20260810,
+              [](const std::string& p) { return ReadBinary(p).status(); });
+  RunFileFuzz(valid, path, 20260811,
+              [](const std::string& p) { return MapBinary(p).status(); });
 }
 
 }  // namespace
