@@ -10,19 +10,37 @@
 namespace qsc {
 namespace {
 
-RothkoOptions ToRothkoOptions(const ColoringSpec& spec, ThreadPool* pool) {
-  RothkoOptions options;
-  // max_colors is owned by the Refine() loop, not the refiner (Run() is
-  // never called on cached refiners).
-  options.q_tolerance = spec.q_tolerance;
-  options.alpha = spec.alpha;
-  options.beta = spec.beta;
-  options.split_mean = spec.split_mean;
-  options.pool = pool;  // speeds up split scoring; never changes a split
-  return options;
+ColoringParams ToColoringParams(const ColoringSpec& spec, ThreadPool* pool) {
+  ColoringParams params;
+  // The color budget is owned by the Refine() loop, not the backend.
+  params.q_tolerance = spec.q_tolerance;
+  params.alpha = spec.alpha;
+  params.beta = spec.beta;
+  params.split_mean = spec.split_mean;
+  params.pool = pool;  // speeds up internal scans; never changes a split
+  return params;
+}
+
+// Builds the spec's live backend; aborts on unregistered names (the
+// Compressor boundary validates before a spec reaches the cache).
+std::unique_ptr<ColoringBackend> MakeBackend(const Graph& graph,
+                                             const ColoringSpec& spec,
+                                             ThreadPool* pool) {
+  return ColoringBackendRegistry::Global().Create(
+      api_internal::BackendOrDefault(spec.backend), graph,
+      InitialPartition(spec, graph.num_nodes()),
+      ToColoringParams(spec, pool));
 }
 
 }  // namespace
+
+bool operator==(const ColoringSpec& a, const ColoringSpec& b) {
+  return a.alpha == b.alpha && a.beta == b.beta &&
+         a.q_tolerance == b.q_tolerance && a.split_mean == b.split_mean &&
+         api_internal::BackendOrDefault(a.backend) ==
+             api_internal::BackendOrDefault(b.backend) &&
+         a.pinned == b.pinned;
+}
 
 size_t ColoringSpecHash::operator()(const ColoringSpec& spec) const {
   using api_internal::HashMixDouble;
@@ -32,6 +50,9 @@ size_t ColoringSpecHash::operator()(const ColoringSpec& spec) const {
   h = HashMixDouble(h, spec.beta);
   h = HashMixDouble(h, spec.q_tolerance);
   h = HashMixWord(h, static_cast<uint64_t>(spec.split_mean));
+  // The default backend mixes nothing (HashMixBackendName), keeping
+  // default-constructed specs' hashes bit-identical to pre-registry ones.
+  h = api_internal::HashMixBackendName(h, spec.backend);
   for (const NodeId pin : spec.pinned) {
     h = HashMixWord(h, static_cast<uint64_t>(pin));
   }
@@ -58,8 +79,8 @@ struct ColoringCache::Entry {
 
   // Built lazily under `mutex` on first use, so inserting the map slot
   // (under the cache-wide unique lock) stays O(1) and never blocks other
-  // specs behind a graph scan.
-  std::unique_ptr<RothkoRefiner> refiner;
+  // specs behind a graph scan. The concrete type is the spec's backend.
+  std::unique_ptr<ColoringBackend> refiner;
 
   // Colors of the spec's initial partition (pins + 1); no budget can go
   // below this, exactly as in RothkoRefiner::Run().
@@ -144,6 +165,10 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   QSC_CHECK_GT(budget, 0);
   WallTimer timer;
   Handle handle;
+  // Canonical accounting key; also the registry key MakeBackend uses, so
+  // a lookup and its backend row can never disagree.
+  const std::string& backend_name =
+      api_internal::BackendOrDefault(spec.backend);
 
   // Find-or-insert the spec's entry: optimistic shared lock first, then
   // the unique lock only on the insert path (double-checked via
@@ -176,16 +201,18 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.lookups;
-    if (!found) ++stats_.misses;
+    ++stats_.per_backend[backend_name].lookups;
+    if (!found) {
+      ++stats_.misses;
+      ++stats_.per_backend[backend_name].misses;
+    }
   }
 
   int64_t entry_bytes = 0;
   {
     std::lock_guard<std::mutex> entry_lock(entry->mutex);
     if (entry->refiner == nullptr) {
-      entry->refiner = std::make_unique<RothkoRefiner>(
-          *graph_, InitialPartition(spec, graph_->num_nodes()),
-          ToRothkoOptions(spec, pool_));
+      entry->refiner = MakeBackend(*graph_, spec, pool_);
       entry->initial_colors = entry->refiner->partition().num_colors();
     }
 
@@ -203,26 +230,30 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.hits;
+          ++stats_.per_backend[backend_name].hits;
         }
         handle.cache_hit = true;
         handle.partition = served->second.first;
         handle.max_error = served->second.second;
       } else {
-        RothkoRefiner fresh(*graph_,
-                            InitialPartition(spec, graph_->num_nodes()),
-                            ToRothkoOptions(spec, pool_));
-        const ColorId initial = fresh.partition().num_colors();
-        while (fresh.partition().num_colors() < budget && fresh.Step(budget)) {
+        std::unique_ptr<ColoringBackend> fresh =
+            MakeBackend(*graph_, spec, pool_);
+        const ColorId initial = fresh->partition().num_colors();
+        while (fresh->partition().num_colors() < budget &&
+               fresh->Step(budget)) {
         }
-        handle.splits = fresh.partition().num_colors() - initial;
+        handle.splits = fresh->partition().num_colors() - initial;
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.recolorings;
           stats_.refine_splits += handle.splits;
+          CacheStats::BackendStats& row = stats_.per_backend[backend_name];
+          ++row.recolorings;
+          row.refine_splits += handle.splits;
         }
         handle.partition =
-            std::make_shared<const Partition>(fresh.partition());
-        handle.max_error = fresh.CurrentMaxError();
+            std::make_shared<const Partition>(fresh->partition());
+        handle.max_error = fresh->CurrentMaxError();
         entry->served[budget] = {handle.partition, handle.max_error};
       }
     } else {
@@ -240,8 +271,13 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
       handle.splits = entry->refiner->partition().num_colors() - before;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (found) ++stats_.hits;
         stats_.refine_splits += handle.splits;
+        CacheStats::BackendStats& row = stats_.per_backend[backend_name];
+        row.refine_splits += handle.splits;
+        if (found) {
+          ++stats_.hits;
+          ++row.hits;
+        }
       }
       if (handle.splits > 0 || entry->head == nullptr) {
         entry->head =

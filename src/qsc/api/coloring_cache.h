@@ -49,9 +49,11 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "qsc/coloring/backend.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/graph/graph.h"
@@ -60,8 +62,8 @@ namespace qsc {
 
 class ThreadPool;
 
-// Cache key: the parameters that determine the Rothko split sequence from
-// a given graph. The color budget is deliberately absent — one entry
+// Cache key: the parameters that determine the backend's split sequence
+// from a given graph. The color budget is deliberately absent — one entry
 // serves every budget via the anytime property.
 struct ColoringSpec {
   // Witness weighting C_ij = |P_i|^alpha * |P_j|^beta (paper Sec 5.2).
@@ -73,6 +75,13 @@ struct ColoringSpec {
 
   RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
 
+  // Canonical name of the compression backend (coloring/backend.h); ""
+  // means kDefaultColoringBackend and compares/hashes identically to it,
+  // so pre-registry specs keep their cache identity. The cache requires
+  // the name be a CanonicalBackendName fixpoint of a registered backend;
+  // qsc::Compressor validates and canonicalizes at the API boundary.
+  std::string backend;
+
   // Nodes seeded into their own singleton colors: pinned[i] is labeled i
   // and every other node shares label pinned.size(); the labels are then
   // renumbered to dense color ids in first-appearance node order by
@@ -81,11 +90,9 @@ struct ColoringSpec {
   // The max-flow terminal pinning of Theorem 6 is pinned = {s, t}.
   std::vector<NodeId> pinned;
 
-  friend bool operator==(const ColoringSpec& a, const ColoringSpec& b) {
-    return a.alpha == b.alpha && a.beta == b.beta &&
-           a.q_tolerance == b.q_tolerance && a.split_mean == b.split_mean &&
-           a.pinned == b.pinned;
-  }
+  // Equality folds "" onto the default backend; defined in
+  // coloring_cache.cc next to ColoringSpecHash so the two stay in sync.
+  friend bool operator==(const ColoringSpec& a, const ColoringSpec& b);
   friend bool operator!=(const ColoringSpec& a, const ColoringSpec& b) {
     return !(a == b);
   }
@@ -103,7 +110,25 @@ struct ColoringSpecHash {
 Partition InitialPartition(const ColoringSpec& spec, NodeId num_nodes);
 
 // Session-lifetime amortization counters.
+//
+// Reconciliation invariant: every lookup is attributed to exactly one of
+// {hit, miss, recoloring}, so hits + misses + recolorings == lookups — in
+// the totals AND within every per_backend row. Which bucket a racing
+// down-budget pair lands in is arrival-order-dependent (documented in the
+// file comment), but the invariant itself holds under any interleaving
+// because the attribution is decided while the lookup is counted
+// (tests/api_compressor_test.cc and the concurrency suite assert it).
 struct CacheStats {
+  // One backend's share of the traffic, keyed by canonical backend name
+  // in per_backend (a "" spec is accounted under kDefaultColoringBackend).
+  struct BackendStats {
+    int64_t lookups = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t recolorings = 0;
+    int64_t refine_splits = 0;
+  };
+
   int64_t lookups = 0;       // coloring requests served
   int64_t hits = 0;          // served from a cached refiner (possibly after
                              // continuing its refinement)
@@ -113,6 +138,10 @@ struct CacheStats {
   int64_t evictions = 0;     // entries evicted to satisfy the byte budget
   int64_t bytes_in_use = 0;  // tracked footprint of all current entries
   int64_t peak_bytes = 0;    // high-water mark of bytes_in_use
+
+  // Per-backend breakdown of the five attribution counters above; the
+  // column sums over all rows equal the totals.
+  std::map<std::string, BackendStats> per_backend;
 };
 
 // Session-construction knobs for the cache.
@@ -159,14 +188,17 @@ class ColoringCache {
   // Serves the spec's coloring refined to `budget` colors (or to
   // convergence, whichever comes first; budgets below the spec's initial
   // color count serve the initial partition, like RothkoRefiner::Run()).
-  // Contract violations (unvalidated pins, non-positive budget) abort;
-  // qsc::Compressor validates at the API boundary. The result is
-  // bit-identical to
+  // Contract violations (unvalidated pins, non-positive budget, an
+  // unregistered or non-canonical spec.backend) abort; qsc::Compressor
+  // validates at the API boundary. The result is bit-identical to a fresh
+  // run of the spec's backend from InitialPartition(spec, n) stepped to
+  // `budget` colors — for the default backend, to
   //   RothkoColoring(graph, InitialPartition(spec, n),
   //                  {budget, spec.q_tolerance, spec.alpha, spec.beta,
   //                   spec.split_mean})
-  // regardless of which budgets were served before and of concurrent
-  // callers.
+  // — regardless of which budgets were served before and of concurrent
+  // callers (every backend honors the determinism contract of
+  // coloring/backend.h).
   Handle Refine(const ColoringSpec& spec, ColorId budget);
 
   const Graph& graph() const { return *graph_; }

@@ -44,6 +44,26 @@ Status ValidateCommonOptions(const QueryOptions& options) {
   return Status::Ok();
 }
 
+// The backend half of the boundary contract (docs/API.md "Backends"):
+// canonicalize, then check registration. Malformed names are
+// InvalidArgument (the request can never be valid); well-formed names
+// nobody registered are NotFound (the request might be valid against a
+// process with that backend linked in).
+StatusOr<std::string> ValidateBackend(const std::string& name) {
+  StatusOr<std::string> canonical = CanonicalBackendName(name);
+  if (!canonical.ok()) return canonical.status();
+  const ColoringBackendRegistry& registry = ColoringBackendRegistry::Global();
+  if (!registry.Contains(*canonical)) {
+    std::string registered;
+    for (const std::string& n : registry.Names()) {
+      registered += registered.empty() ? n : ", " + n;
+    }
+    return Status::NotFound("unknown coloring backend \"" + *canonical +
+                            "\"; registered: " + registered);
+  }
+  return canonical;
+}
+
 Status ValidatePins(const std::vector<NodeId>& pinned, NodeId num_nodes) {
   for (size_t i = 0; i < pinned.size(); ++i) {
     if (pinned[i] < 0 || pinned[i] >= num_nodes) {
@@ -62,14 +82,17 @@ Status ValidatePins(const std::vector<NodeId>& pinned, NodeId num_nodes) {
 }
 
 // Builds the cache key from options, filling unset witness exponents with
-// the area defaults (paper Sec 5.2).
+// the area defaults (paper Sec 5.2). `backend` must already be canonical
+// (the ValidateBackend result).
 ColoringSpec SpecFor(const QueryOptions& options, double default_alpha,
-                     double default_beta, std::vector<NodeId> pinned) {
+                     double default_beta, std::vector<NodeId> pinned,
+                     std::string backend) {
   ColoringSpec spec;
   spec.alpha = options.alpha.value_or(default_alpha);
   spec.beta = options.beta.value_or(default_beta);
   spec.q_tolerance = options.q_tolerance;
   spec.split_mean = options.split_mean;
+  spec.backend = std::move(backend);
   spec.pinned = std::move(pinned);
   return spec;
 }
@@ -146,10 +169,12 @@ class Compressor::Impl {
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
     QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
+    StatusOr<std::string> backend = ValidateBackend(options.backend);
+    if (!backend.ok()) return backend.status();
 
     const ColoringSpec spec =
         SpecFor(options, /*default_alpha=*/0.0, /*default_beta=*/0.0,
-                options.pinned);
+                options.pinned, *std::move(backend));
     const ColoringCache::Handle handle =
         cache_->Refine(spec, options.max_colors);
     ColoringResult result;
@@ -207,6 +232,8 @@ class Compressor::Impl {
           "SolveLp pins the objective row and rhs column internally; "
           "explicit pins are not supported");
     }
+    StatusOr<std::string> backend = ValidateBackend(options.backend);
+    if (!backend.ok()) return backend.status();
 
     LpReduceOptions reduce_options;
     reduce_options.max_colors = options.max_colors;
@@ -215,13 +242,15 @@ class Compressor::Impl {
     reduce_options.beta = options.beta.value_or(reduce_options.beta);
     reduce_options.split_mean = options.split_mean;
     reduce_options.variant = options.lp_variant;
+    reduce_options.backend = *std::move(backend);
     reduce_options.pool = pool_;
 
     WallTimer timer;
     const LpSessionKey key{FingerprintLp(lp), reduce_options.alpha,
                            reduce_options.beta, reduce_options.q_tolerance,
                            static_cast<int>(reduce_options.split_mean),
-                           static_cast<int>(reduce_options.variant)};
+                           static_cast<int>(reduce_options.variant),
+                           reduce_options.backend};
     // Find-or-insert under the map lock; the expensive matrix coloring
     // happens later under the per-session mutex, so distinct LPs reduce
     // concurrently. The fingerprint is not collision-resistant, so a key
@@ -297,9 +326,11 @@ class Compressor::Impl {
           std::to_string(options.pivots_per_color));
     }
 
+    StatusOr<std::string> backend = ValidateBackend(options.backend);
+    if (!backend.ok()) return backend.status();
     const ColoringSpec spec =
         SpecFor(options, /*default_alpha=*/1.0, /*default_beta=*/1.0,
-                options.pinned);
+                options.pinned, *std::move(backend));
     const ColoringCache::Handle handle =
         cache_->Refine(spec, options.max_colors);
 
@@ -330,12 +361,13 @@ class Compressor::Impl {
     uint64_t fingerprint;
     double alpha, beta, q_tolerance;
     int split_mean, variant;
+    std::string backend;  // canonical (ValidateBackend ran first)
 
     bool operator<(const LpSessionKey& o) const {
       return std::tie(fingerprint, alpha, beta, q_tolerance, split_mean,
-                      variant) < std::tie(o.fingerprint, o.alpha, o.beta,
-                                          o.q_tolerance, o.split_mean,
-                                          o.variant);
+                      variant, backend) <
+             std::tie(o.fingerprint, o.alpha, o.beta, o.q_tolerance,
+                      o.split_mean, o.variant, o.backend);
     }
   };
 
@@ -365,6 +397,10 @@ class Compressor::Impl {
   Status ValidateFlowQuery(NodeId source, NodeId sink,
                            const QueryOptions& options) const {
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
+    {
+      const StatusOr<std::string> backend = ValidateBackend(options.backend);
+      if (!backend.ok()) return backend.status();
+    }
     const NodeId n = graph_->num_nodes();
     if (source < 0 || source >= n) {
       return Status::InvalidArgument("source node id " + NodeStr(source) +
@@ -403,7 +439,9 @@ class Compressor::Impl {
                                              const QueryOptions& options) {
     const ColoringSpec spec =
         SpecFor(options, /*default_alpha=*/0.0, /*default_beta=*/0.0,
-                {source, sink});
+                {source, sink},
+                // Validated by ValidateFlowQuery; .value() cannot abort.
+                CanonicalBackendName(options.backend).value());
     const ColoringCache::Handle handle =
         cache_->Refine(spec, options.max_colors);
     const Partition& p = *handle.partition;

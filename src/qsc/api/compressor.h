@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -68,6 +69,15 @@ struct QueryOptions {
   std::optional<double> beta;
 
   RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
+
+  // Compression backend that produces the coloring (coloring/backend.h):
+  // "rothko", "lp-rounding", "bucket", or any registered name. "" means
+  // kDefaultColoringBackend. Names are canonicalized (trimmed, lowercased)
+  // at the boundary and become part of the coloring cache key; a malformed
+  // name yields InvalidArgument, a well-formed but unregistered one
+  // NotFound. Applies to all four query kinds (SolveLp colors the LP's
+  // matrix graph with it).
+  std::string backend;
 
   // Extra nodes to pin into singleton colors (Coloring and Centrality
   // queries only; MaxFlow pins its terminals itself and SolveLp pins the

@@ -10,6 +10,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
+
+#include "qsc/coloring/backend.h"
 
 namespace qsc {
 namespace api_internal {
@@ -32,6 +35,29 @@ inline uint64_t HashMixDouble(uint64_t h, double v) {
 }
 
 constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+// Canonical backend spelling for equality and hashing: the empty string
+// means the default backend (pre-registry specs keep their meaning).
+// Callers store names already canonicalized by CanonicalBackendName; this
+// only folds the ""-default equivalence.
+inline const std::string& BackendOrDefault(const std::string& backend) {
+  static const std::string kDefault(kDefaultColoringBackend);
+  return backend.empty() ? kDefault : backend;
+}
+
+// Mixes a spec's backend name into a cache key. The default backend mixes
+// *nothing*, so every pre-registry spec — default-constructed, backend
+// unset — hashes exactly as it did before backends existed, keeping the
+// committed cache-resume corpus hashes bit-identical for rothko.
+inline uint64_t HashMixBackendName(uint64_t h, const std::string& backend) {
+  const std::string& canonical = BackendOrDefault(backend);
+  if (canonical == kDefaultColoringBackend) return h;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace api_internal
 }  // namespace qsc

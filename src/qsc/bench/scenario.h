@@ -123,6 +123,11 @@ void RegisterServingScenarios();
 // instance. Called by RegisterBuiltinScenarios().
 void RegisterFlowScenarios();
 
+// The "backends" group (scenarios_backends.cc): every registered coloring
+// backend swept over color budgets on one shared instance, emitting
+// per-backend Pareto counters. Called by RegisterBuiltinScenarios().
+void RegisterBackendScenarios();
+
 }  // namespace bench
 }  // namespace qsc
 

@@ -693,6 +693,7 @@ void RegisterBuiltinScenarios() {
     RegisterCompressorParallelFlow();
     RegisterServingScenarios();
     RegisterFlowScenarios();
+    RegisterBackendScenarios();
     return true;
   }();
   (void)registered;

@@ -1,0 +1,38 @@
+#include "qsc/coloring/bucket.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qsc {
+
+BucketRefiner::BucketRefiner(const Graph& g, Partition initial,
+                             const ColoringParams& params)
+    : WitnessSplitRefiner(g, std::move(initial), params) {
+  total_degree_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // For undirected graphs OutWeight == InWeight, so this double-counts
+    // uniformly — ranks are unaffected.
+    total_degree_.push_back(g.OutWeight(v) + g.InWeight(v));
+  }
+}
+
+std::vector<NodeId> BucketRefiner::ChooseSplit(const Witness& witness) {
+  std::vector<NodeId> ranked = partition().Members(witness.split_color);
+  std::sort(ranked.begin(), ranked.end(), [this](NodeId a, NodeId b) {
+    if (total_degree_[a] != total_degree_[b]) {
+      return total_degree_[a] < total_degree_[b];
+    }
+    return a < b;
+  });
+  // Peel the upper half of the degree ranks; with >= 2 members both sides
+  // are non-empty.
+  return std::vector<NodeId>(ranked.begin() + ranked.size() / 2,
+                             ranked.end());
+}
+
+int64_t BucketRefiner::MemoryBytes() const {
+  return WitnessSplitRefiner::MemoryBytes() +
+         static_cast<int64_t>(total_degree_.capacity() * sizeof(double));
+}
+
+}  // namespace qsc

@@ -1,0 +1,60 @@
+// The `lp-rounding` compression backend: witness splits posed as a small
+// assignment LP solved by the in-tree simplex, then rounded (the Limbo
+// LPColoring recipe — relax the combinatorial choice, solve the LP,
+// round the fractional solution).
+//
+// For the worst witness the kernel groups members by witness weight
+// (quantile-merged to <= kMaxGroups groups), then solves
+//
+//     maximize  sum_g (w_g - mid) * x_g
+//     s.t.      0 <= x_g <= count_g            (fractional membership)
+//               1 <= sum_g x_g <= N - 1        (both sides non-empty)
+//
+// where mid is the weight midrange (lo+hi)/2. The LP pushes every group
+// above the midrange fully into the new color and every group below fully
+// out; the coupling row forces a boundary group fractional exactly when a
+// pure midrange threshold would leave one side empty. Rounding keeps a
+// group iff x_g >= count_g / 2. The cut is therefore a *midrange*
+// threshold — genuinely different from rothko's mean split and bucket's
+// median-rank split — with LP-certified non-degeneracy.
+//
+// Determinism: groups are built from sorted distinct weights, the LP is a
+// fixed function of the witness, and SolveSimplex is deterministic, so
+// the split sequence is a pure function of (graph, partition, params).
+// If the solver ever fails to return an optimum (it cannot on this
+// bounded feasible family, but the kernel does not rely on that), the
+// kernel falls back to the plain midrange threshold.
+
+#ifndef QSC_COLORING_LP_ROUNDING_H_
+#define QSC_COLORING_LP_ROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/coloring/split_refiner.h"
+
+namespace qsc {
+
+class LpRoundingRefiner : public WitnessSplitRefiner {
+ public:
+  // Cap on LP columns per split; larger witness colors are quantile-merged.
+  static constexpr int kMaxGroups = 256;
+
+  LpRoundingRefiner(const Graph& g, Partition initial,
+                    const ColoringParams& params);
+
+  int64_t MemoryBytes() const override;
+
+  // Total simplex iterations spent across all splits (telemetry).
+  int64_t lp_iterations() const { return lp_iterations_; }
+
+ protected:
+  std::vector<NodeId> ChooseSplit(const Witness& witness) override;
+
+ private:
+  int64_t lp_iterations_ = 0;
+};
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_LP_ROUNDING_H_

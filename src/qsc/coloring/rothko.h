@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "qsc/coloring/backend.h"
+#include "qsc/coloring/params.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/graph/graph.h"
 
@@ -34,40 +36,25 @@ namespace qsc {
 
 class ThreadPool;
 
-struct RothkoOptions {
+// The shared knobs (alpha, beta, q_tolerance, split_mean, pool) live in
+// ColoringParams (coloring/params.h) so every backend consumes the same
+// struct; RothkoOptions adds only the Rothko-specific stopping rule.
+//
+// Pool semantics for Rothko specifically: candidate colors are scored
+// concurrently but scores commit through an ordered reduction, so the
+// split sequence — and therefore every partition and q-error this refiner
+// produces — is bit-identical for any pool size, including none
+// (tests/coloring_rothko_equivalence_test.cc checks threads 1/2/8 against
+// the frozen reference). The pool does NOT make the refiner itself
+// thread-safe: concurrent Step() calls still require external
+// serialization.
+struct RothkoOptions : ColoringParams {
+  // Pre-registry spelling of the split-threshold rule; the enumerators are
+  // the namespace-scope qsc::SplitMean ones.
+  using SplitMean = qsc::SplitMean;
+
   // Stop once the partition reaches this many colors (n in Algorithm 1).
   ColorId max_colors = 64;
-
-  // Stop once the maximum (unweighted) q-error drops to or below this bound
-  // (epsilon in Algorithm 1). 0 refines all the way to a stable coloring if
-  // max_colors permits.
-  double q_tolerance = 0.0;
-
-  // Witness weighting C_ij = |P_i|^alpha * |P_j|^beta (paper Sec 5.2:
-  // alpha=beta=0 for max-flow, alpha=1 beta=0 for LPs, alpha=beta=1 for
-  // centrality).
-  double alpha = 0.0;
-  double beta = 0.0;
-
-  enum class SplitMean {
-    kArithmetic,  // threshold = mean degree (Algorithm 1 line 10)
-    kGeometric,   // mean in log-space: exp(mean(log(1+d)))-1; requires
-                  // non-negative degrees, better balanced on scale-free
-                  // graphs (paper Sec 5.2). Falls back to arithmetic when a
-                  // negative degree is present.
-  };
-  SplitMean split_mean = SplitMean::kArithmetic;
-
-  // Optional worker pool for split scoring (qsc/parallel). Candidate
-  // colors are scored concurrently but scores commit through an ordered
-  // reduction, so the split sequence — and therefore every partition and
-  // q-error this refiner produces — is bit-identical for any pool size,
-  // including none (tests/coloring_rothko_equivalence_test.cc checks
-  // threads 1/2/8 against the frozen reference). Not owned; must outlive
-  // the refiner; may be shared by many refiners (the pool is re-entrant).
-  // Does NOT make the refiner itself thread-safe: concurrent Step() calls
-  // on one refiner still require external serialization.
-  ThreadPool* pool = nullptr;
 };
 
 // Telemetry for one split, recorded for the responsiveness study (paper
@@ -81,11 +68,12 @@ struct RothkoStep {
 };
 
 // Incremental refiner; use RothkoColoring() unless you need the anytime /
-// co-routine interface.
-class RothkoRefiner {
+// co-routine interface. Registered as the `rothko` compression backend
+// (coloring/backend.h).
+class RothkoRefiner : public ColoringBackend {
  public:
   RothkoRefiner(const Graph& g, Partition initial, RothkoOptions options);
-  ~RothkoRefiner();
+  ~RothkoRefiner() override;
 
   RothkoRefiner(const RothkoRefiner&) = delete;
   RothkoRefiner& operator=(const RothkoRefiner&) = delete;
@@ -106,15 +94,15 @@ class RothkoRefiner {
   // partition reaches `color_cap` colors the step stops even if the error
   // has not yet recovered. At least one split is always performed. Ignores
   // options.max_colors; the caller owns that stopping rule.
-  bool Step(ColorId color_cap = 0);
+  bool Step(ColorId color_cap = 0) override;
 
   // Runs Step() until convergence or options.max_colors colors.
   void Run();
 
-  const Partition& partition() const;
+  const Partition& partition() const override;
 
   // Maximum unweighted q-error of the current coloring, both directions.
-  double CurrentMaxError() const;
+  double CurrentMaxError() const override;
 
   const std::vector<RothkoStep>& history() const;
 
@@ -123,7 +111,7 @@ class RothkoRefiner {
   // counted where accessible, element counts where not (the heaps), so the
   // number is a close lower bound on the allocator's view. Used by the
   // byte-budgeted ColoringCache to decide eviction.
-  int64_t MemoryBytes() const;
+  int64_t MemoryBytes() const override;
 
  private:
   class Impl;

@@ -1,0 +1,92 @@
+// Shared scaffold for witness-split compression backends.
+//
+// WitnessSplitRefiner owns everything the ColoringBackend contract
+// demands except the split rule itself: it scans the partition for the
+// worst witness (the ordered color pair and direction with the largest
+// weight spread, Definition 1), asks the concrete kernel which members to
+// peel off, and repeats inside one Step() until the maximum q-error is
+// back at or below its pre-step value — the same monotone-recovery loop
+// RothkoRefiner uses, so every kernel built on this base satisfies the
+// anytime contract by construction.
+//
+// Unlike the incremental Rothko hot path (flat_rows.h), the scaffold
+// recomputes the witness table from scratch after every split: O(m) per
+// split instead of O(split volume). That is deliberate — baseline and
+// experimental kernels value simplicity and obvious determinism over
+// speed, and the registry makes them interchangeable with the fast
+// kernel. The worst witness is selected with a total tie-break
+// (spread desc, direction, source color asc, target color asc), so the
+// split sequence is a pure function of (graph, partition, params).
+
+#ifndef QSC_COLORING_SPLIT_REFINER_H_
+#define QSC_COLORING_SPLIT_REFINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qsc/coloring/backend.h"
+#include "qsc/coloring/params.h"
+#include "qsc/coloring/partition.h"
+#include "qsc/graph/graph.h"
+
+namespace qsc {
+
+class WitnessSplitRefiner : public ColoringBackend {
+ public:
+  // `g` is borrowed and must outlive the refiner.
+  WitnessSplitRefiner(const Graph& g, Partition initial,
+                      const ColoringParams& params);
+
+  bool Step(ColorId color_cap = 0) final;
+  const Partition& partition() const final { return partition_; }
+  double CurrentMaxError() const final { return current_error_; }
+  int64_t MemoryBytes() const override;
+
+ protected:
+  // The worst witness of the current partition, handed to the kernel.
+  struct Witness {
+    ColorId split_color = -1;  // color to split (>= 2 members)
+    ColorId other_color = -1;  // the witness pair's other end
+    // True: weights are out-weights of split_color's members into
+    // other_color; false: in-weights from other_color (directed graphs
+    // only; undirected graphs always report the out direction).
+    bool out_direction = true;
+    double spread = 0.0;  // max - min over `weights` (> 0)
+    // Witness weight of every member, aligned with
+    // partition().Members(split_color); members without an edge toward
+    // the witness target contribute 0.
+    std::vector<double> weights;
+  };
+
+  // Kernel hook: the member subset to peel into a new color. The scaffold
+  // clamps degenerate answers (empty or full subsets fall back to peeling
+  // the single max-weight member, lowest node id first), so kernels only
+  // need to be deterministic.
+  virtual std::vector<NodeId> ChooseSplit(const Witness& witness) = 0;
+
+  const Graph& graph() const { return *graph_; }
+  const ColoringParams& params() const { return params_; }
+
+ private:
+  // Fills `out` with the worst witness; false when the partition is
+  // stable (every spread 0 — no splittable color). Also refreshes
+  // current_error_ (the max spread found).
+  bool FindWorstWitness(Witness* out);
+
+  // One split of the current worst witness; false if no witness remains.
+  bool SplitOnce(ColorId color_cap);
+
+  void EnsureScanned();
+
+  const Graph* graph_;
+  ColoringParams params_;
+  Partition partition_;
+  double current_error_ = 0.0;
+  bool scanned_ = false;      // witness_ / current_error_ reflect partition_
+  bool has_witness_ = false;  // some color still has positive spread
+  Witness witness_;           // worst witness of the current partition
+};
+
+}  // namespace qsc
+
+#endif  // QSC_COLORING_SPLIT_REFINER_H_

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
+#include <utility>
 
+#include "qsc/api/compressor.h"
 #include "qsc/centrality/brandes.h"
 #include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/backend.h"
 #include "qsc/coloring/rothko.h"
-#include "qsc/flow/approx_flow.h"
 #include "qsc/flow/min_cut.h"
 #include "qsc/lp/reduce.h"
 #include "qsc/util/stats.h"
@@ -34,6 +37,26 @@ struct Checker {
     if (!condition) report->violations.push_back({invariant, std::move(detail)});
   }
 };
+
+// Resolves a raw EvalOptions::backend to its registered canonical name;
+// an unresolvable name is a reported violation, not an abort, so a bad
+// --backend shows up in the differential report like any other finding.
+bool ResolveBackendName(const std::string& raw, std::string* canonical,
+                        Checker& check) {
+  const StatusOr<std::string> name = CanonicalBackendName(raw);
+  const bool ok =
+      name.ok() && ColoringBackendRegistry::Global().Contains(*name);
+  check.Expect(ok, "coloring/backend-registered",
+               "'" + raw + "' does not name a registered coloring backend");
+  if (ok) *canonical = *name;
+  return ok;
+}
+
+// Borrows a caller-owned graph for a Compressor session (the aliasing
+// shared_ptr constructor; the instance outlives the session here).
+std::shared_ptr<const Graph> Borrow(const Graph& g) {
+  return std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g);
+}
 
 }  // namespace
 
@@ -80,32 +103,68 @@ DifferentialReport DifferentialRunner::Check(const Workload& workload) const {
   return report;
 }
 
-void DifferentialRunner::CheckRothkoAnytime(const Graph& g, double alpha,
-                                            double beta,
-                                            DifferentialReport& report) const {
+void DifferentialRunner::CheckColoringAnytime(
+    const Graph& g, double alpha, double beta,
+    DifferentialReport& report) const {
   Checker check{&report};
-  RothkoOptions options;
-  options.alpha = alpha;
-  options.beta = beta;
-  options.split_mean = options_.split_mean;
-  RothkoRefiner refiner(g, Partition::Trivial(g.num_nodes()), options);
-  double prev_error = refiner.CurrentMaxError();
-  ColorId prev_colors = refiner.partition().num_colors();
-  for (int step = 0; step < 40; ++step) {
-    if (!refiner.Step()) break;
-    const double error = refiner.CurrentMaxError();
-    check.Expect(error <= prev_error + 1e-9, "rothko/anytime-monotone",
+  std::string name;
+  if (!ResolveBackendName(options_.backend, &name, check)) return;
+
+  ColoringParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  params.split_mean = options_.split_mean;
+  ColoringBackendRegistry& registry = ColoringBackendRegistry::Global();
+  std::unique_ptr<ColoringBackend> backend =
+      registry.Create(name, g, Partition::Trivial(g.num_nodes()), params);
+  double prev_error = backend->CurrentMaxError();
+  ColorId prev_colors = backend->partition().num_colors();
+  int steps = 0;
+  while (steps < 40 && backend->Step()) {
+    ++steps;
+    const double error = backend->CurrentMaxError();
+    const ColorId colors = backend->partition().num_colors();
+    check.Expect(error <= prev_error + 1e-9, "coloring/anytime-monotone",
                  Fmt("Step() raised CurrentMaxError %.12g -> %.12g", prev_error,
                      error));
-    prev_error = error;
-  }
-  for (const RothkoStep& s : refiner.history()) {
-    check.Expect(s.num_colors > prev_colors && prev_colors >= 0,
-                 "rothko/history-colors-increasing",
-                 Fmt("history color count %.0f after %.0f",
-                     static_cast<double>(s.num_colors),
+    check.Expect(colors > prev_colors, "coloring/colors-increasing",
+                 Fmt("Step() left the color count at %.0f (was %.0f)",
+                     static_cast<double>(colors),
                      static_cast<double>(prev_colors)));
-    prev_colors = s.num_colors;
+    prev_error = error;
+    prev_colors = colors;
+  }
+
+  // Determinism / resume-equals-fresh: replaying the same number of
+  // uncapped steps from the same initial partition must reproduce the
+  // partition bit-for-bit.
+  std::unique_ptr<ColoringBackend> replay =
+      registry.Create(name, g, Partition::Trivial(g.num_nodes()), params);
+  for (int i = 0; i < steps; ++i) replay->Step();
+  bool identical =
+      replay->partition().num_colors() == backend->partition().num_colors();
+  for (NodeId v = 0; identical && v < g.num_nodes(); ++v) {
+    identical =
+        replay->partition().ColorOf(v) == backend->partition().ColorOf(v);
+  }
+  check.Expect(identical, "coloring/deterministic-replay",
+               Fmt("replaying %.0f steps produced a different partition "
+                   "(%.0f colors)",
+                   static_cast<double>(steps),
+                   static_cast<double>(replay->partition().num_colors())));
+
+  // Rothko-specific telemetry: the split history's color counts are
+  // strictly increasing. Other backends do not expose a history.
+  if (const auto* rothko = dynamic_cast<const RothkoRefiner*>(backend.get())) {
+    ColorId hist_colors = 0;
+    for (const RothkoStep& s : rothko->history()) {
+      check.Expect(s.num_colors > hist_colors,
+                   "rothko/history-colors-increasing",
+                   Fmt("history color count %.0f after %.0f",
+                       static_cast<double>(s.num_colors),
+                       static_cast<double>(hist_colors)));
+      hist_colors = s.num_colors;
+    }
   }
 }
 
@@ -133,37 +192,45 @@ DifferentialReport DifferentialRunner::CheckMaxFlow(
   check.Expect(std::abs(cut.value - pr) <= EqTol(pr), "flow/min-cut-duality",
                Fmt("min cut %.12g vs max flow %.12g", cut.value, pr));
 
+  // The approximate side runs through a Compressor session, so the sweep
+  // also exercises the coloring cache's anytime continuation for the
+  // selected backend (ascending budgets continue one cached refiner).
+  Compressor session(Borrow(g));
   double first_bound = 0.0, last_bound = 0.0;
   bool have_bounds = false;
   for (const ColorId budget : budgets) {
-    FlowApproxOptions options;
-    options.rothko.max_colors = budget;
-    options.rothko.split_mean = options_.split_mean;
-    options.compute_lower_bound = options_.compute_flow_lower_bound;
-    const FlowApproxResult approx =
-        ApproximateMaxFlow(g, instance.source, instance.sink, options);
-    check.Expect(approx.upper_bound >= pr - EqTol(pr),
+    QueryOptions query;
+    query.max_colors = budget;
+    query.split_mean = options_.split_mean;
+    query.backend = options_.backend;
+    query.compute_lower_bound = options_.compute_flow_lower_bound;
+    const StatusOr<FlowQueryResult> approx =
+        session.MaxFlow(instance.source, instance.sink, query);
+    check.Expect(approx.ok(), "flow/query-ok",
+                 approx.ok() ? "" : approx.status().ToString());
+    if (!approx.ok()) continue;
+    check.Expect(approx->upper_bound >= pr - EqTol(pr),
                  "flow/reduced-upper-bound",
-                 Fmt("c^2 bound %.12g below exact %.12g", approx.upper_bound,
+                 Fmt("c^2 bound %.12g below exact %.12g", approx->upper_bound,
                      pr));
     if (options_.compute_flow_lower_bound) {
-      check.Expect(approx.lower_bound <= pr + 1e-4 * std::max(1.0, pr),
+      check.Expect(approx->lower_bound <= pr + 1e-4 * std::max(1.0, pr),
                    "flow/reduced-lower-bound",
-                   Fmt("c^1 bound %.12g above exact %.12g", approx.lower_bound,
+                   Fmt("c^1 bound %.12g above exact %.12g", approx->lower_bound,
                        pr));
     }
     if (!have_bounds) {
-      first_bound = approx.upper_bound;
+      first_bound = approx->upper_bound;
       have_bounds = true;
     }
-    last_bound = approx.upper_bound;
+    last_bound = approx->upper_bound;
   }
   check.Expect(!have_bounds || last_bound <= first_bound + EqTol(first_bound),
                "flow/anytime-improvement",
                Fmt("finest bound %.12g above coarsest %.12g", last_bound,
                    first_bound));
 
-  CheckRothkoAnytime(g, /*alpha=*/0.0, /*beta=*/0.0, report);
+  CheckColoringAnytime(g, /*alpha=*/0.0, /*beta=*/0.0, report);
   return report;
 }
 
@@ -189,13 +256,21 @@ DifferentialReport DifferentialRunner::CheckLp(
                      ipm.objective));
   }
 
+  // Direct LpColoringRefiner construction aborts on an unresolvable
+  // backend, so resolve it here and report instead.
+  std::string backend_name;
+  if (!ResolveBackendName(options_.backend, &backend_name, check)) {
+    return report;
+  }
   LpReduceOptions reduce_options;
+  reduce_options.split_mean = options_.split_mean;
+  reduce_options.backend = backend_name;
   LpColoringRefiner refiner(lp, reduce_options);
   for (const ColorId budget : budgets) {
     const ReducedLp reduced = refiner.ReduceTo(std::max<ColorId>(budget, 4));
     // Note: max_q is NOT asserted monotone across capped budgets — a color
     // cap can truncate a monotone refinement step mid-recovery, so only
-    // the uncapped Step() contract (CheckRothkoAnytime) is guaranteed.
+    // the uncapped Step() contract (CheckColoringAnytime) is guaranteed.
     check.Expect(std::isfinite(reduced.max_q) && reduced.max_q >= 0.0,
                  "lp/q-error-valid",
                  Fmt("matrix q-error %.12g at budget %.0f", reduced.max_q,
@@ -278,27 +353,34 @@ DifferentialReport DifferentialRunner::CheckCentrality(
                Fmt("max |approx - exact| = %.12g (n = %.0f)", worst,
                    static_cast<double>(g.num_nodes())));
 
+  // As with max-flow, the approximate side runs through a session so the
+  // sweep exercises the selected backend's cache continuation.
+  Compressor session(Borrow(g));
   for (const ColorId budget : budgets) {
-    ColorPivotOptions options;
-    options.rothko.max_colors = budget;
-    options.rothko.split_mean = options_.split_mean;
-    options.seed = options_.seed;
-    const ApproxBetweennessResult approx = ApproximateBetweenness(g, options);
-    check.Expect(static_cast<NodeId>(approx.scores.size()) == g.num_nodes(),
+    QueryOptions query;
+    query.max_colors = budget;
+    query.split_mean = options_.split_mean;
+    query.backend = options_.backend;
+    query.seed = options_.seed;
+    const StatusOr<CentralityQueryResult> approx = session.Centrality(query);
+    check.Expect(approx.ok(), "centrality/query-ok",
+                 approx.ok() ? "" : approx.status().ToString());
+    if (!approx.ok()) continue;
+    check.Expect(static_cast<NodeId>(approx->scores.size()) == g.num_nodes(),
                  "centrality/score-shape", "score vector size mismatch");
     bool finite_nonneg = true;
-    for (const double s : approx.scores) {
+    for (const double s : approx->scores) {
       finite_nonneg = finite_nonneg && std::isfinite(s) && s >= -1e-9;
     }
     check.Expect(finite_nonneg, "centrality/scores-finite",
                  "non-finite or negative betweenness score");
-    const double rho = SpearmanCorrelation(approx.scores, exact);
+    const double rho = SpearmanCorrelation(approx->scores, exact);
     check.Expect(rho >= -1.0 - 1e-9 && rho <= 1.0 + 1e-9,
                  "centrality/rho-range", Fmt("rho = %.12g (budget %.0f)", rho,
                                              static_cast<double>(budget)));
   }
 
-  CheckRothkoAnytime(g, /*alpha=*/1.0, /*beta=*/1.0, report);
+  CheckColoringAnytime(g, /*alpha=*/1.0, /*beta=*/1.0, report);
   return report;
 }
 

@@ -22,9 +22,14 @@
 //                degenerates to exact Brandes; Spearman's rho against the
 //                exact scores is a valid correlation.
 //
-// All areas additionally check Rothko's anytime contract on the instance:
-// Step() never increases CurrentMaxError() and history() color counts are
-// strictly increasing.
+// All areas additionally check the selected compression backend's
+// ColoringBackend contract on the instance (coloring/backend.h): Step()
+// never increases CurrentMaxError(), every Step() adds colors, and
+// replaying the same step sequence from the same initial partition lands
+// on the identical partition (determinism / resume-equals-fresh). For the
+// rothko backend the history() color counts are additionally checked. The
+// backend under test comes from EvalOptions::backend; an unresolvable
+// name is itself a reported violation.
 
 #ifndef QSC_EVAL_DIFFERENTIAL_H_
 #define QSC_EVAL_DIFFERENTIAL_H_
@@ -77,8 +82,8 @@ class DifferentialRunner {
                                      std::vector<ColorId> budgets) const;
 
  private:
-  void CheckRothkoAnytime(const Graph& g, double alpha, double beta,
-                          DifferentialReport& report) const;
+  void CheckColoringAnytime(const Graph& g, double alpha, double beta,
+                            DifferentialReport& report) const;
 
   EvalOptions options_;
 };

@@ -46,6 +46,7 @@ std::vector<RunMetrics> RunMaxFlowPipeline(const FlowInstance& instance,
     QueryOptions query;
     query.max_colors = budget;
     query.split_mean = options.split_mean;
+    query.backend = options.backend;
     query.compute_lower_bound = options.compute_flow_lower_bound;
     timer.Reset();
     const StatusOr<FlowQueryResult> approx =
@@ -94,6 +95,8 @@ std::vector<RunMetrics> RunLpPipeline(const LpProblem& lp,
   for (const ColorId budget : budgets) {
     QueryOptions query;  // paper defaults: alpha=1, beta=0
     query.max_colors = budget;
+    query.split_mean = options.split_mean;
+    query.backend = options.backend;
     timer.Reset();
     const StatusOr<LpQueryResult> red = session.SolveLp(lp, query);
     QSC_CHECK_OK(red);
@@ -136,6 +139,7 @@ std::vector<RunMetrics> RunCentralityPipeline(const Graph& g,
     QueryOptions query;  // paper defaults: alpha=beta=1
     query.max_colors = budget;
     query.split_mean = options.split_mean;
+    query.backend = options.backend;
     query.seed = options.seed;
     timer.Reset();
     const StatusOr<CentralityQueryResult> approx = session.Centrality(query);

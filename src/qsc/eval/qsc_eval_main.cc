@@ -11,12 +11,16 @@
 // Re-running with the same --seed reproduces identical metric values;
 // only the "timing" objects differ between runs.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "qsc/coloring/backend.h"
 
 #include "qsc/eval/differential.h"
 #include "qsc/eval/json.h"
@@ -43,6 +47,10 @@ void PrintUsage(FILE* out) {
       "  --flow-solver=S        dinic | edmonds-karp | push-relabel\n"
       "  --lp-oracle=S          simplex | interior-point\n"
       "  --split-mean=S         arithmetic | geometric\n"
+      "  --backend=A,B,C        coloring backends to sweep (registered\n"
+      "                         names; default: rothko). Each backend runs\n"
+      "                         every selected workload and gets its own\n"
+      "                         Pareto front in the output\n"
       "  --threads=N            worker threads (metrics are identical for\n"
       "                         any N; default 1)\n"
       "  --flow-lower-bound     also compute the Theorem-6 c^1 bound\n"
@@ -87,6 +95,43 @@ std::vector<ColorId> ParseColorList(const std::string& csv) {
   return out;
 }
 
+std::vector<std::string> ParseBackendList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Canonicalizes and validates --backend values against the registry;
+// exits like the other flag parsers on a name that cannot run.
+std::vector<std::string> ResolveBackends(std::vector<std::string> raw) {
+  ColoringBackendRegistry& registry = ColoringBackendRegistry::Global();
+  if (raw.empty()) raw.push_back("");
+  std::vector<std::string> out;
+  for (const std::string& name : raw) {
+    const StatusOr<std::string> canonical = CanonicalBackendName(name);
+    if (!canonical.ok() || !registry.Contains(*canonical)) {
+      std::string known;
+      for (const std::string& n : registry.Names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      std::fprintf(stderr, "qsc_eval: unknown backend '%s' (registered: %s)\n",
+                   name.c_str(), known.c_str());
+      std::exit(2);
+    }
+    if (std::find(out.begin(), out.end(), *canonical) == out.end()) {
+      out.push_back(*canonical);
+    }
+  }
+  return out;
+}
+
 int ListWorkloads() {
   for (const Workload* w : WorkloadRegistry::Global().List()) {
     std::string budgets;
@@ -101,10 +146,12 @@ int ListWorkloads() {
   return 0;
 }
 
-void WriteReportJson(const DifferentialReport& report, JsonWriter& w) {
+void WriteReportJson(const DifferentialReport& report,
+                     const std::string& backend, JsonWriter& w) {
   w.BeginObject();
   w.KV("workload", report.workload);
   w.KV("area", ApplicationName(report.area));
+  w.KV("backend", backend);
   w.KV("seed", report.seed);
   w.KV("checks", report.checks);
   w.KV("ok", report.ok());
@@ -125,6 +172,7 @@ int Main(int argc, char** argv) {
 
   EvalOptions options;
   std::vector<std::string> names;
+  std::vector<std::string> backends;
   bool list = false, all = false, run_checks = false, pretty = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -157,6 +205,9 @@ int Main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "--colors", &value)) {
       options.color_budgets = ParseColorList(value);
+    } else if (ParseFlag(arg, "--backend", &value)) {
+      const std::vector<std::string> parsed = ParseBackendList(value);
+      backends.insert(backends.end(), parsed.begin(), parsed.end());
     } else if (ParseFlag(arg, "--threads", &value)) {
       char* end = nullptr;
       const long threads = std::strtol(value.c_str(), &end, 10);
@@ -207,6 +258,8 @@ int Main(int argc, char** argv) {
 
   if (list) return ListWorkloads();
 
+  backends = ResolveBackends(std::move(backends));
+
   const WorkloadRegistry& registry = WorkloadRegistry::Global();
   std::vector<const Workload*> selected;
   if (all) {
@@ -240,12 +293,57 @@ int Main(int argc, char** argv) {
               ? "geometric"
               : "arithmetic");
   json.KV("flow_lower_bound", options.compute_flow_lower_bound);
+  json.Key("backends");
+  json.BeginArray();
+  for (const std::string& backend : backends) json.Value(backend);
+  json.EndArray();
   json.EndObject();
 
+  // Every (backend, workload) pair runs once; the flat "results" array
+  // keeps the legacy per-run shape (each record carries its backend) and
+  // "pareto" regroups the same sweeps as per-backend quality/cost fronts.
+  std::vector<std::pair<std::string, std::vector<WorkloadResult>>> swept;
   json.Key("results");
   json.BeginArray();
-  for (const Workload* w : selected) {
-    WriteResultJson(w->Run(options), json);
+  for (const std::string& backend : backends) {
+    options.backend = backend;
+    std::vector<WorkloadResult> results;
+    results.reserve(selected.size());
+    for (const Workload* w : selected) {
+      results.push_back(w->Run(options));
+      WriteResultJson(results.back(), json);
+    }
+    swept.emplace_back(backend, std::move(results));
+  }
+  json.EndArray();
+
+  json.Key("pareto");
+  json.BeginArray();
+  for (const auto& [backend, results] : swept) {
+    json.BeginObject();
+    json.KV("backend", backend);
+    json.Key("fronts");
+    json.BeginArray();
+    for (const WorkloadResult& r : results) {
+      json.BeginObject();
+      json.KV("workload", r.workload);
+      json.KV("area", ApplicationName(r.area));
+      json.Key("points");
+      json.BeginArray();
+      for (const RunMetrics& m : r.runs) {
+        json.BeginObject();
+        json.KV("colors", m.num_colors);
+        json.KV("max_q", m.max_q);
+        json.KV("relative_error", m.relative_error);
+        json.KV("rank_correlation", m.rank_correlation);
+        json.KV("approx_seconds", m.approx_seconds);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
   }
   json.EndArray();
 
@@ -255,13 +353,16 @@ int Main(int argc, char** argv) {
     // rather than reusing the results above — deliberate: the invariant
     // suite stays usable without a prior Run(), and the builtin scenarios
     // are small enough that the duplicated work is negligible.
-    DifferentialRunner runner(options);
     json.Key("differential");
     json.BeginArray();
-    for (const Workload* w : selected) {
-      const DifferentialReport report = runner.Check(*w);
-      checks_ok = checks_ok && report.ok();
-      WriteReportJson(report, json);
+    for (const std::string& backend : backends) {
+      options.backend = backend;
+      DifferentialRunner runner(options);
+      for (const Workload* w : selected) {
+        const DifferentialReport report = runner.Check(*w);
+        checks_ok = checks_ok && report.ok();
+        WriteReportJson(report, backend, json);
+      }
     }
     json.EndArray();
   }

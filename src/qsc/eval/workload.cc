@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "qsc/coloring/backend.h"
 #include "qsc/eval/json.h"
 #include "qsc/eval/pipelines.h"
 #include "qsc/flow/dinic.h"
@@ -106,6 +107,8 @@ void WriteResultJson(const WorkloadResult& result, JsonWriter& w) {
   w.KV("workload", result.workload);
   w.KV("area", ApplicationName(result.area));
   w.KV("seed", result.seed);
+  w.KV("backend", result.backend.empty() ? std::string(kDefaultColoringBackend)
+                                         : result.backend);
   w.Key("runs");
   w.BeginArray();
   for (const RunMetrics& m : result.runs) {
@@ -154,7 +157,7 @@ FlowInstance FlowWorkload::Instantiate(uint64_t seed) const {
 }
 
 WorkloadResult FlowWorkload::Run(const EvalOptions& options) const {
-  WorkloadResult result{name(), area(), options.seed, {}};
+  WorkloadResult result{name(), area(), options.seed, {}, options.backend};
   const FlowInstance instance = Instantiate(options.seed);
   result.runs = RunMaxFlowPipeline(instance, options, BudgetsFor(options));
   return result;
@@ -169,7 +172,7 @@ LpProblem LpWorkload::Instantiate(uint64_t seed) const {
 }
 
 WorkloadResult LpWorkload::Run(const EvalOptions& options) const {
-  WorkloadResult result{name(), area(), options.seed, {}};
+  WorkloadResult result{name(), area(), options.seed, {}, options.backend};
   const LpProblem lp = Instantiate(options.seed);
   result.runs = RunLpPipeline(lp, options, BudgetsFor(options));
   return result;
@@ -184,7 +187,7 @@ Graph CentralityWorkload::Instantiate(uint64_t seed) const {
 }
 
 WorkloadResult CentralityWorkload::Run(const EvalOptions& options) const {
-  WorkloadResult result{name(), area(), options.seed, {}};
+  WorkloadResult result{name(), area(), options.seed, {}, options.backend};
   const Graph g = Instantiate(options.seed);
   result.runs = RunCentralityPipeline(g, options, BudgetsFor(options));
   return result;

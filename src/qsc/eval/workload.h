@@ -64,9 +64,16 @@ struct EvalOptions {
   FlowSolver flow_solver = FlowSolver::kPushRelabel;
   LpOracle lp_oracle = LpOracle::kInteriorPoint;
 
-  // Split-mean rule for the Rothko colorings (paper Sec 5.2).
+  // Split-mean rule for the colorings (paper Sec 5.2).
   RothkoOptions::SplitMean split_mean =
       RothkoOptions::SplitMean::kArithmetic;
+
+  // Compression backend producing the colorings (coloring/backend.h); ""
+  // means the default (rothko). Must canonicalize to a registered name —
+  // the pipelines route it through the Compressor boundary, which
+  // validates. Part of every metric value's provenance: different
+  // backends give different colorings and therefore different metrics.
+  std::string backend;
 
   // Also compute the Theorem-6 lower bound for max-flow workloads
   // (expensive: one maxUFlow bisection per color pair).
@@ -115,6 +122,9 @@ struct WorkloadResult {
   Application area = Application::kMaxFlow;
   uint64_t seed = 0;
   std::vector<RunMetrics> runs;  // one per budget, ascending
+  // Coloring backend the runs used, as recorded from EvalOptions::backend
+  // ("" = default; WriteResultJson serializes the canonical default name).
+  std::string backend;
 };
 
 // Serializes `result` as one JSON object onto `w` (metrics and timings in

@@ -138,17 +138,6 @@ ReducedLp ExtractReducedLp(const LpProblem& lp, const MatrixGraph& mg,
   return out;
 }
 
-RothkoOptions ToRothkoOptions(const LpReduceOptions& options) {
-  RothkoOptions rothko;
-  rothko.max_colors = options.max_colors;
-  rothko.q_tolerance = options.q_tolerance;
-  rothko.alpha = options.alpha;
-  rothko.beta = options.beta;
-  rothko.split_mean = options.split_mean;
-  rothko.pool = options.pool;
-  return rothko;
-}
-
 }  // namespace
 
 class LpColoringRefiner::Impl {
@@ -157,28 +146,33 @@ class LpColoringRefiner::Impl {
       : lp_(&lp),
         options_(options),
         matrix_graph_(BuildMatrixGraph(lp)),
-        refiner_(matrix_graph_.graph, matrix_graph_.initial,
-                 ToRothkoOptions(options)) {}
+        // CanonicalBackendName aborts on malformed names and Create on
+        // unregistered ones; Compressor::SolveLp validates at the API
+        // boundary before constructing a refiner.
+        refiner_(ColoringBackendRegistry::Global().Create(
+            CanonicalBackendName(options.backend).value(),
+            matrix_graph_.graph, matrix_graph_.initial,
+            static_cast<const ColoringParams&>(options))) {}
 
   ReducedLp ReduceTo(ColorId max_colors) {
     QSC_CHECK_GE(max_colors, 4);
     WallTimer timer;
-    while (refiner_.partition().num_colors() < max_colors) {
-      if (!refiner_.Step(max_colors)) break;
+    while (refiner_->partition().num_colors() < max_colors) {
+      if (!refiner_->Step(max_colors)) break;
     }
     coloring_seconds_ += timer.ElapsedSeconds();
-    return ExtractReducedLp(*lp_, matrix_graph_, refiner_.partition(),
-                            options_.variant, refiner_.CurrentMaxError(),
+    return ExtractReducedLp(*lp_, matrix_graph_, refiner_->partition(),
+                            options_.variant, refiner_->CurrentMaxError(),
                             coloring_seconds_);
   }
 
-  ColorId num_colors() const { return refiner_.partition().num_colors(); }
+  ColorId num_colors() const { return refiner_->partition().num_colors(); }
 
  private:
   const LpProblem* lp_;
   LpReduceOptions options_;
   MatrixGraph matrix_graph_;
-  RothkoRefiner refiner_;
+  std::unique_ptr<ColoringBackend> refiner_;
   double coloring_seconds_ = 0.0;
 };
 

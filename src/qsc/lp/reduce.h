@@ -13,8 +13,11 @@
 #define QSC_LP_REDUCE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "qsc/coloring/backend.h"
+#include "qsc/coloring/params.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/lp/model.h"
@@ -26,20 +29,22 @@ enum class LpReduction {
   kGrohe,           // [16]:    A^(r,s) = A(P_r,Q_s)/|Q_s|, b^ = b(P_r)
 };
 
-struct LpReduceOptions {
+// The shared coloring knobs (alpha, beta, q_tolerance, split_mean, pool)
+// come from ColoringParams; the constructor flips alpha to the paper's LP
+// default (alpha=1, beta=0). The pool never changes the reduction.
+struct LpReduceOptions : ColoringParams {
+  LpReduceOptions() { alpha = 1.0; }
+
   // Total number of colors for the bipartite matrix graph, including the
   // two pinned singletons (objective row, rhs column). Must be >= 4.
   ColorId max_colors = 40;
-  double q_tolerance = 0.0;
-  // Witness weighting; the paper uses alpha=1, beta=0 for LPs.
-  double alpha = 1.0;
-  double beta = 0.0;
-  // Split-mean rule for the matrix-graph coloring (paper Sec 5.2).
-  RothkoOptions::SplitMean split_mean = RothkoOptions::SplitMean::kArithmetic;
   LpReduction variant = LpReduction::kSqrtNormalized;
-  // Optional worker pool for the matrix-graph split scoring (not owned;
-  // see RothkoOptions::pool — never changes the reduction).
-  ThreadPool* pool = nullptr;
+
+  // Coloring backend for the matrix graph (coloring/backend.h); "" means
+  // kDefaultColoringBackend. Must canonicalize to a registered backend —
+  // qsc::Compressor::SolveLp validates; direct construction aborts on
+  // malformed or unknown names.
+  std::string backend;
 };
 
 struct ReducedLp {

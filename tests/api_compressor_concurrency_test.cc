@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -368,6 +370,78 @@ TEST(CompressorConcurrencyTest, ConcurrentSolveLpMatchesOracle) {
   EXPECT_EQ(stats.lp_misses, 2);  // one per distinct LP
   EXPECT_EQ(stats.lp_hits + stats.lp_misses + stats.lp_recolorings,
             stats.lp_lookups);
+}
+
+// Distinct coloring backends queried concurrently through one session:
+// thread t hammers backend t mod 3 with mixed up/down budgets. Distinct
+// backends are distinct specs, so they refine concurrently; every served
+// coloring must equal the single-threaded oracle for that (backend,
+// budget), and the per-backend stats rows must reconcile row by row
+// (hits + misses + recolorings == lookups) under any interleaving. The CI
+// TSan leg runs this against the registry's shared state.
+TEST(CompressorConcurrencyTest, ConcurrentDistinctBackendsMatchOracle) {
+  const Graph g = StressGraph();
+  const std::vector<std::string> backends = {"rothko", "lp-rounding",
+                                             "bucket"};
+
+  ThreadPool pool(4);
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g), &pool);
+
+  constexpr int kThreads = 6;
+  const std::vector<ColorId> budgets = {8, 32, 16, 48, 12, 24};
+  std::vector<std::vector<std::pair<ColorId, Partition>>> observations(
+      kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        QueryOptions options;
+        options.backend = backends[t % backends.size()];
+        for (const ColorId budget : budgets) {
+          options.max_colors = budget;
+          const StatusOr<ColoringResult> result = session.Coloring(options);
+          QSC_CHECK_OK(result);
+          observations[t].emplace_back(budget, *result->coloring);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Single-threaded per-backend oracle sessions.
+  for (int t = 0; t < kThreads; ++t) {
+    Compressor oracle(
+        std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+    QueryOptions options;
+    options.backend = backends[t % backends.size()];
+    for (const auto& [budget, coloring] : observations[t]) {
+      options.max_colors = budget;
+      const StatusOr<ColoringResult> want = oracle.Coloring(options);
+      QSC_CHECK_OK(want);
+      ASSERT_TRUE(coloring == *want->coloring)
+          << options.backend << " budget " << budget;
+    }
+  }
+
+  // Per-backend attribution reconciles row by row and sums to the totals.
+  const CacheStats stats = session.stats().coloring;
+  ASSERT_EQ(stats.per_backend.size(), backends.size());
+  int64_t lookups = 0, attributed = 0;
+  for (const auto& [name, row] : stats.per_backend) {
+    EXPECT_EQ(row.hits + row.misses + row.recolorings, row.lookups) << name;
+    EXPECT_EQ(row.lookups,
+              static_cast<int64_t>(budgets.size()) * kThreads /
+                  static_cast<int64_t>(backends.size()))
+        << name;
+    lookups += row.lookups;
+    attributed += row.hits + row.misses + row.recolorings;
+  }
+  EXPECT_EQ(lookups, stats.lookups);
+  EXPECT_EQ(attributed, stats.lookups);
+  EXPECT_EQ(stats.lookups,
+            static_cast<int64_t>(budgets.size()) * kThreads);
 }
 
 }  // namespace

@@ -6,12 +6,15 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "qsc/centrality/color_pivot.h"
+#include "qsc/coloring/backend.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/flow/approx_flow.h"
 #include "qsc/graph/generators.h"
@@ -449,6 +452,191 @@ TEST(CompressorTest, MovedSessionKeepsServing) {
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->telemetry.coloring_cache_hit);
   EXPECT_EQ(after->upper_bound, before->upper_bound);
+}
+
+// --- coloring backends at the boundary ------------------------------------
+
+TEST(CompressorValidationTest, RejectsUnknownAndMalformedBackends) {
+  // Malformed names (cannot canonicalize) are InvalidArgument; well-formed
+  // but unregistered names are NotFound listing the registered set. The
+  // mapping is uniform across all four query kinds.
+  struct Case {
+    std::string backend;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {"no-such-backend", StatusCode::kNotFound},
+      {"rothko2", StatusCode::kNotFound},
+      {"bogus!", StatusCode::kInvalidArgument},
+      {"-rothko", StatusCode::kInvalidArgument},
+      {"two words", StatusCode::kInvalidArgument},
+      {std::string(65, 'a'), StatusCode::kInvalidArgument},
+  };
+
+  FlowInstance instance = TestInstance(3);
+  Compressor flow_session(std::move(instance.graph));
+  Compressor graph_session(TestGraph(19));
+  const LpProblem lp = MakeQapLikeLp(6, 3);
+  for (const Case& c : cases) {
+    QueryOptions query;
+    query.backend = c.backend;
+    EXPECT_EQ(graph_session.Coloring(query).status().code(), c.code)
+        << c.backend;
+    EXPECT_EQ(graph_session.Centrality(query).status().code(), c.code)
+        << c.backend;
+    EXPECT_EQ(flow_session.MaxFlow(instance.source, instance.sink, query)
+                  .status()
+                  .code(),
+              c.code)
+        << c.backend;
+    EXPECT_EQ(flow_session.SolveLp(lp, query).status().code(), c.code)
+        << c.backend;
+  }
+  // Nothing reached the cache.
+  EXPECT_EQ(graph_session.stats().coloring.lookups, 0);
+  EXPECT_EQ(flow_session.stats().lp_lookups, 0);
+}
+
+TEST(CompressorTest, BackendSpellingsCanonicalizeIntoOneCacheEntry) {
+  // "", "rothko", and "  ROTHKO  " are one spec: one miss, then hits
+  // serving the same shared snapshot — the hash-compatibility guarantee
+  // that pre-registry specs keep their cache identity.
+  Compressor session(TestGraph(23));
+  QueryOptions query;
+  query.max_colors = 10;
+  query.backend = "";
+  const auto a = session.Coloring(query);
+  query.backend = "rothko";
+  const auto b = session.Coloring(query);
+  query.backend = "  ROTHKO  ";
+  const auto c = session.Coloring(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->coloring.get(), b->coloring.get());
+  EXPECT_EQ(a->coloring.get(), c->coloring.get());
+  EXPECT_EQ(session.stats().coloring.misses, 1);
+  EXPECT_EQ(session.stats().coloring.hits, 2);
+}
+
+TEST(CompressorTest, DistinctBackendsGetDistinctCacheEntries) {
+  Compressor session(TestGraph(29));
+  QueryOptions query;
+  query.max_colors = 12;
+  std::vector<std::shared_ptr<const Partition>> colorings;
+  for (const char* backend : {"rothko", "lp-rounding", "bucket"}) {
+    query.backend = backend;
+    const auto result = session.Coloring(query);
+    ASSERT_TRUE(result.ok()) << backend;
+    colorings.push_back(result->coloring);
+  }
+  EXPECT_EQ(session.stats().coloring.misses, 3);
+  EXPECT_EQ(session.stats().coloring.hits, 0);
+
+  // Each backend continues its own cached refiner on an up-budget query.
+  query.max_colors = 20;
+  for (const char* backend : {"rothko", "lp-rounding", "bucket"}) {
+    query.backend = backend;
+    const auto result = session.Coloring(query);
+    ASSERT_TRUE(result.ok()) << backend;
+    EXPECT_TRUE(result->telemetry.coloring_cache_hit) << backend;
+    EXPECT_GT(result->telemetry.coloring_splits, 0) << backend;
+  }
+  EXPECT_EQ(session.stats().coloring.misses, 3);
+  EXPECT_EQ(session.stats().coloring.hits, 3);
+}
+
+TEST(CompressorTest, BackendColoringMatchesDirectBackendRun) {
+  // A session query routed by name is bit-identical to driving the
+  // registry-created backend directly at the same budget.
+  Graph g = TestGraph(31);
+  const ColorId budget = 14;
+  for (const char* backend_name : {"lp-rounding", "bucket"}) {
+    const std::unique_ptr<ColoringBackend> direct =
+        ColoringBackendRegistry::Global().Create(
+            backend_name, g, Partition::Trivial(g.num_nodes()), {});
+    while (direct->partition().num_colors() < budget &&
+           direct->Step(budget)) {
+    }
+
+    Compressor session(std::shared_ptr<const Graph>(
+        std::shared_ptr<const Graph>(), &g));
+    QueryOptions query;
+    query.max_colors = budget;
+    query.backend = backend_name;
+    const auto result = session.Coloring(query);
+    ASSERT_TRUE(result.ok()) << backend_name;
+    ASSERT_EQ(result->coloring->num_colors(),
+              direct->partition().num_colors())
+        << backend_name;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(result->coloring->ColorOf(v), direct->partition().ColorOf(v))
+          << backend_name;
+    }
+  }
+}
+
+TEST(CompressorTest, PerBackendStatsReconcile) {
+  // The documented reconciliation invariant: per backend row AND in total,
+  // hits + misses + recolorings == lookups; the per-backend columns sum to
+  // the totals. Exercises all four attribution sites per backend: miss,
+  // continuation hit, served hit, down-budget recoloring.
+  Compressor session(TestGraph(37));
+  for (const char* backend : {"", "lp-rounding", "bucket"}) {
+    QueryOptions query;
+    query.backend = backend;
+    query.max_colors = 8;
+    ASSERT_TRUE(session.Coloring(query).ok());  // miss
+    query.max_colors = 16;
+    ASSERT_TRUE(session.Coloring(query).ok());  // hit (continuation)
+    ASSERT_TRUE(session.Coloring(query).ok());  // hit (served snapshot)
+    query.max_colors = 6;
+    ASSERT_TRUE(session.Coloring(query).ok());  // down-budget recoloring
+  }
+  const CacheStats stats = session.stats().coloring;
+  ASSERT_EQ(stats.per_backend.size(), 3u);  // "" accounted under "rothko"
+  ASSERT_EQ(stats.per_backend.count("rothko"), 1u);
+  int64_t lookups = 0, hits = 0, misses = 0, recolorings = 0, splits = 0;
+  for (const auto& [name, row] : stats.per_backend) {
+    EXPECT_EQ(row.hits + row.misses + row.recolorings, row.lookups) << name;
+    EXPECT_EQ(row.lookups, 4) << name;
+    EXPECT_EQ(row.misses, 1) << name;
+    EXPECT_EQ(row.hits, 2) << name;
+    EXPECT_EQ(row.recolorings, 1) << name;
+    EXPECT_GT(row.refine_splits, 0) << name;
+    lookups += row.lookups;
+    hits += row.hits;
+    misses += row.misses;
+    recolorings += row.recolorings;
+    splits += row.refine_splits;
+  }
+  EXPECT_EQ(lookups, stats.lookups);
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+  EXPECT_EQ(recolorings, stats.recolorings);
+  EXPECT_EQ(splits, stats.refine_splits);
+  EXPECT_EQ(stats.hits + stats.misses + stats.recolorings, stats.lookups);
+}
+
+TEST(CompressorTest, SolveLpRoutesBackendToTheMatrixColoring) {
+  // Distinct backends are distinct LP cache sessions; the same backend
+  // re-queried is a hit.
+  Compressor session;
+  const LpProblem lp = MakeQapLikeLp(6, 3);
+  QueryOptions query;
+  query.max_colors = 12;
+  query.backend = "bucket";
+  const auto bucket = session.SolveLp(lp, query);
+  ASSERT_TRUE(bucket.ok());
+  ASSERT_TRUE(session.SolveLp(lp, query).ok());
+  query.backend = "rothko";
+  const auto rothko = session.SolveLp(lp, query);
+  ASSERT_TRUE(rothko.ok());
+  EXPECT_EQ(session.stats().lp_misses, 2);
+  EXPECT_EQ(session.stats().lp_hits, 1);
+  // Both reductions lift to a well-formed solution of the original LP.
+  EXPECT_EQ(bucket->lifted_x.size(), static_cast<size_t>(lp.num_cols));
+  EXPECT_EQ(rothko->lifted_x.size(), static_cast<size_t>(lp.num_cols));
 }
 
 }  // namespace
