@@ -21,14 +21,17 @@ ColoringParams ToColoringParams(const ColoringSpec& spec, ThreadPool* pool) {
   return params;
 }
 
-// Builds the spec's live backend; aborts on unregistered names (the
-// Compressor boundary validates before a spec reaches the cache).
-std::unique_ptr<ColoringBackend> MakeBackend(const Graph& graph,
-                                             const ColoringSpec& spec,
-                                             ThreadPool* pool) {
-  return ColoringBackendRegistry::Global().Create(
-      api_internal::BackendOrDefault(spec.backend), graph,
-      InitialPartition(spec, graph.num_nodes()),
+// Builds the spec's live backend, wrapped in an IncrementalRecolorer so
+// edit batches can repair it in place (ApplyGraph). While the graph is
+// frozen the wrapper is pure delegation — bit-identical to the raw
+// backend. Aborts on unregistered names (the Compressor boundary
+// validates before a spec reaches the cache).
+std::unique_ptr<dynamic::IncrementalRecolorer> MakeBackend(
+    const std::shared_ptr<const Graph>& graph, const ColoringSpec& spec,
+    ThreadPool* pool) {
+  return std::make_unique<dynamic::IncrementalRecolorer>(
+      graph, api_internal::BackendOrDefault(spec.backend),
+      InitialPartition(spec, graph->num_nodes()),
       ToColoringParams(spec, pool));
 }
 
@@ -79,8 +82,9 @@ struct ColoringCache::Entry {
 
   // Built lazily under `mutex` on first use, so inserting the map slot
   // (under the cache-wide unique lock) stays O(1) and never blocks other
-  // specs behind a graph scan. The concrete type is the spec's backend.
-  std::unique_ptr<ColoringBackend> refiner;
+  // specs behind a graph scan. The wrapper holds the spec's backend and
+  // gives ApplyGraph its repair verb.
+  std::unique_ptr<dynamic::IncrementalRecolorer> refiner;
 
   // Colors of the spec's initial partition (pins + 1); no budget can go
   // below this, exactly as in RothkoRefiner::Run().
@@ -178,9 +182,14 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   // eviction scan — it runs under the unique lock and skips active
   // entries — from dropping an entry a request is about to refine.
   std::shared_ptr<Entry> entry;
+  // The graph this request refines against, snapshotted under the map
+  // lock (never under an entry mutex — ApplyGraph holds the map lock
+  // while acquiring entry mutexes, so the reverse order would deadlock).
+  std::shared_ptr<const Graph> graph;
   bool found = true;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    graph = graph_;
     const auto it = entries_.find(spec);
     if (it != entries_.end()) {
       entry = it->second;
@@ -189,6 +198,7 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   }
   if (entry == nullptr) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
+    graph = graph_;
     const auto [it, inserted] = entries_.try_emplace(spec, nullptr);
     if (inserted) it->second = std::make_shared<Entry>();
     found = !inserted;
@@ -212,7 +222,7 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   {
     std::lock_guard<std::mutex> entry_lock(entry->mutex);
     if (entry->refiner == nullptr) {
-      entry->refiner = MakeBackend(*graph_, spec, pool_);
+      entry->refiner = MakeBackend(graph, spec, pool_);
       entry->initial_colors = entry->refiner->partition().num_colors();
     }
 
@@ -236,8 +246,8 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
         handle.partition = served->second.first;
         handle.max_error = served->second.second;
       } else {
-        std::unique_ptr<ColoringBackend> fresh =
-            MakeBackend(*graph_, spec, pool_);
+        std::unique_ptr<dynamic::IncrementalRecolorer> fresh =
+            MakeBackend(graph, spec, pool_);
         const ColorId initial = fresh->partition().num_colors();
         while (fresh->partition().num_colors() < budget &&
                fresh->Step(budget)) {
@@ -293,6 +303,69 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   FinishUse(entry, entry_bytes);
   handle.seconds = timer.ElapsedSeconds();
   return handle;
+}
+
+ColoringCache::EditApplyStats ColoringCache::ApplyGraph(
+    std::shared_ptr<const Graph> new_graph,
+    const std::vector<dynamic::EditOp>& edits,
+    const dynamic::RepairOptions& options) {
+  QSC_CHECK(new_graph != nullptr);
+  QSC_CHECK_EQ(new_graph->num_nodes(), graph_->num_nodes());
+  EditApplyStats result;
+  // (backend row, repaired?) per visited entry, applied to the stats
+  // after the map lock drops.
+  std::vector<std::pair<std::string, bool>> attributions;
+  {
+    // The unique map lock serializes against every Refine(); entry
+    // mutexes are acquired inside it, which is safe because Refine never
+    // waits on the map lock while holding an entry mutex.
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    graph_ = std::move(new_graph);
+    for (auto& [spec, entry] : entries_) {
+      std::lock_guard<std::mutex> entry_lock(entry->mutex);
+      if (entry->refiner == nullptr) {
+        // Never refined: nothing to repair. The next Refine() builds it
+        // over the new graph.
+        continue;
+      }
+      const dynamic::RepairOutcome outcome =
+          entry->refiner->ApplyGraph(graph_, edits, options);
+      entry->converged = outcome.converged;
+      // Snapshots of the old graph's colorings must not be served again.
+      entry->head = nullptr;
+      entry->served.clear();
+      ++result.entries;
+      if (outcome.repaired) {
+        ++result.repairs;
+        result.repair_splits += outcome.splits;
+      } else {
+        ++result.fallbacks;
+      }
+      attributions.emplace_back(api_internal::BackendOrDefault(spec.backend),
+                                outcome.repaired);
+      const int64_t new_bytes = entry->MemoryBytes();
+      total_bytes_ += new_bytes - entry->bytes;
+      entry->bytes = new_bytes;
+      if (total_bytes_ > peak_bytes_) peak_bytes_ = total_bytes_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.edit_batches;
+    stats_.edits_applied += static_cast<int64_t>(edits.size());
+    stats_.repairs += result.repairs;
+    stats_.fallbacks += result.fallbacks;
+    stats_.repair_splits += result.repair_splits;
+    for (const auto& [backend_name, repaired] : attributions) {
+      CacheStats::BackendStats& row = stats_.per_backend[backend_name];
+      if (repaired) {
+        ++row.repairs;
+      } else {
+        ++row.fallbacks;
+      }
+    }
+  }
+  return result;
 }
 
 void ColoringCache::FinishUse(const std::shared_ptr<Entry>& entry,

@@ -56,6 +56,8 @@
 #include "qsc/coloring/backend.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
+#include "qsc/dynamic/edit_stream.h"
+#include "qsc/dynamic/incremental.h"
 #include "qsc/graph/graph.h"
 
 namespace qsc {
@@ -127,6 +129,8 @@ struct CacheStats {
     int64_t misses = 0;
     int64_t recolorings = 0;
     int64_t refine_splits = 0;
+    int64_t repairs = 0;    // entries repaired in place across edit batches
+    int64_t fallbacks = 0;  // entries reset for from-scratch recoloring
   };
 
   int64_t lookups = 0;       // coloring requests served
@@ -138,6 +142,15 @@ struct CacheStats {
   int64_t evictions = 0;     // entries evicted to satisfy the byte budget
   int64_t bytes_in_use = 0;  // tracked footprint of all current entries
   int64_t peak_bytes = 0;    // high-water mark of bytes_in_use
+
+  // Dynamic-graph telemetry (ApplyGraph; docs/DYNAMIC.md). Every live
+  // entry of an edit batch is attributed to exactly one of
+  // {repair, fallback}, so repairs + fallbacks counts entry-batch pairs.
+  int64_t edit_batches = 0;   // ApplyGraph calls
+  int64_t edits_applied = 0;  // single-edge edits across all batches
+  int64_t repairs = 0;        // entries repaired in place
+  int64_t fallbacks = 0;      // entries reset for from-scratch recoloring
+  int64_t repair_splits = 0;  // witness splits spent by successful repairs
 
   // Per-backend breakdown of the five attribution counters above; the
   // column sums over all rows equal the totals.
@@ -201,8 +214,38 @@ class ColoringCache {
   // coloring/backend.h).
   Handle Refine(const ColoringSpec& spec, ColorId budget);
 
+  // Aggregate outcome of one ApplyGraph call.
+  struct EditApplyStats {
+    int64_t entries = 0;  // live entries visited (repairs + fallbacks)
+    int64_t repairs = 0;
+    int64_t fallbacks = 0;
+    int64_t repair_splits = 0;
+  };
+
+  // Dynamic serving (docs/DYNAMIC.md): swaps in the already-mutated graph
+  // (`edits` is the batch that produced it) and repairs every live entry
+  // in place via IncrementalRecolorer::ApplyGraph — tolerance-bounded
+  // specs are re-split locally under `options.max_repair_splits`,
+  // everything else resets for a from-scratch recoloring that later
+  // Refine() calls perform lazily and bit-identically to a fresh cache
+  // over the new graph. Served snapshots of the old graph are dropped.
+  //
+  // Takes the cache-wide unique lock for the whole call, so it serializes
+  // against every Refine(); qsc::Compressor additionally guarantees no
+  // query is mid-flight (its session lock), which keeps a query's
+  // coloring and solve on one graph version.
+  EditApplyStats ApplyGraph(std::shared_ptr<const Graph> new_graph,
+                            const std::vector<dynamic::EditOp>& edits,
+                            const dynamic::RepairOptions& options);
+
+  // The current graph. ApplyGraph replaces it, so the reference from
+  // graph() is only stable between edit batches; shared_graph() snapshots
+  // shared ownership under the map lock and is always safe.
   const Graph& graph() const { return *graph_; }
-  const std::shared_ptr<const Graph>& shared_graph() const { return graph_; }
+  std::shared_ptr<const Graph> shared_graph() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return graph_;
+  }
 
   // Snapshot of the amortization counters (consistent under concurrency).
   CacheStats stats() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -166,6 +167,7 @@ class Compressor::Impl {
   }
 
   StatusOr<ColoringResult> Coloring(const QueryOptions& options) {
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
     QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
@@ -181,11 +183,13 @@ class Compressor::Impl {
     result.coloring = handle.partition;
     result.max_q = handle.max_error;
     result.telemetry = TelemetryFor(handle);
+    result.telemetry.graph_version = graph_version_;
     return result;
   }
 
   StatusOr<FlowQueryResult> MaxFlow(NodeId source, NodeId sink,
                                     const QueryOptions& options) {
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateFlowQuery(source, sink, options));
     return MaxFlowUnchecked(source, sink, options);
@@ -194,6 +198,10 @@ class Compressor::Impl {
   StatusOr<std::vector<FlowQueryResult>> MaxFlowBatch(
       const std::vector<std::pair<NodeId, NodeId>>& st_pairs,
       const QueryOptions& options) {
+    // The batch holds the session reader lock for its whole fan-out;
+    // MaxFlowUnchecked runs on pool workers, whose tasks the pool
+    // synchronizes with this thread, so the lock covers them too.
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     // Fail fast: validate every pair before serving any query, so a batch
     // either runs whole or not at all.
@@ -219,6 +227,10 @@ class Compressor::Impl {
 
   StatusOr<LpQueryResult> SolveLp(const LpProblem& lp,
                                   const QueryOptions& options) {
+    // LP colorings key on LP content, not the session graph, so edits
+    // never invalidate them; the reader lock is only for the version
+    // stamp and the uniform queries-concurrent/edits-exclusive contract.
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
     QSC_RETURN_IF_ERROR(ValidateLp(lp));
     if (options.max_colors < 4) {
@@ -313,10 +325,12 @@ class Compressor::Impl {
       result.lifted_x = LiftSolution(result.reduced, result.solution.x);
     }
     result.telemetry.solve_seconds = timer.ElapsedSeconds();
+    result.telemetry.graph_version = graph_version_;
     return result;
   }
 
   StatusOr<CentralityQueryResult> Centrality(const QueryOptions& options) {
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
     QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
@@ -338,12 +352,55 @@ class Compressor::Impl {
     result.coloring = handle.partition;
     result.num_colors = handle.partition->num_colors();
     result.telemetry = TelemetryFor(handle);
+    result.telemetry.graph_version = graph_version_;
     WallTimer timer;
     result.scores =
         ColorPivotScores(*graph_, *handle.partition, options.pivots_per_color,
                          options.seed, pool_);
     result.telemetry.solve_seconds = timer.ElapsedSeconds();
     return result;
+  }
+
+  StatusOr<EditApplyResult> ApplyEdits(const std::vector<dynamic::EditOp>& edits,
+                                       const EditApplyOptions& options) {
+    if (options.max_repair_splits < 0) {
+      return Status::InvalidArgument(
+          "max_repair_splits must be >= 0; got " +
+          std::to_string(options.max_repair_splits));
+    }
+    if (edits.empty()) {
+      return Status::InvalidArgument("empty edit batch");
+    }
+    WallTimer timer;
+    // Writer lock: no query is mid-flight while the graph version
+    // changes, so a query's coloring and solve always agree on one graph.
+    const std::unique_lock<std::shared_mutex> session_lock(session_mutex_);
+    QSC_RETURN_IF_ERROR(RequireGraph());
+    StatusOr<Graph> mutated = dynamic::ApplyEditBatch(*graph_, edits);
+    if (!mutated.ok()) return mutated.status();
+    auto new_graph =
+        std::make_shared<const Graph>(std::move(mutated).value());
+
+    dynamic::RepairOptions repair;
+    repair.max_repair_splits = options.max_repair_splits;
+    const ColoringCache::EditApplyStats repaired =
+        cache_->ApplyGraph(new_graph, edits, repair);
+    graph_ = std::move(new_graph);
+    ++graph_version_;
+
+    EditApplyResult result;
+    result.edits_applied = static_cast<int64_t>(edits.size());
+    result.repairs = repaired.repairs;
+    result.fallbacks = repaired.fallbacks;
+    result.repair_splits = repaired.repair_splits;
+    result.graph_version = graph_version_;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  int64_t graph_version() const {
+    const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
+    return graph_version_;
   }
 
   CompressorStats stats() const {
@@ -451,6 +508,7 @@ class Compressor::Impl {
     result.coloring = handle.partition;
     result.num_colors = p.num_colors();
     result.telemetry = TelemetryFor(handle);
+    result.telemetry.graph_version = graph_version_;
 
     WallTimer timer;
     const ColorId source_color = p.ColorOf(source);
@@ -482,7 +540,12 @@ class Compressor::Impl {
     return result;
   }
 
+  // Queries hold this shared for their whole duration; ApplyEdits holds
+  // it unique while it swaps graph_, repairs the cache, and bumps
+  // graph_version_ (both fields are guarded by it).
+  mutable std::shared_mutex session_mutex_;
   std::shared_ptr<const Graph> graph_;
+  int64_t graph_version_ = 0;
   ThreadPool* pool_;
   std::unique_ptr<ColoringCache> cache_;
 
@@ -535,6 +598,13 @@ StatusOr<CentralityQueryResult> Compressor::Centrality(
     const QueryOptions& options) {
   return impl_->Centrality(options);
 }
+
+StatusOr<EditApplyResult> Compressor::ApplyEdits(
+    const std::vector<dynamic::EditOp>& edits, const EditApplyOptions& options) {
+  return impl_->ApplyEdits(edits, options);
+}
+
+int64_t Compressor::graph_version() const { return impl_->graph_version(); }
 
 CompressorStats Compressor::stats() const { return impl_->stats(); }
 

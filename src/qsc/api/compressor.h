@@ -21,6 +21,15 @@
 // Construction, move, and destruction are not thread-safe; publish the
 // session to worker threads with the usual happens-before edge.
 //
+// Dynamic graphs (docs/DYNAMIC.md): ApplyEdits mutates the session graph
+// in place and repairs the cached colorings instead of discarding them.
+// It takes the session's writer lock while queries hold it shared, so
+// edits serialize against queries (each query runs wholly on one graph
+// version, stamped into its telemetry) and ApplyEdits may race queries
+// safely — every result equals the same query issued before or after the
+// batch. The reference from graph() is only stable until the next
+// ApplyEdits; capture what you need, not the reference, across edits.
+//
 // Constructed with a ThreadPool, the session also parallelizes inside
 // queries: Rothko split scoring, MaxFlowBatch fan-out, and the Centrality
 // pivot passes all run on the pool, again with bit-identical results for
@@ -40,6 +49,7 @@
 #include "qsc/api/coloring_cache.h"
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
+#include "qsc/dynamic/edit_stream.h"
 #include "qsc/graph/graph.h"
 #include "qsc/lp/model.h"
 #include "qsc/lp/reduce.h"
@@ -109,6 +119,10 @@ struct QueryTelemetry {
   // near zero on a cache hit — and of the solve that followed.
   double coloring_seconds = 0.0;
   double solve_seconds = 0.0;
+  // Session graph version this query ran against: 0 for the construction
+  // graph, +1 per ApplyEdits batch. A query's coloring and solve always
+  // share one version (the session lock).
+  int64_t graph_version = 0;
 };
 
 // Result of Compressor::Coloring.
@@ -149,14 +163,34 @@ struct CentralityQueryResult {
   QueryTelemetry telemetry;
 };
 
-// Session-level cache statistics: the graph-coloring cache plus the
-// SolveLp matrix-coloring cache.
+// Session-level cache statistics: the graph-coloring cache (including the
+// dynamic repairs/fallbacks/edits_applied telemetry) plus the SolveLp
+// matrix-coloring cache.
 struct CompressorStats {
-  CacheStats coloring;   // ColoringCache counters (hits/misses/splits)
+  CacheStats coloring;   // ColoringCache counters (hits/misses/splits,
+                         // edit_batches/edits_applied/repairs/fallbacks)
   int64_t lp_lookups = 0;
   int64_t lp_hits = 0;   // SolveLp reused a cached matrix-graph refiner
   int64_t lp_misses = 0;
   int64_t lp_recolorings = 0;  // down-budget SolveLp recomputes
+};
+
+// Per-batch knobs for ApplyEdits.
+struct EditApplyOptions {
+  // Repair split budget per cached coloring (dynamic::RepairOptions):
+  // a tolerance-bounded entry whose repair would need more splits falls
+  // back to from-scratch recoloring instead.
+  int64_t max_repair_splits = 256;
+};
+
+// Outcome of one ApplyEdits batch.
+struct EditApplyResult {
+  int64_t edits_applied = 0;  // single-edge edits in this batch
+  int64_t repairs = 0;        // cached colorings repaired in place
+  int64_t fallbacks = 0;      // cached colorings reset to scratch
+  int64_t repair_splits = 0;  // witness splits the repairs spent
+  int64_t graph_version = 0;  // session graph version after this batch
+  double seconds = 0.0;       // wall-clock cost of the whole batch
 };
 
 class ThreadPool;
@@ -233,6 +267,27 @@ class Compressor {
   // to ApproximateBetweenness at the same options. Defaults:
   // alpha = beta = 1.
   StatusOr<CentralityQueryResult> Centrality(const QueryOptions& options = {});
+
+  // Applies one edit batch to the session graph (docs/DYNAMIC.md). The
+  // batch is validated and applied all-or-nothing via
+  // dynamic::ApplyEditBatch — an invalid edit (duplicate insert, absent
+  // delete/update, bad endpoint or weight) fails the whole call with the
+  // graph unchanged. On success every cached coloring is repaired in
+  // place or reset for from-scratch recoloring (the repair/fallback
+  // contract of dynamic/incremental.h), the graph version increments, and
+  // all five query kinds keep serving: post-batch results are identical
+  // to the same queries against a fresh session on the mutated graph,
+  // never worse than max(q_tolerance, scratch error) on the coloring.
+  // Safe to call concurrently with queries (it takes the session writer
+  // lock); concurrent ApplyEdits calls serialize. Rejects an empty batch
+  // and, on an LP-only or empty-graph session, FailedPrecondition.
+  // SolveLp's matrix-coloring cache keys on LP content, not the session
+  // graph, so it is unaffected by edits.
+  StatusOr<EditApplyResult> ApplyEdits(const std::vector<dynamic::EditOp>& edits,
+                                       const EditApplyOptions& options = {});
+
+  // Number of ApplyEdits batches applied so far (0 = construction graph).
+  int64_t graph_version() const;
 
   // Snapshot of the session counters (consistent under concurrency).
   CompressorStats stats() const;

@@ -316,14 +316,25 @@ CompareReport CompareBenchReports(const JsonValue& baseline,
     return nullptr;
   };
 
+  // Scenario-set asymmetries are collected and reported as one aggregate
+  // violation in counters-only mode (the set mismatch is the finding, not
+  // any single scenario), and per-scenario otherwise.
+  std::vector<std::string> baseline_only;
+  std::vector<std::string> current_only;
+
   for (const JsonValue& base_s : base_scenarios->array) {
     const JsonValue* name_value = base_s.Get("name");
     if (name_value == nullptr) continue;
     const std::string& name = name_value->string_value;
     const JsonValue* cur_s = find_current(name);
     if (cur_s == nullptr) {
-      report.violations.push_back(
-          {name, "scenario present in baseline but missing from current run"});
+      if (options.counters_only) {
+        baseline_only.push_back(name);
+      } else {
+        report.violations.push_back(
+            {name,
+             "scenario present in baseline but missing from current run"});
+      }
       continue;
     }
     ++report.compared;
@@ -380,16 +391,38 @@ CompareReport CompareBenchReports(const JsonValue& baseline,
     }
     if (!in_baseline) {
       if (options.counters_only) {
-        // Counter-identity runs come from one binary: a scenario present
-        // on one side only means the two runs did different work.
-        report.violations.push_back(
-            {n->string_value,
-             "scenario present in current run but missing from baseline"});
+        current_only.push_back(n->string_value);
       } else {
         report.notes.push_back(n->string_value +
                                ": new scenario (not in baseline)");
       }
     }
+  }
+
+  // Counter-identity runs come from one binary: a scenario present on one
+  // side only means the two runs did different work, so the whole set
+  // mismatch is one violation with every offending name spelled out.
+  if (!baseline_only.empty() || !current_only.empty()) {
+    std::string detail = "scenario sets differ";
+    const auto append_list = [&detail](const char* label,
+                                       const std::vector<std::string>& names) {
+      if (names.empty()) return;
+      detail += "; only in ";
+      detail += label;
+      detail += ": ";
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (i > 0) detail += ", ";
+        detail += names[i];
+      }
+    };
+    append_list("baseline", baseline_only);
+    append_list("current", current_only);
+    detail +=
+        " — counter identity needs both reports to cover the same "
+        "scenarios; if scenarios were intentionally added or removed, "
+        "re-record the committed baseline (docs/BENCHMARKING.md, "
+        "\"Updating baselines\")";
+    report.violations.push_back({"", std::move(detail)});
   }
 
   return report;

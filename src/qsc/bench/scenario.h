@@ -128,6 +128,12 @@ void RegisterFlowScenarios();
 // per-backend Pareto counters. Called by RegisterBuiltinScenarios().
 void RegisterBackendScenarios();
 
+// The "dynamic" group (scenarios_dynamic.cc): seeded edit-stream churn
+// against a Compressor session — repair-path serving vs from-scratch
+// recompute, with the incremental-vs-scratch q-error drift gated at
+// exactly zero. Called by RegisterBuiltinScenarios().
+void RegisterDynamicScenarios();
+
 }  // namespace bench
 }  // namespace qsc
 

@@ -694,6 +694,7 @@ void RegisterBuiltinScenarios() {
     RegisterServingScenarios();
     RegisterFlowScenarios();
     RegisterBackendScenarios();
+    RegisterDynamicScenarios();
     return true;
   }();
   (void)registered;

@@ -12,6 +12,7 @@
 #include "qsc/centrality/color_pivot.h"
 #include "qsc/coloring/backend.h"
 #include "qsc/coloring/rothko.h"
+#include "qsc/dynamic/incremental.h"
 #include "qsc/flow/min_cut.h"
 #include "qsc/lp/reduce.h"
 #include "qsc/util/stats.h"
@@ -56,6 +57,20 @@ bool ResolveBackendName(const std::string& raw, std::string* canonical,
 // shared_ptr constructor; the instance outlives the session here).
 std::shared_ptr<const Graph> Borrow(const Graph& g) {
   return std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g);
+}
+
+// Budget-capped anytime refinement — the ColoringCache's up-budget loop.
+void RefineTo(ColoringBackend& backend, ColorId budget) {
+  while (backend.partition().num_colors() < budget && backend.Step(budget)) {
+  }
+}
+
+bool SamePartition(const Partition& a, const Partition& b, NodeId n) {
+  bool identical = a.num_colors() == b.num_colors();
+  for (NodeId v = 0; identical && v < n; ++v) {
+    identical = a.ColorOf(v) == b.ColorOf(v);
+  }
+  return identical;
 }
 
 }  // namespace
@@ -381,6 +396,88 @@ DifferentialReport DifferentialRunner::CheckCentrality(
   }
 
   CheckColoringAnytime(g, /*alpha=*/1.0, /*beta=*/1.0, report);
+  return report;
+}
+
+DifferentialReport DifferentialRunner::CheckDynamic(
+    const Graph& g, const DynamicCheckOptions& dyn) const {
+  DifferentialReport report;
+  report.workload = "dynamic/incremental-recoloring";
+  report.seed = options_.seed;
+  Checker check{&report};
+  std::string name;
+  if (!ResolveBackendName(options_.backend, &name, check)) return report;
+
+  const std::vector<ColorId> budgets = NormalizeBudgets(
+      options_.color_budgets.empty() ? std::vector<ColorId>{4, 8, 16, 32}
+                                     : options_.color_budgets);
+  ColoringParams params;
+  params.split_mean = options_.split_mean;
+  params.q_tolerance = dyn.q_tolerance;
+
+  const StatusOr<std::vector<std::vector<dynamic::EditOp>>> batches =
+      dynamic::GenerateEditBatches(g, dyn.stream);
+  check.Expect(batches.ok(), "dynamic/edit-stream-generates",
+               batches.ok() ? "" : batches.status().ToString());
+  if (!batches.ok()) return report;
+
+  const NodeId n = g.num_nodes();
+  auto current = std::make_shared<const Graph>(g);
+  dynamic::IncrementalRecolorer inc(current, name, Partition::Trivial(n),
+                                    params);
+  // Warm to the top budget, as a session serving the sweep would.
+  for (const ColorId budget : budgets) RefineTo(inc, budget);
+
+  ColoringBackendRegistry& registry = ColoringBackendRegistry::Global();
+  dynamic::RepairOptions repair;
+  repair.max_repair_splits = dyn.max_repair_splits;
+
+  for (size_t bi = 0; bi < batches->size(); ++bi) {
+    const std::vector<dynamic::EditOp>& batch = (*batches)[bi];
+    StatusOr<Graph> next = dynamic::ApplyEditBatch(*current, batch);
+    check.Expect(next.ok(), "dynamic/edit-batch-applies",
+                 next.ok() ? "" : next.status().ToString());
+    if (!next.ok()) return report;
+    current = std::make_shared<const Graph>(std::move(next).value());
+
+    const dynamic::RepairOutcome outcome =
+        inc.ApplyGraph(current, batch, repair);
+    check.Expect(outcome.repaired == outcome.converged,
+                 "dynamic/repair-outcome-consistent",
+                 Fmt("repaired %.0f but converged %.0f",
+                     outcome.repaired ? 1.0 : 0.0,
+                     outcome.converged ? 1.0 : 0.0));
+    check.Expect(dyn.q_tolerance > 0.0 || !outcome.repaired,
+                 "dynamic/zero-tolerance-falls-back",
+                 "q_tolerance = 0 batch reported a repair");
+    check.Expect(outcome.repaired || outcome.splits == 0,
+                 "dynamic/fallback-spends-no-splits",
+                 Fmt("fallback reported %.0f repair splits",
+                     static_cast<double>(outcome.splits), 0.0));
+
+    // A from-scratch refiner on the mutated graph, swept over the same
+    // ascending budgets the incremental side serves.
+    std::unique_ptr<ColoringBackend> scratch =
+        registry.Create(name, *current, Partition::Trivial(n), params);
+    for (const ColorId budget : budgets) {
+      RefineTo(inc, budget);
+      RefineTo(*scratch, budget);
+      const double q_inc = inc.CurrentMaxError();
+      const double q_scratch = scratch->CurrentMaxError();
+      check.Expect(q_inc <= std::max(q_scratch, dyn.q_tolerance),
+                   "dynamic/q-error-bound",
+                   Fmt("incremental q %.12g above max(scratch %.12g, tol)",
+                       q_inc, q_scratch));
+      if (!outcome.repaired) {
+        check.Expect(
+            SamePartition(inc.partition(), scratch->partition(), n),
+            "dynamic/fallback-bitwise-scratch",
+            Fmt("fallback partition differs from scratch at budget %.0f "
+                "(batch %.0f)",
+                static_cast<double>(budget), static_cast<double>(bi)));
+      }
+    }
+  }
   return report;
 }
 

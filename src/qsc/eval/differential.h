@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "qsc/dynamic/edit_stream.h"
 #include "qsc/eval/workload.h"
 #include "qsc/graph/generators.h"
 #include "qsc/graph/graph.h"
@@ -45,6 +46,18 @@
 
 namespace qsc {
 namespace eval {
+
+// Knobs for DifferentialRunner::CheckDynamic: a seeded edit stream
+// replayed over the instance graph, with the repair contract of
+// dynamic/incremental.h under test.
+struct DynamicCheckOptions {
+  dynamic::EditStreamOptions stream;
+  int64_t max_repair_splits = 256;
+  // Tolerance of the coloring spec under test. > 0 enables the repair
+  // path; 0 forces every batch onto the fallback, whose lazy recompute
+  // must then be bitwise identical to from-scratch refinement.
+  double q_tolerance = 1.0;
+};
 
 struct InvariantViolation {
   std::string invariant;  // short id, e.g. "flow/solver-agreement"
@@ -80,6 +93,18 @@ class DifferentialRunner {
                              std::vector<ColorId> budgets) const;
   DifferentialReport CheckCentrality(const Graph& g,
                                      std::vector<ColorId> budgets) const;
+
+  // Incremental-recoloring oracle (docs/DYNAMIC.md): replays the seeded
+  // edit stream over `g` through an IncrementalRecolorer on the selected
+  // backend and checks, at every checkpoint and every budget of the
+  // options' sweep (ascending), the dynamic serving bound
+  //     q_incremental <= max(q_scratch, q_tolerance)
+  // against a fresh from-scratch refiner on the mutated graph — exactly,
+  // not within a tolerance. Batches that fall back (and every batch at
+  // q_tolerance = 0) must additionally reproduce the scratch partition
+  // bit for bit at every budget.
+  DifferentialReport CheckDynamic(const Graph& g,
+                                  const DynamicCheckOptions& dyn) const;
 
  private:
   void CheckColoringAnytime(const Graph& g, double alpha, double beta,

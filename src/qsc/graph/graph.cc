@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace qsc {
 namespace {
@@ -179,6 +180,160 @@ double Graph::ArcWeight(NodeId u, NodeId v) const {
       });
   if (it != range.end() && it->node == v) return it->weight;
   return 0.0;
+}
+
+namespace {
+
+std::string ArcName(NodeId u, NodeId v) {
+  return "(" + std::to_string(u) + ", " + std::to_string(v) + ")";
+}
+
+Status CheckEndpoints(NodeId u, NodeId v, NodeId num_nodes) {
+  if (u < 0 || u >= num_nodes) {
+    return Status::InvalidArgument(
+        "source node " + std::to_string(u) + " out of range [0, " +
+        std::to_string(num_nodes) + ")");
+  }
+  if (v < 0 || v >= num_nodes) {
+    return Status::InvalidArgument(
+        "destination node " + std::to_string(v) + " out of range [0, " +
+        std::to_string(num_nodes) + ")");
+  }
+  return Status::Ok();
+}
+
+Status CheckWeight(double weight) {
+  if (!std::isfinite(weight)) {
+    return Status::InvalidArgument("edge weight must be finite; got " +
+                                   std::to_string(weight));
+  }
+  if (weight == 0.0) {
+    return Status::InvalidArgument(
+        "edge weight must be nonzero (an arc exists iff its weight is "
+        "nonzero); use RemoveEdge to delete an edge");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Graph::AddEdge(NodeId u, NodeId v, double weight) {
+  QSC_RETURN_IF_ERROR(CheckEndpoints(u, v, num_nodes_));
+  QSC_RETURN_IF_ERROR(CheckWeight(weight));
+  if (HasArc(u, v)) {
+    return Status::InvalidArgument("arc " + ArcName(u, v) +
+                                   " already present; use SetWeight");
+  }
+  InsertArcInPlace(u, v, weight);
+  if (undirected_ && u != v) InsertArcInPlace(v, u, weight);
+  ++num_edges_;
+  RecomputeWeightCaches(u, v);
+  return Status::Ok();
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  QSC_RETURN_IF_ERROR(CheckEndpoints(u, v, num_nodes_));
+  if (!HasArc(u, v)) {
+    return Status::NotFound("no arc " + ArcName(u, v) + " in the graph");
+  }
+  EraseArcInPlace(u, v);
+  if (undirected_ && u != v) EraseArcInPlace(v, u);
+  --num_edges_;
+  RecomputeWeightCaches(u, v);
+  return Status::Ok();
+}
+
+Status Graph::SetWeight(NodeId u, NodeId v, double weight) {
+  QSC_RETURN_IF_ERROR(CheckEndpoints(u, v, num_nodes_));
+  QSC_RETURN_IF_ERROR(CheckWeight(weight));
+  if (!HasArc(u, v)) {
+    return Status::NotFound("no arc " + ArcName(u, v) + " in the graph");
+  }
+  SetArcWeightInPlace(u, v, weight);
+  if (undirected_ && u != v) SetArcWeightInPlace(v, u, weight);
+  RecomputeWeightCaches(u, v);
+  return Status::Ok();
+}
+
+void Graph::InsertArcInPlace(NodeId u, NodeId v, double weight) {
+  const int64_t row_begin = out_offsets_[u];
+  const int64_t row_end = out_offsets_[u + 1];
+  const auto out_it = std::lower_bound(
+      out_adj_.begin() + row_begin, out_adj_.begin() + row_end,
+      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  const int64_t out_pos = out_it - out_adj_.begin();
+  out_adj_.insert(out_it, NeighborEntry{v, weight});
+  out_dst_.insert(out_dst_.begin() + out_pos, v);
+  for (NodeId w = u + 1; w <= num_nodes_; ++w) ++out_offsets_[w];
+
+  const int64_t in_begin = in_offsets_[v];
+  const int64_t in_end = in_offsets_[v + 1];
+  const auto in_it = std::lower_bound(
+      in_adj_.begin() + in_begin, in_adj_.begin() + in_end,
+      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  in_adj_.insert(in_it, NeighborEntry{u, weight});
+  for (NodeId w = v + 1; w <= num_nodes_; ++w) ++in_offsets_[w];
+}
+
+void Graph::EraseArcInPlace(NodeId u, NodeId v) {
+  const auto out_it = std::lower_bound(
+      out_adj_.begin() + out_offsets_[u], out_adj_.begin() + out_offsets_[u + 1],
+      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  QSC_CHECK(out_it != out_adj_.end() && out_it->node == v);
+  out_dst_.erase(out_dst_.begin() + (out_it - out_adj_.begin()));
+  out_adj_.erase(out_it);
+  for (NodeId w = u + 1; w <= num_nodes_; ++w) --out_offsets_[w];
+
+  const auto in_it = std::lower_bound(
+      in_adj_.begin() + in_offsets_[v], in_adj_.begin() + in_offsets_[v + 1],
+      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  QSC_CHECK(in_it != in_adj_.end() && in_it->node == u);
+  in_adj_.erase(in_it);
+  for (NodeId w = v + 1; w <= num_nodes_; ++w) --in_offsets_[w];
+}
+
+void Graph::SetArcWeightInPlace(NodeId u, NodeId v, double weight) {
+  const auto out_it = std::lower_bound(
+      out_adj_.begin() + out_offsets_[u], out_adj_.begin() + out_offsets_[u + 1],
+      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  QSC_CHECK(out_it != out_adj_.end() && out_it->node == v);
+  out_it->weight = weight;
+
+  const auto in_it = std::lower_bound(
+      in_adj_.begin() + in_offsets_[v], in_adj_.begin() + in_offsets_[v + 1],
+      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
+        return a.node < b.node;
+      });
+  QSC_CHECK(in_it != in_adj_.end() && in_it->node == u);
+  in_it->weight = weight;
+}
+
+void Graph::RecomputeWeightCaches(NodeId u, NodeId v) {
+  // Row sums in row order and the total in global (src, dst) order — the
+  // exact accumulation order of FromCoalescedArcs, so the caches of a
+  // mutated graph match a rebuild bit for bit. Undirected mutations touch
+  // the rows of both endpoints in both directions.
+  for (const NodeId x : {u, v}) {
+    double out_sum = 0.0;
+    for (const NeighborEntry& e : OutNeighbors(x)) out_sum += e.weight;
+    out_weight_[x] = out_sum;
+    double in_sum = 0.0;
+    for (const NeighborEntry& e : InNeighbors(x)) in_sum += e.weight;
+    in_weight_[x] = in_sum;
+  }
+  double total = 0.0;
+  for (const NeighborEntry& e : out_adj_) total += e.weight;
+  total_weight_ = total;
 }
 
 std::vector<EdgeTriple> Graph::Arcs() const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "qsc/util/check.h"
+#include "qsc/util/status.h"
 
 namespace qsc {
 
@@ -117,6 +118,22 @@ class Graph {
   // Materializes all stored arcs (src, dst, weight).
   std::vector<EdgeTriple> Arcs() const;
 
+  // In-place single-edge mutators (the dynamic-graph substrate,
+  // docs/DYNAMIC.md). On an undirected graph each call addresses the
+  // logical edge {u,v} and keeps both stored arcs in sync. A mutated
+  // graph is bit-identical (all fields, including the cached weight
+  // aggregates) to FromArcs() over the mutated arc list, so downstream
+  // consumers cannot tell a mutation from a rebuild.
+  //
+  // Rejections: out-of-range endpoint or a non-finite / zero weight (the
+  // paper convention is that an arc exists iff its weight is nonzero)
+  // => kInvalidArgument; AddEdge of a present arc => kInvalidArgument
+  // (use SetWeight); RemoveEdge/SetWeight of an absent arc => kNotFound.
+  // On any error the graph is unchanged. Each call is O(num_arcs).
+  Status AddEdge(NodeId u, NodeId v, double weight);
+  Status RemoveEdge(NodeId u, NodeId v);
+  Status SetWeight(NodeId u, NodeId v, double weight);
+
   // Structural equality: same node count, directedness, and arc multiset
   // (weights compared exactly).
   friend bool operator==(const Graph& a, const Graph& b);
@@ -127,6 +144,20 @@ class Graph {
   // (sorted by (src, dst), duplicates summed, exact zeros dropped).
   static Graph FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
                                  bool undirected);
+
+  // Single-arc CSR surgery for the mutators above. Each touches exactly
+  // one out-row and one in-row and shifts the offset tables; the caller
+  // is responsible for mirroring on undirected graphs and for restoring
+  // the weight aggregates via RecomputeWeightCaches.
+  void InsertArcInPlace(NodeId u, NodeId v, double weight);
+  void EraseArcInPlace(NodeId u, NodeId v);
+  void SetArcWeightInPlace(NodeId u, NodeId v, double weight);
+
+  // Recomputes out_weight_[u], in_weight_[v], and total_weight_ in the
+  // same accumulation order FromCoalescedArcs uses (row order for node
+  // sums, global (src, dst) order for the total), so a mutated graph
+  // matches a rebuild bit for bit.
+  void RecomputeWeightCaches(NodeId u, NodeId v);
 
   NodeId num_nodes_ = 0;
   bool undirected_ = false;

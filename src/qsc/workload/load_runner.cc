@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "qsc/dynamic/edit_stream.h"
+#include "qsc/util/check.h"
 #include "qsc/util/timer.h"
 
 namespace qsc {
@@ -33,11 +35,14 @@ std::pair<NodeId, NodeId> TerminalsFor(int64_t spec, NodeId n) {
 
 // Per-event result slot; written by exactly one client thread, reduced
 // in event order after the join so aggregates are thread-count
-// invariant.
+// invariant. The edit fields are used only by edit-event slots.
 struct EventSlot {
   double primary = 0.0;  // per-kind checksum contribution
   double latency_seconds = 0.0;
   bool ok = false;
+  int64_t edits_applied = 0;
+  int64_t repairs = 0;
+  int64_t fallbacks = 0;
 };
 
 Status ValidateRun(const Compressor& session,
@@ -51,6 +56,11 @@ Status ValidateRun(const Compressor& session,
   if (!std::isfinite(options.time_scale) || options.time_scale < 0.0) {
     return Status::InvalidArgument("time_scale must be finite and >= 0; got " +
                                    std::to_string(options.time_scale));
+  }
+  if (options.max_repair_splits < 0) {
+    return Status::InvalidArgument(
+        "max_repair_splits must be >= 0; got " +
+        std::to_string(options.max_repair_splits));
   }
   bool needs_graph = false;
   bool needs_lp = false;
@@ -152,7 +162,36 @@ void ServeEvent(Compressor& session, const TraceEvent& event,
       }
       break;
     }
+    case QueryKind::kInsertEdge:
+    case QueryKind::kDeleteEdge:
+    case QueryKind::kUpdateWeight:
+      // Edit events are applied at segment barriers by RunLoad itself,
+      // never dispatched through the client threads' query path.
+      QSC_CHECK(false);
   }
+}
+
+// Generates and applies one edit event's batch. Runs on one thread at a
+// segment barrier, after every earlier query has completed; a failure at
+// either stage (generation or application) leaves the slot !ok and the
+// graph unchanged.
+void ApplyEditEvent(Compressor& session, const TraceEvent& event,
+                    const LoadRunnerOptions& options, EventSlot* slot) {
+  const dynamic::EditKind kind = static_cast<dynamic::EditKind>(
+      static_cast<int>(event.kind) - kNumQueryKinds);
+  const uint64_t seed =
+      options.edit_seed ^ static_cast<uint64_t>(event.spec_index);
+  StatusOr<std::vector<dynamic::EditOp>> ops =
+      dynamic::GenerateEdits(session.graph(), kind, event.budget, seed);
+  if (!ops.ok()) return;
+  EditApplyOptions apply;
+  apply.max_repair_splits = options.max_repair_splits;
+  StatusOr<EditApplyResult> result = session.ApplyEdits(*ops, apply);
+  if (!result.ok()) return;
+  slot->ok = true;
+  slot->edits_applied = result->edits_applied;
+  slot->repairs = result->repairs;
+  slot->fallbacks = result->fallbacks;
 }
 
 double NearestRank(const std::vector<double>& sorted, double percentile) {
@@ -179,33 +218,59 @@ StatusOr<LoadReport> RunLoad(Compressor& session,
 
   const auto run_start = std::chrono::steady_clock::now();
   WallTimer run_timer;
-  const auto client = [&](int32_t thread_id) {
-    for (size_t i = thread_id; i < num_events; i += num_threads) {
-      if (options.paced) {
-        const auto due =
-            run_start + std::chrono::duration_cast<
-                            std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(
-                                trace[i].arrival_seconds *
-                                options.time_scale));
-        std::this_thread::sleep_until(due);
+  const auto paced_wait = [&](size_t i) {
+    if (!options.paced) return;
+    const auto due =
+        run_start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            trace[i].arrival_seconds * options.time_scale));
+    std::this_thread::sleep_until(due);
+  };
+
+  // Serves the query events in [begin, end) round-robin over the client
+  // threads; returns after all of them completed.
+  const auto serve_range = [&](size_t begin, size_t end) {
+    if (begin >= end) return;
+    const int32_t threads = std::min<int32_t>(
+        num_threads, static_cast<int32_t>(end - begin));
+    const auto client = [&, begin, end, threads](int32_t thread_id) {
+      for (size_t i = begin + thread_id; i < end; i += threads) {
+        paced_wait(i);
+        WallTimer latency;
+        ServeEvent(session, trace[i], options, &slots[i]);
+        slots[i].latency_seconds = latency.ElapsedSeconds();
       }
-      WallTimer latency;
-      ServeEvent(session, trace[i], options, &slots[i]);
-      slots[i].latency_seconds = latency.ElapsedSeconds();
+    };
+    if (threads == 1) {
+      client(0);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int32_t t = 0; t < threads; ++t) {
+        workers.emplace_back(client, t);
+      }
+      for (std::thread& t : workers) t.join();
     }
   };
 
-  if (num_threads == 1) {
-    client(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (int32_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back(client, t);
-    }
-    for (std::thread& t : threads) t.join();
+  // Edit events split the trace into barrier segments (the
+  // LoadRunnerOptions contract): a segment's queries all complete, one
+  // thread applies the edit batch, and the next segment starts on the new
+  // graph version. ApplyEdits would serialize against racing queries
+  // anyway; the barrier is what pins *which* queries precede each batch,
+  // making the edit counters thread-count invariant.
+  size_t cursor = 0;
+  for (size_t i = 0; i < num_events; ++i) {
+    if (!IsEditEvent(trace[i].kind)) continue;
+    serve_range(cursor, i);
+    paced_wait(i);
+    WallTimer latency;
+    ApplyEditEvent(session, trace[i], options, &slots[i]);
+    slots[i].latency_seconds = latency.ElapsedSeconds();
+    cursor = i + 1;
   }
+  serve_range(cursor, num_events);
   const double wall_seconds = run_timer.ElapsedSeconds();
 
   // Event-order reduction: identical totals for every thread count.
@@ -215,6 +280,18 @@ StatusOr<LoadReport> RunLoad(Compressor& session,
   std::vector<double> latencies;
   latencies.reserve(num_events);
   for (size_t i = 0; i < num_events; ++i) {
+    latencies.push_back(slots[i].latency_seconds);
+    if (IsEditEvent(trace[i].kind)) {
+      ++report.edit_events;
+      if (slots[i].ok) {
+        report.edits_applied += slots[i].edits_applied;
+        report.edit_repairs += slots[i].repairs;
+        report.edit_fallbacks += slots[i].fallbacks;
+      } else {
+        ++report.failed_edits;
+      }
+      continue;
+    }
     const int kind = static_cast<int>(trace[i].kind);
     ++report.total_queries;
     ++report.kind_counts[kind];
@@ -223,7 +300,6 @@ StatusOr<LoadReport> RunLoad(Compressor& session,
     } else {
       ++report.failed_queries;
     }
-    latencies.push_back(slots[i].latency_seconds);
   }
 
   std::sort(latencies.begin(), latencies.end());

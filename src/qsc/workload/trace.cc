@@ -15,10 +15,12 @@ namespace qsc {
 namespace workload {
 namespace {
 
-constexpr const char* kHeader = "qsc-trace v1";
+constexpr const char* kHeaderV1 = "qsc-trace v1";
+constexpr const char* kHeaderV2 = "qsc-trace v2";
 
-const char* const kKindNames[kNumQueryKinds] = {
-    "coloring", "maxflow", "maxflow-batch", "solvelp", "centrality"};
+const char* const kKindNames[kNumTraceEventKinds] = {
+    "coloring", "maxflow", "maxflow-batch", "solvelp", "centrality",
+    "insert",   "delete",  "update"};
 
 // Zipf(s) sampler over ranks [0, n): cumulative weights built once, one
 // uniform draw per sample. For the default s = 1 the weights are exact
@@ -66,6 +68,7 @@ class MixedTraceSource final : public TraceSource {
       : model_(model),
         options_(options),
         rng_(options.seed),
+        edit_rng_(options.seed ^ 0x9e3779b97f4a7c15ull),
         zipf_(options.num_specs, options.zipf_s),
         budget_cursor_(options.num_specs, 0) {
     double total = 0.0;
@@ -79,6 +82,22 @@ class MixedTraceSource final : public TraceSource {
     if (emitted_ >= options_.num_events) return false;
     ++emitted_;
 
+    // Every (edit_interval + 1)-th event is an edit batch. Its gap comes
+    // from a dedicated rng stream, so the query subsequence — kinds,
+    // specs, budgets, AND gaps — is exactly the edits-off trace.
+    if (options_.edit_interval > 0 &&
+        emitted_ % (options_.edit_interval + 1) == 0) {
+      event->kind = static_cast<QueryKind>(
+          kNumQueryKinds + static_cast<int>(edits_emitted_ % 3));
+      event->budget = options_.edits_per_batch;
+      event->spec_index = static_cast<int32_t>(edits_emitted_);
+      event->batch_size = 1;
+      ++edits_emitted_;
+      clock_ += Exponential(edit_rng_, options_.mean_interarrival_seconds);
+      event->arrival_seconds = clock_;
+      return true;
+    }
+
     event->kind = SampleKind();
     event->spec_index = zipf_.Sample(rng_);
     auto& cursor = budget_cursor_[event->spec_index];
@@ -88,21 +107,25 @@ class MixedTraceSource final : public TraceSource {
     event->batch_size =
         event->kind == QueryKind::kMaxFlowBatch ? options_.batch_size : 1;
 
-    double mean = options_.mean_interarrival_seconds;
-    if (model_ == ArrivalModel::kBursty) {
-      mean /= options_.burst_speedup;
-      if (in_burst_ == options_.burst_length) {
-        in_burst_ = 0;
-        clock_ += Exponential(options_.idle_gap_seconds);
-      }
-      ++in_burst_;
-    }
-    clock_ += Exponential(mean);
+    AdvanceClock();
     event->arrival_seconds = clock_;
     return true;
   }
 
  private:
+  void AdvanceClock() {
+    double mean = options_.mean_interarrival_seconds;
+    if (model_ == ArrivalModel::kBursty) {
+      mean /= options_.burst_speedup;
+      if (in_burst_ == options_.burst_length) {
+        in_burst_ = 0;
+        clock_ += Exponential(rng_, options_.idle_gap_seconds);
+      }
+      ++in_burst_;
+    }
+    clock_ += Exponential(rng_, mean);
+  }
+
   QueryKind SampleKind() {
     const double u = rng_.UniformDouble() * kind_cumulative_.back();
     for (size_t i = 0; i < kind_cumulative_.size(); ++i) {
@@ -111,19 +134,21 @@ class MixedTraceSource final : public TraceSource {
     return static_cast<QueryKind>(kind_cumulative_.size() - 1);
   }
 
-  double Exponential(double mean) {
+  static double Exponential(Rng& rng, double mean) {
     if (mean <= 0.0) return 0.0;
     // 1 - u lies in (0, 1], so the log is finite and the gap positive.
-    return -mean * std::log(1.0 - rng_.UniformDouble());
+    return -mean * std::log(1.0 - rng.UniformDouble());
   }
 
   const ArrivalModel model_;
   const TraceGenOptions options_;
   Rng rng_;
+  Rng edit_rng_;  // edit-event gaps only; keeps the query stream untouched
   ZipfSampler zipf_;
   std::vector<double> kind_cumulative_;
   std::vector<uint32_t> budget_cursor_;  // per-spec ascending budget cycle
   int64_t emitted_ = 0;
+  int64_t edits_emitted_ = 0;  // running edit counter (the spec-column salt)
   int32_t in_burst_ = 0;
   double clock_ = 0.0;
 };
@@ -207,6 +232,14 @@ Status ValidateGenOptions(const TraceGenOptions& o) {
     return Status::InvalidArgument("batch_size must be >= 1; got " +
                                    std::to_string(o.batch_size));
   }
+  if (o.edit_interval < 0) {
+    return Status::InvalidArgument("edit_interval must be >= 0; got " +
+                                   std::to_string(o.edit_interval));
+  }
+  if (o.edits_per_batch < 1) {
+    return Status::InvalidArgument("edits_per_batch must be >= 1; got " +
+                                   std::to_string(o.edits_per_batch));
+  }
   return Status::Ok();
 }
 
@@ -257,7 +290,7 @@ TraceSource::~TraceSource() = default;
 
 const char* QueryKindName(QueryKind kind) {
   const int index = static_cast<int>(kind);
-  QSC_CHECK(index >= 0 && index < kNumQueryKinds);
+  QSC_CHECK(index >= 0 && index < kNumTraceEventKinds);
   return kKindNames[index];
 }
 
@@ -295,7 +328,11 @@ std::vector<TraceEvent> DrainTrace(TraceSource& source) {
 }
 
 std::string FormatTrace(const std::vector<TraceEvent>& events) {
-  std::string out = kHeader;
+  // The header is the lowest version that can express the events, so a
+  // pure-query trace stays byte-identical to the v1 serializer.
+  bool has_edits = false;
+  for (const TraceEvent& e : events) has_edits |= IsEditEvent(e.kind);
+  std::string out = has_edits ? kHeaderV2 : kHeaderV1;
   out += '\n';
   for (const TraceEvent& e : events) {
     out += eval::JsonNumber(e.arrival_seconds);
@@ -315,6 +352,7 @@ std::string FormatTrace(const std::vector<TraceEvent>& events) {
 StatusOr<std::vector<TraceEvent>> ParseTrace(std::string_view text) {
   std::vector<TraceEvent> events;
   bool saw_header = false;
+  bool v2 = false;
   double last_arrival = -std::numeric_limits<double>::infinity();
   size_t line_number = 0;
   size_t pos = 0;
@@ -336,11 +374,13 @@ StatusOr<std::vector<TraceEvent>> ParseTrace(std::string_view text) {
     if (line[first] == '#') continue;
 
     if (!saw_header) {
-      if (line != kHeader) {
+      if (line != kHeaderV1 && line != kHeaderV2) {
         return LineError(line_number,
-                         "expected header \"" + std::string(kHeader) +
+                         "expected header \"" + std::string(kHeaderV1) +
+                             "\" or \"" + std::string(kHeaderV2) +
                              "\"; got \"" + std::string(line) + "\"");
       }
+      v2 = line == kHeaderV2;
       saw_header = true;
       continue;
     }
@@ -369,14 +409,19 @@ StatusOr<std::vector<TraceEvent>> ParseTrace(std::string_view text) {
     last_arrival = event.arrival_seconds;
 
     int kind = 0;
-    for (; kind < kNumQueryKinds; ++kind) {
+    for (; kind < kNumTraceEventKinds; ++kind) {
       if (tokens[1] == kKindNames[kind]) break;
     }
-    if (kind == kNumQueryKinds) {
+    if (kind == kNumTraceEventKinds) {
       return LineError(line_number,
                        "unknown query kind \"" + tokens[1] + "\"");
     }
     event.kind = static_cast<QueryKind>(kind);
+    if (IsEditEvent(event.kind) && !v2) {
+      return LineError(line_number, "edit event \"" + tokens[1] +
+                                        "\" requires the \"" +
+                                        std::string(kHeaderV2) + "\" header");
+    }
 
     int64_t value = 0;
     if (!ParseIntToken(tokens[2], &value) || value <= 0 ||
@@ -408,7 +453,7 @@ StatusOr<std::vector<TraceEvent>> ParseTrace(std::string_view text) {
 
   if (!saw_header) {
     return Status::InvalidArgument(
-        "trace is missing the \"" + std::string(kHeader) + "\" header");
+        "trace is missing the \"" + std::string(kHeaderV1) + "\" header");
   }
   return events;
 }

@@ -25,6 +25,15 @@
 // (meaningful for maxflow-batch, fixed at 1 otherwise). ParseTrace rejects
 // malformed input with a line-numbered InvalidArgument and never aborts —
 // tests/workload_trace_test.cc fuzzes truncations and mutations.
+//
+// Version 2 (docs/DYNAMIC.md) adds graph-edit events to the same 5-field
+// line under the header `qsc-trace v2`: <kind> may additionally be
+// insert | delete | update, in which case <budget> is the number of
+// single-edge edits in the batch (>= 1) and <spec> is the edit-stream
+// salt the replayer mixes into its seed. ParseTrace accepts both headers;
+// an edit event under the v1 header is a line-numbered error, and
+// FormatTrace emits the v2 header exactly when the events contain an edit
+// — a pure-query trace always serializes as v1, byte-identical to before.
 
 #ifndef QSC_WORKLOAD_TRACE_H_
 #define QSC_WORKLOAD_TRACE_H_
@@ -41,25 +50,41 @@
 namespace qsc {
 namespace workload {
 
-// The query kinds a trace event can request, matching the Compressor
-// surface. kMaxFlowBatch issues one MaxFlowBatch call of `batch_size`
-// terminal pairs (the service-side amortization path).
+// The event kinds a trace line can carry. The first five are queries,
+// matching the Compressor surface (kMaxFlowBatch issues one MaxFlowBatch
+// call of `batch_size` terminal pairs — the service-side amortization
+// path); the last three are qsc-trace v2 graph-edit events, replayed
+// through Compressor::ApplyEdits.
 enum class QueryKind {
   kColoring = 0,
   kMaxFlow,
   kMaxFlowBatch,
   kSolveLp,
   kCentrality,
+  kInsertEdge,    // v2: batch of edge insertions
+  kDeleteEdge,    // v2: batch of edge deletions
+  kUpdateWeight,  // v2: batch of weight updates
 };
+// Query kinds only — per-kind counters/checksum arrays are sized by this,
+// so the v2 edit kinds deliberately do not extend it.
 inline constexpr int kNumQueryKinds = 5;
+// All trace event kinds, queries plus edits.
+inline constexpr int kNumTraceEventKinds = 8;
 
-// Stable wire name of a kind ("coloring", "maxflow", ...).
+// True for the v2 edit-event kinds.
+inline constexpr bool IsEditEvent(QueryKind kind) {
+  return static_cast<int>(kind) >= kNumQueryKinds;
+}
+
+// Stable wire name of a kind ("coloring", "maxflow", ..., "insert", ...).
 const char* QueryKindName(QueryKind kind);
 
 // One arrival in a workload trace. `spec_index` selects a query spec from
 // the harness's universe (a pin set / LP instance / parameter bundle —
 // the trace layer only guarantees determinism of the index); `budget` is
-// the color budget the query runs at.
+// the color budget the query runs at. For the v2 edit events the same
+// fields are reinterpreted: `budget` is the number of single-edge edits
+// in the batch and `spec_index` the edit-stream salt.
 struct TraceEvent {
   double arrival_seconds = 0.0;  // offset from trace start; non-decreasing
   QueryKind kind = QueryKind::kColoring;
@@ -112,6 +137,17 @@ struct TraceGenOptions {
 
   // Terminal pairs per kMaxFlowBatch event.
   int32_t batch_size = 4;
+
+  // Edit-event cadence (qsc-trace v2): 0 disables edits (the default —
+  // generator output is then byte-identical to the v1 format); k > 0
+  // makes every (k+1)-th event an edit batch. Edit kinds cycle
+  // insert -> delete -> update; the event's spec column carries a
+  // running edit counter (the replayer's per-batch salt) and its budget
+  // column carries `edits_per_batch`. Edit events consume only the
+  // interarrival draw, so the query subsequence of an edited trace is
+  // unchanged from the same options with edits off.
+  int32_t edit_interval = 0;
+  int32_t edits_per_batch = 4;
 };
 
 // Pull-based event stream. Next() fills `*event` and returns true, or

@@ -15,6 +15,7 @@
 
 #include "qsc/centrality/color_pivot.h"
 #include "qsc/coloring/backend.h"
+#include "qsc/dynamic/edit_stream.h"
 #include "qsc/coloring/rothko.h"
 #include "qsc/flow/approx_flow.h"
 #include "qsc/graph/generators.h"
@@ -637,6 +638,128 @@ TEST(CompressorTest, SolveLpRoutesBackendToTheMatrixColoring) {
   // Both reductions lift to a well-formed solution of the original LP.
   EXPECT_EQ(bucket->lifted_x.size(), static_cast<size_t>(lp.num_cols));
   EXPECT_EQ(rothko->lifted_x.size(), static_cast<size_t>(lp.num_cols));
+}
+
+// --- dynamic edits (ApplyEdits) -------------------------------------------
+
+TEST(CompressorValidationTest, ApplyEditsRejectsBadBatchesUpFront) {
+  Compressor session(TestGraph());
+
+  const auto empty = session.ApplyEdits({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.status().message().find("empty"), std::string::npos);
+
+  EditApplyOptions bad_repair;
+  bad_repair.max_repair_splits = -1;
+  const std::vector<dynamic::EditOp> one_edit = {
+      {dynamic::EditKind::kUpdateWeight, 0, 1, 2.0}};
+  EXPECT_EQ(session.ApplyEdits(one_edit, bad_repair).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Edits mutate the session graph; an LP-only session has none.
+  Compressor lp_only;
+  EXPECT_EQ(lp_only.ApplyEdits(one_edit).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CompressorTest, ApplyEditsIsAllOrNothingOnABadEdit) {
+  const Graph g = TestGraph();
+  NodeId u = 0, v = 0;
+  for (NodeId candidate = 1; candidate < g.num_nodes(); ++candidate) {
+    if (!g.HasArc(0, candidate)) {
+      u = 0;
+      v = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(u, v);
+
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  // A valid insert followed by a delete of an absent self-loop: the batch
+  // fails as a unit and the session graph and version are untouched.
+  const std::vector<dynamic::EditOp> batch = {
+      {dynamic::EditKind::kInsertEdge, u, v, 1.0},
+      {dynamic::EditKind::kDeleteEdge, 5, 5, 0.0},
+  };
+  const auto applied = session.ApplyEdits(batch);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(session.graph_version(), 0);
+  EXPECT_FALSE(session.graph().HasArc(u, v));
+  EXPECT_TRUE(session.graph() == g);
+}
+
+TEST(CompressorTest, ApplyEditsBumpsVersionAndStampsTelemetry) {
+  const Graph g = TestGraph();
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  EXPECT_EQ(session.graph_version(), 0);
+
+  QueryOptions query;
+  query.max_colors = 24;
+  {
+    const auto before = session.Coloring(query);
+    QSC_CHECK_OK(before);
+    EXPECT_EQ(before->telemetry.graph_version, 0);
+  }
+
+  Graph expected = g;
+  for (int batch = 0; batch < 2; ++batch) {
+    const StatusOr<std::vector<dynamic::EditOp>> edits = dynamic::GenerateEdits(
+        expected, dynamic::EditKind::kInsertEdge, 7,
+        static_cast<uint64_t>(batch) + 3);
+    QSC_CHECK_OK(edits);
+    const auto applied = session.ApplyEdits(*edits);
+    QSC_CHECK_OK(applied);
+    EXPECT_EQ(applied->edits_applied, 7);
+    EXPECT_EQ(applied->graph_version, batch + 1);
+    EXPECT_GE(applied->seconds, 0.0);
+    StatusOr<Graph> next = dynamic::ApplyEditBatch(expected, *edits);
+    QSC_CHECK_OK(next);
+    expected = std::move(next).value();
+  }
+  EXPECT_EQ(session.graph_version(), 2);
+  EXPECT_TRUE(session.graph() == expected);
+
+  // Post-edit queries are stamped with the new version and serve exactly
+  // what a fresh session on the mutated graph serves (the zero-tolerance
+  // spec was reset to scratch by the edits).
+  const auto after = session.Coloring(query);
+  QSC_CHECK_OK(after);
+  EXPECT_EQ(after->telemetry.graph_version, 2);
+  Compressor fresh(std::shared_ptr<const Graph>(
+      std::shared_ptr<const Graph>(), &expected));
+  const auto want = fresh.Coloring(query);
+  QSC_CHECK_OK(want);
+  EXPECT_EQ(after->max_q, want->max_q);
+  EXPECT_TRUE(*after->coloring == *want->coloring);
+}
+
+TEST(CompressorTest, ApplyEditsRepairsToleranceBoundedSpecsOnly) {
+  Compressor session(TestGraph());
+
+  QueryOptions strict;  // q_tolerance 0: never repairable
+  strict.max_colors = 16;
+  QueryOptions bounded = strict;
+  bounded.q_tolerance = 8.0;
+  QSC_CHECK_OK(session.Coloring(strict));
+  QSC_CHECK_OK(session.Coloring(bounded));
+
+  const StatusOr<std::vector<dynamic::EditOp>> edits = dynamic::GenerateEdits(
+      session.graph(), dynamic::EditKind::kInsertEdge, 10, 41);
+  QSC_CHECK_OK(edits);
+  const auto applied = session.ApplyEdits(*edits);
+  QSC_CHECK_OK(applied);
+  EXPECT_EQ(applied->repairs, 1);    // the bounded spec
+  EXPECT_EQ(applied->fallbacks, 1);  // the strict spec
+
+  const CacheStats& stats = session.stats().coloring;
+  EXPECT_EQ(stats.edit_batches, 1);
+  EXPECT_EQ(stats.edits_applied, 10);
+  EXPECT_EQ(stats.repairs, 1);
+  EXPECT_EQ(stats.fallbacks, 1);
 }
 
 }  // namespace

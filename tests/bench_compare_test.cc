@@ -122,6 +122,38 @@ TEST(CompareTest, CounterDriftFailsEvenWhenTimingIsFine) {
   EXPECT_NE(r.violations[0].detail.find("counters.m"), std::string::npos);
 }
 
+// Counter-identity mode: the scenario sets must match exactly, and a
+// mismatch is ONE aggregate violation naming every offender in both
+// directions plus the baseline-update pointer — not a per-scenario drip.
+TEST(CompareTest, CountersOnlyScenarioSetMismatchAggregatesOneViolation) {
+  const auto doc = [](const char* first, const char* second) {
+    return Parse(std::string("{\"schema_version\": 1, \"scenarios\": [") +
+                 "{\"name\": \"" + first +
+                 "\", \"params\": {}, \"counters\": {\"m\": 1}}, " +
+                 "{\"name\": \"" + second +
+                 "\", \"params\": {}, \"counters\": {\"m\": 1}}]}");
+  };
+  CompareOptions options;
+  options.counters_only = true;
+
+  // Identical sets: clean pass, both scenarios compared.
+  EXPECT_TRUE(CompareBenchReports(doc("shared/x", "dynamic/a"),
+                                  doc("shared/x", "dynamic/a"), options)
+                  .ok());
+
+  const CompareReport r = CompareBenchReports(
+      doc("shared/x", "dynamic/a"), doc("shared/x", "dynamic/b"), options);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_TRUE(r.violations[0].scenario.empty());
+  const std::string& detail = r.violations[0].detail;
+  EXPECT_NE(detail.find("only in baseline: dynamic/a"), std::string::npos)
+      << detail;
+  EXPECT_NE(detail.find("only in current: dynamic/b"), std::string::npos)
+      << detail;
+  EXPECT_EQ(detail.find("shared/x"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("BENCHMARKING.md"), std::string::npos) << detail;
+}
+
 TEST(CompareTest, MissingScenarioFailsNewScenarioIsNoted) {
   const JsonValue base = Parse(ReportDoc(0.5, 7.0, "coloring/old"));
   const JsonValue current = Parse(ReportDoc(0.5, 7.0, "coloring/new"));

@@ -1,0 +1,232 @@
+#include "qsc/dynamic/edit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/graph/datasets.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/perturb.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace dynamic {
+namespace {
+
+Graph ErdosRenyiGraph(uint64_t seed, bool undirected) {
+  Rng rng(seed);
+  const Graph g = ErdosRenyiGnm(40, 100, rng);
+  if (undirected) return g;
+  // Rebuild the same arc set as a directed graph (both directions kept).
+  return Graph::FromArcs(g.num_nodes(), g.Arcs(), /*undirected=*/false);
+}
+
+// ---- Generator / perturb equivalence ----
+
+// GenerateEdits draws exactly like graph/perturb, so applying an
+// insert-only batch reproduces AddRandomEdges bit for bit.
+TEST(EditStreamTest, InsertBatchMatchesAddRandomEdges) {
+  for (const bool undirected : {false, true}) {
+    for (const uint64_t seed : {3u, 7u, 11u}) {
+      const Graph g = ErdosRenyiGraph(seed, undirected);
+      const StatusOr<std::vector<EditOp>> edits =
+          GenerateEdits(g, EditKind::kInsertEdge, 12, seed * 13);
+      ASSERT_TRUE(edits.ok()) << edits.status().ToString();
+      const StatusOr<Graph> mutated = ApplyEditBatch(g, *edits);
+      ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+
+      Rng rng(seed * 13);
+      const Graph want = AddRandomEdges(g, 12, rng);
+      EXPECT_TRUE(*mutated == want)
+          << "undirected=" << undirected << " seed=" << seed;
+    }
+  }
+}
+
+// Same equivalence for deletions against RemoveRandomEdges.
+TEST(EditStreamTest, DeleteBatchMatchesRemoveRandomEdges) {
+  for (const bool undirected : {false, true}) {
+    for (const uint64_t seed : {3u, 7u, 11u}) {
+      const Graph g = ErdosRenyiGraph(seed, undirected);
+      const StatusOr<std::vector<EditOp>> edits =
+          GenerateEdits(g, EditKind::kDeleteEdge, 9, seed * 17);
+      ASSERT_TRUE(edits.ok()) << edits.status().ToString();
+      const StatusOr<Graph> mutated = ApplyEditBatch(g, *edits);
+      ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+
+      Rng rng(seed * 17);
+      const Graph want = RemoveRandomEdges(g, 9, rng);
+      EXPECT_TRUE(*mutated == want)
+          << "undirected=" << undirected << " seed=" << seed;
+    }
+  }
+}
+
+TEST(EditStreamTest, UpdateBatchTargetsExistingEdges) {
+  const Graph g = KarateClub();
+  const StatusOr<std::vector<EditOp>> edits =
+      GenerateEdits(g, EditKind::kUpdateWeight, 10, 5);
+  ASSERT_TRUE(edits.ok());
+  for (const EditOp& e : *edits) {
+    EXPECT_EQ(e.kind, EditKind::kUpdateWeight);
+    EXPECT_TRUE(g.HasArc(e.src, e.dst));
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 8.0);
+    EXPECT_EQ(e.weight, static_cast<double>(static_cast<int64_t>(e.weight)));
+  }
+  const StatusOr<Graph> mutated = ApplyEditBatch(g, *edits);
+  ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+  EXPECT_EQ(mutated->num_edges(), g.num_edges());
+}
+
+TEST(EditStreamTest, GenerateEditsIsDeterministic) {
+  const Graph g = KarateClub();
+  for (const EditKind kind :
+       {EditKind::kInsertEdge, EditKind::kDeleteEdge, EditKind::kUpdateWeight}) {
+    const StatusOr<std::vector<EditOp>> a = GenerateEdits(g, kind, 6, 99);
+    const StatusOr<std::vector<EditOp>> b = GenerateEdits(g, kind, 6, 99);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+// ---- Batch application ----
+
+TEST(EditStreamTest, ApplyEditBatchIsAllOrNothing) {
+  const Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 2.0}}, false);
+  // Second edit deletes an absent arc: the whole batch must fail and the
+  // error must name the offending edit.
+  const std::vector<EditOp> batch = {
+      {EditKind::kInsertEdge, 2, 3, 1.0},
+      {EditKind::kDeleteEdge, 0, 3, 0.0},
+  };
+  const StatusOr<Graph> mutated = ApplyEditBatch(g, batch);
+  ASSERT_FALSE(mutated.ok());
+  EXPECT_EQ(mutated.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(mutated.status().message().find("edit 1"), std::string::npos)
+      << mutated.status().message();
+}
+
+TEST(EditStreamTest, ApplyEditBatchLeavesInputUntouched) {
+  const Graph g = Graph::FromEdges(3, {{0, 1, 1.0}}, true);
+  const Graph before = g;
+  const std::vector<EditOp> batch = {{EditKind::kInsertEdge, 1, 2, 2.0}};
+  const StatusOr<Graph> mutated = ApplyEditBatch(g, batch);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(g == before);
+  EXPECT_FALSE(g.HasArc(1, 2));
+  EXPECT_TRUE(mutated->HasArc(1, 2));
+}
+
+// ---- Mixed-kind stream ----
+
+TEST(EditStreamTest, GenerateEditBatchesStaysValidAcrossBatches) {
+  const Graph g = KarateClub();
+  EditStreamOptions options;
+  options.seed = 21;
+  options.num_batches = 8;
+  options.edits_per_batch = 6;
+  const StatusOr<std::vector<std::vector<EditOp>>> batches =
+      GenerateEditBatches(g, options);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  ASSERT_EQ(batches->size(), 8u);
+  Graph current = g;
+  for (const std::vector<EditOp>& batch : *batches) {
+    EXPECT_EQ(batch.size(), 6u);
+    StatusOr<Graph> next = ApplyEditBatch(current, batch);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    current = std::move(next).value();
+  }
+}
+
+TEST(EditStreamTest, SingleKindStreamsRespectTheWeights) {
+  const Graph g = KarateClub();
+  EditStreamOptions options;
+  options.seed = 5;
+  options.num_batches = 3;
+  options.edits_per_batch = 5;
+  options.insert_weight = 0.0;
+  options.delete_weight = 0.0;
+  options.update_weight = 1.0;
+  const StatusOr<std::vector<std::vector<EditOp>>> batches =
+      GenerateEditBatches(g, options);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  for (const std::vector<EditOp>& batch : *batches) {
+    for (const EditOp& e : batch) {
+      EXPECT_EQ(e.kind, EditKind::kUpdateWeight);
+    }
+  }
+}
+
+// ---- Rejection table ----
+
+TEST(EditStreamTest, RejectionTable) {
+  const Graph small = Graph::FromEdges(3, {{0, 1, 1.0}}, false);
+  const Graph empty_graph = Graph::FromEdges(3, {}, false);
+  const Graph one_node = Graph::FromEdges(1, {}, false);
+
+  struct Case {
+    const char* name;
+    StatusOr<std::vector<EditOp>> result;
+    StatusCode want_code;
+    const char* want_substring;
+  };
+  const Case kCases[] = {
+      {"negative-count",
+       GenerateEdits(small, EditKind::kInsertEdge, -1, 1),
+       StatusCode::kInvalidArgument, "count"},
+      {"insert-one-node",
+       GenerateEdits(one_node, EditKind::kInsertEdge, 1, 1),
+       StatusCode::kInvalidArgument, "2 nodes"},
+      {"insert-beyond-capacity",
+       GenerateEdits(small, EditKind::kInsertEdge, 100, 1),
+       StatusCode::kInvalidArgument, "absent"},
+      {"delete-more-than-edges",
+       GenerateEdits(small, EditKind::kDeleteEdge, 2, 1),
+       StatusCode::kInvalidArgument, "edges"},
+      {"update-edgeless",
+       GenerateEdits(empty_graph, EditKind::kUpdateWeight, 1, 1),
+       StatusCode::kInvalidArgument, "edge"},
+  };
+  for (const Case& c : kCases) {
+    ASSERT_FALSE(c.result.ok()) << c.name;
+    EXPECT_EQ(c.result.status().code(), c.want_code) << c.name;
+    EXPECT_NE(c.result.status().message().find(c.want_substring),
+              std::string::npos)
+        << c.name << ": \"" << c.result.status().message() << "\"";
+  }
+}
+
+TEST(EditStreamTest, BatchOptionsValidation) {
+  const Graph g = KarateClub();
+  EditStreamOptions bad_batches;
+  bad_batches.num_batches = -1;
+  EXPECT_EQ(GenerateEditBatches(g, bad_batches).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EditStreamOptions bad_weights;
+  bad_weights.insert_weight = 0.0;
+  bad_weights.delete_weight = 0.0;
+  bad_weights.update_weight = 0.0;
+  EXPECT_EQ(GenerateEditBatches(g, bad_weights).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EditStreamOptions bad_range;
+  bad_range.min_weight = 5;
+  bad_range.max_weight = 2;
+  EXPECT_EQ(GenerateEditBatches(g, bad_range).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EditStreamTest, KindNamesAreTheWireNames) {
+  EXPECT_STREQ(EditKindName(EditKind::kInsertEdge), "insert");
+  EXPECT_STREQ(EditKindName(EditKind::kDeleteEdge), "delete");
+  EXPECT_STREQ(EditKindName(EditKind::kUpdateWeight), "update");
+}
+
+}  // namespace
+}  // namespace dynamic
+}  // namespace qsc

@@ -1,0 +1,244 @@
+// Dynamic-graph concurrency contract (docs/DYNAMIC.md): ApplyEdits may
+// race queries on a shared Compressor session. Every query is stamped with
+// the graph version it ran against, and its result must be exactly what a
+// fresh session on that version's graph serves (zero-tolerance specs fall
+// back to from-scratch recoloring, so the comparison is bitwise). With a
+// positive tolerance the repaired path is checked phase by phase against a
+// serialized oracle session replaying the identical edit/query history.
+// The CI `thread` sanitizer job runs this binary under TSan (suite name
+// matches the 'DynamicRecolor' regex).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qsc/api/compressor.h"
+#include "qsc/dynamic/edit_stream.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/graph.h"
+#include "qsc/parallel/thread_pool.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+// Directed scale-free graph sized for the TSan leg: refinement and repair
+// both do real work, but a full run stays in the hundreds of milliseconds.
+Graph StressGraph() {
+  Rng rng(kSeed);
+  const Graph ba = BarabasiAlbert(1200, 3, rng);
+  return Graph::FromArcs(ba.num_nodes(), ba.Arcs(), /*undirected=*/false);
+}
+
+std::vector<std::vector<dynamic::EditOp>> StressBatches(const Graph& g,
+                                                        int64_t num_batches) {
+  dynamic::EditStreamOptions options;
+  options.seed = kSeed * 3 + 1;
+  options.num_batches = num_batches;
+  options.edits_per_batch = 12;
+  StatusOr<std::vector<std::vector<dynamic::EditOp>>> batches =
+      dynamic::GenerateEditBatches(g, options);
+  QSC_CHECK_OK(batches);
+  return std::move(batches).value();
+}
+
+// The graph as it stands after each version: versions[v] is the session
+// graph at graph_version v (version 0 = the construction graph).
+std::vector<Graph> VersionChain(const Graph& g,
+                                const std::vector<std::vector<dynamic::EditOp>>&
+                                    batches) {
+  std::vector<Graph> versions = {g};
+  for (const std::vector<dynamic::EditOp>& batch : batches) {
+    StatusOr<Graph> next = dynamic::ApplyEditBatch(versions.back(), batch);
+    QSC_CHECK_OK(next);
+    versions.push_back(std::move(next).value());
+  }
+  return versions;
+}
+
+struct VersionedObservation {
+  int64_t graph_version = 0;
+  ColorId budget = 0;
+  double max_q = 0.0;
+  Partition coloring;
+};
+
+// Six reader threads hammer Coloring queries at mixed budgets while the
+// main thread pushes edit batches through ApplyEdits. The query options
+// leave q_tolerance at 0, so every batch resets the cached spec to scratch
+// and each observation must be bitwise identical to a fresh session on the
+// graph version stamped into its telemetry — under ANY interleaving.
+TEST(DynamicRecolorConcurrencyTest, EditsRacingQueriesMatchPerVersionOracle) {
+  const Graph g = StressGraph();
+  const std::vector<std::vector<dynamic::EditOp>> batches =
+      StressBatches(g, 4);
+  const std::vector<Graph> versions = VersionChain(g, batches);
+
+  ThreadPool pool(4);
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g), &pool);
+
+  constexpr int kThreads = 6;
+  const std::vector<ColorId> budgets = {8, 24, 16};
+  std::vector<std::vector<VersionedObservation>> observations(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < 4; ++round) {
+          QueryOptions options;
+          options.max_colors =
+              budgets[static_cast<size_t>(t + round) % budgets.size()];
+          const StatusOr<ColoringResult> result = session.Coloring(options);
+          QSC_CHECK_OK(result);
+          observations[t].push_back({result->telemetry.graph_version,
+                                     options.max_colors, result->max_q,
+                                     *result->coloring});
+        }
+      });
+    }
+    // Race the edit batches against the readers from this thread.
+    for (const std::vector<dynamic::EditOp>& batch : batches) {
+      const StatusOr<EditApplyResult> applied = session.ApplyEdits(batch);
+      QSC_CHECK_OK(applied);
+      EXPECT_EQ(applied->edits_applied,
+                static_cast<int64_t>(batch.size()));
+      // Zero-tolerance entries are never repairable.
+      EXPECT_EQ(applied->repairs, 0);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(session.graph_version(),
+            static_cast<int64_t>(batches.size()));
+
+  // Per-(version, budget) oracle: a fresh session on that version's graph.
+  std::map<std::pair<int64_t, ColorId>, VersionedObservation> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const VersionedObservation& seen : observations[t]) {
+      ASSERT_GE(seen.graph_version, 0);
+      ASSERT_LT(seen.graph_version,
+                static_cast<int64_t>(versions.size()));
+      const std::pair<int64_t, ColorId> key{seen.graph_version, seen.budget};
+      auto it = expected.find(key);
+      if (it == expected.end()) {
+        const Graph& at = versions[static_cast<size_t>(seen.graph_version)];
+        Compressor oracle(
+            std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &at));
+        QueryOptions options;
+        options.max_colors = seen.budget;
+        const StatusOr<ColoringResult> want = oracle.Coloring(options);
+        QSC_CHECK_OK(want);
+        it = expected
+                 .emplace(key, VersionedObservation{seen.graph_version,
+                                                    seen.budget, want->max_q,
+                                                    *want->coloring})
+                 .first;
+      }
+      ASSERT_EQ(seen.max_q, it->second.max_q)
+          << "version " << seen.graph_version << " budget " << seen.budget;
+      ASSERT_TRUE(seen.coloring == it->second.coloring)
+          << "version " << seen.graph_version << " budget " << seen.budget;
+    }
+  }
+}
+
+// Positive tolerance, phased: each phase fans concurrent queries at mixed
+// budgets, then applies one batch (which must REPAIR the entry, not fall
+// back). The whole history is replayed on a single-threaded oracle
+// session; every concurrent observation must match the oracle's result
+// for its (phase, budget) bitwise — repaired state included, because the
+// entry's refinement trajectory is a deterministic function of the query
+// set, not of arrival order.
+TEST(DynamicRecolorConcurrencyTest, PhasedRepairsMatchSerializedOracle) {
+  const Graph g = StressGraph();
+  const std::vector<std::vector<dynamic::EditOp>> batches =
+      StressBatches(g, 3);
+
+  QueryOptions query;
+  query.q_tolerance = 8.0;
+
+  ThreadPool pool(4);
+  Compressor session(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g), &pool);
+  Compressor oracle(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+
+  constexpr int kThreads = 4;
+  const std::vector<ColorId> budgets = {8, 32, 16};
+  // phase -> budget -> observed partitions (one per thread).
+  for (size_t phase = 0; phase <= batches.size(); ++phase) {
+    std::vector<std::vector<std::pair<ColorId, Partition>>> seen(kThreads);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (size_t b = 0; b < budgets.size(); ++b) {
+            QueryOptions options = query;
+            options.max_colors =
+                budgets[(b + static_cast<size_t>(t)) % budgets.size()];
+            const StatusOr<ColoringResult> result =
+                session.Coloring(options);
+            QSC_CHECK_OK(result);
+            seen[t].emplace_back(options.max_colors, *result->coloring);
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+    }
+
+    // Serialized oracle: the same query set, ascending, one thread.
+    std::map<ColorId, Partition> want;
+    for (const ColorId budget : budgets) {
+      QueryOptions options = query;
+      options.max_colors = budget;
+      const StatusOr<ColoringResult> result = oracle.Coloring(options);
+      QSC_CHECK_OK(result);
+      want.emplace(budget, *result->coloring);
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      for (const auto& [budget, coloring] : seen[t]) {
+        ASSERT_TRUE(coloring == want.at(budget))
+            << "phase " << phase << " budget " << budget << " thread " << t;
+      }
+    }
+
+    if (phase < batches.size()) {
+      const StatusOr<EditApplyResult> applied =
+          session.ApplyEdits(batches[phase]);
+      const StatusOr<EditApplyResult> oracle_applied =
+          oracle.ApplyEdits(batches[phase]);
+      QSC_CHECK_OK(applied);
+      QSC_CHECK_OK(oracle_applied);
+      // The tolerance-bounded spec must take the repair path in both
+      // sessions, and spend the identical split budget doing so.
+      EXPECT_EQ(applied->repairs, 1) << "phase " << phase;
+      EXPECT_EQ(applied->fallbacks, 0) << "phase " << phase;
+      EXPECT_EQ(applied->repairs, oracle_applied->repairs);
+      EXPECT_EQ(applied->repair_splits, oracle_applied->repair_splits);
+    }
+  }
+
+  // Edit telemetry aggregates identically on both sessions.
+  const CompressorStats concurrent_stats = session.stats();
+  const CompressorStats serial_stats = oracle.stats();
+  EXPECT_EQ(concurrent_stats.coloring.edit_batches,
+            serial_stats.coloring.edit_batches);
+  EXPECT_EQ(concurrent_stats.coloring.edits_applied,
+            serial_stats.coloring.edits_applied);
+  EXPECT_EQ(concurrent_stats.coloring.repairs,
+            serial_stats.coloring.repairs);
+  EXPECT_EQ(concurrent_stats.coloring.fallbacks,
+            serial_stats.coloring.fallbacks);
+}
+
+}  // namespace
+}  // namespace qsc

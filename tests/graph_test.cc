@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "qsc/graph/datasets.h"
@@ -235,6 +237,162 @@ TEST(Figure5GraphTest, EveryNodeDegreeTwo) {
   const auto ce = Figure5Graph();
   for (NodeId v = 0; v < ce.graph.num_nodes(); ++v) {
     EXPECT_EQ(ce.graph.OutDegree(v), 2);
+  }
+}
+
+// ---- In-place single-edge mutators (docs/DYNAMIC.md) ----
+
+// The mutator contract: a mutated graph is indistinguishable from
+// FromArcs() over its mutated arc list, down to the cached weight
+// aggregates (compared with exact equality, not a tolerance).
+void ExpectEqualsRebuild(const Graph& g) {
+  const Graph rebuilt =
+      Graph::FromArcs(g.num_nodes(), g.Arcs(), g.undirected());
+  ASSERT_TRUE(g == rebuilt);
+  EXPECT_EQ(g.num_edges(), rebuilt.num_edges());
+  EXPECT_EQ(g.num_arcs(), rebuilt.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.OutWeight(v), rebuilt.OutWeight(v)) << "node " << v;
+    EXPECT_EQ(g.InWeight(v), rebuilt.InWeight(v)) << "node " << v;
+    EXPECT_EQ(g.OutDegree(v), rebuilt.OutDegree(v)) << "node " << v;
+    EXPECT_EQ(g.InDegree(v), rebuilt.InDegree(v)) << "node " << v;
+  }
+  EXPECT_EQ(g.TotalWeight(), rebuilt.TotalWeight());
+}
+
+TEST(GraphMutatorsTest, AddEdgeDirected) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}}, false);
+  ASSERT_TRUE(g.AddEdge(2, 0, 0.5).ok());
+  EXPECT_EQ(g.num_arcs(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(2, 0), 0.5);
+  EXPECT_FALSE(g.HasArc(0, 2));  // directed: no mirror
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, AddEdgeUndirectedMirrorsBothArcs) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}}, true);
+  ASSERT_TRUE(g.AddEdge(1, 3, 4.0).ok());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.num_arcs(), 4);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(3, 1), 4.0);
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, AddSelfLoopUndirectedStoredOnce) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}}, true);
+  ASSERT_TRUE(g.AddEdge(2, 2, 5.0).ok());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.num_arcs(), 3);  // loop stored once
+  EXPECT_DOUBLE_EQ(g.ArcWeight(2, 2), 5.0);
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, RemoveEdgeDirected) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 4.0}},
+                             false);
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.HasArc(1, 2));
+  EXPECT_DOUBLE_EQ(g.OutWeight(1), 0.0);
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, RemoveEdgeUndirectedDropsBothArcs) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}}, true);
+  ASSERT_TRUE(g.RemoveEdge(2, 1).ok());  // either endpoint order
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasArc(1, 2));
+  EXPECT_FALSE(g.HasArc(2, 1));
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, SetWeightUpdatesBothUndirectedArcs) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, true);
+  ASSERT_TRUE(g.SetWeight(1, 0, 7.5).ok());
+  EXPECT_DOUBLE_EQ(g.ArcWeight(0, 1), 7.5);
+  EXPECT_DOUBLE_EQ(g.ArcWeight(1, 0), 7.5);
+  EXPECT_EQ(g.num_edges(), 2);
+  ExpectEqualsRebuild(g);
+}
+
+TEST(GraphMutatorsTest, MutationSequenceMatchesRebuildAtEveryStep) {
+  Graph g = KarateClub();
+  ASSERT_TRUE(g.AddEdge(0, 9, 2.0).ok());
+  ExpectEqualsRebuild(g);
+  ASSERT_TRUE(g.SetWeight(0, 9, 0.25).ok());
+  ExpectEqualsRebuild(g);
+  ASSERT_TRUE(g.RemoveEdge(33, 32).ok());
+  ExpectEqualsRebuild(g);
+  ASSERT_TRUE(g.AddEdge(33, 7, 1.0).ok());
+  ExpectEqualsRebuild(g);
+}
+
+// Boundary rejection table: every invalid call reports the documented
+// code with a descriptive message and leaves the graph untouched.
+TEST(GraphMutatorsTest, RejectionTable) {
+  struct Case {
+    const char* name;
+    Status (*apply)(Graph& g);
+    StatusCode want_code;
+    const char* want_substring;
+  };
+  const Case kCases[] = {
+      {"add-src-out-of-range",
+       [](Graph& g) { return g.AddEdge(-1, 0, 1.0); },
+       StatusCode::kInvalidArgument, "out of range"},
+      {"add-dst-out-of-range",
+       [](Graph& g) { return g.AddEdge(0, 3, 1.0); },
+       StatusCode::kInvalidArgument, "out of range"},
+      {"add-nan-weight",
+       [](Graph& g) {
+         return g.AddEdge(0, 2, std::numeric_limits<double>::quiet_NaN());
+       },
+       StatusCode::kInvalidArgument, "finite"},
+      {"add-inf-weight",
+       [](Graph& g) {
+         return g.AddEdge(0, 2, std::numeric_limits<double>::infinity());
+       },
+       StatusCode::kInvalidArgument, "finite"},
+      {"add-zero-weight",
+       [](Graph& g) { return g.AddEdge(0, 2, 0.0); },
+       StatusCode::kInvalidArgument, "nonzero"},
+      {"add-present-arc",
+       [](Graph& g) { return g.AddEdge(0, 1, 1.0); },
+       StatusCode::kInvalidArgument, "use SetWeight"},
+      {"remove-src-out-of-range",
+       [](Graph& g) { return g.RemoveEdge(3, 0); },
+       StatusCode::kInvalidArgument, "out of range"},
+      {"remove-absent-arc",
+       [](Graph& g) { return g.RemoveEdge(0, 2); },
+       StatusCode::kNotFound, "no arc"},
+      {"set-weight-absent-arc",
+       [](Graph& g) { return g.SetWeight(2, 0, 1.0); },
+       StatusCode::kNotFound, "no arc"},
+      {"set-weight-zero",
+       [](Graph& g) { return g.SetWeight(0, 1, 0.0); },
+       StatusCode::kInvalidArgument, "RemoveEdge"},
+      {"set-weight-nan",
+       [](Graph& g) {
+         return g.SetWeight(0, 1, std::numeric_limits<double>::quiet_NaN());
+       },
+       StatusCode::kInvalidArgument, "finite"},
+      {"set-weight-dst-out-of-range",
+       [](Graph& g) { return g.SetWeight(0, -2, 1.0); },
+       StatusCode::kInvalidArgument, "out of range"},
+  };
+  for (const bool undirected : {false, true}) {
+    for (const Case& c : kCases) {
+      Graph g = Graph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}}, undirected);
+      const Graph before = g;
+      const Status s = c.apply(g);
+      EXPECT_EQ(s.code(), c.want_code)
+          << c.name << " (undirected=" << undirected << "): " << s.message();
+      EXPECT_NE(s.message().find(c.want_substring), std::string::npos)
+          << c.name << ": message was \"" << s.message() << "\"";
+      EXPECT_TRUE(g == before) << c.name << " mutated the graph on error";
+    }
   }
 }
 

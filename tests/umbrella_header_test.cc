@@ -28,6 +28,10 @@ TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
   const Partition stable = StableColoring(g);
   EXPECT_GE(stable.num_colors(), 1);
 
+  // qsc/dynamic: the edit-stream model behind Compressor::ApplyEdits.
+  EXPECT_STREQ(dynamic::EditKindName(dynamic::EditKind::kInsertEdge),
+               "insert");
+
   EXPECT_DOUBLE_EQ(MaxFlowDinic(g, 0, 2), 1.0);
 
   LpProblem lp;

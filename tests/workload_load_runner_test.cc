@@ -75,6 +75,11 @@ void ExpectSameCounters(const LoadReport& a, const LoadReport& b) {
     // order, so no tolerance is needed or wanted.
     EXPECT_EQ(a.kind_checksums[k], b.kind_checksums[k]) << "kind " << k;
   }
+  EXPECT_EQ(a.edit_events, b.edit_events);
+  EXPECT_EQ(a.edits_applied, b.edits_applied);
+  EXPECT_EQ(a.failed_edits, b.failed_edits);
+  EXPECT_EQ(a.edit_repairs, b.edit_repairs);
+  EXPECT_EQ(a.edit_fallbacks, b.edit_fallbacks);
 }
 
 TEST(LoadRunnerTest, CountersAreBitwiseIdenticalAcrossThreadCounts) {
@@ -126,6 +131,74 @@ TEST(LoadRunnerTest, ReportsGaugesAndSessionStats) {
   EXPECT_GT(cache.bytes_in_use, 0);
 }
 
+// A qsc-trace v2 stream: every 6th event is an edit batch applied at a
+// segment barrier.
+std::vector<TraceEvent> EditTrace() {
+  TraceGenOptions options;
+  options.seed = kSeed + 1;
+  options.num_events = 90;
+  options.num_specs = 6;
+  options.budgets = {8, 16, 32};
+  options.batch_size = 3;
+  options.edit_interval = 5;
+  options.edits_per_batch = 6;
+  StatusOr<std::unique_ptr<TraceSource>> source =
+      MakeTraceSource("poisson-zipf-mixed", options);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return DrainTrace(**source);
+}
+
+// The dynamic-serving determinism claim (docs/DYNAMIC.md): edit batches
+// apply at segment barriers, so which queries precede each batch — and
+// therefore every edit counter AND every query checksum on the evolving
+// graph — is pinned regardless of client thread count.
+TEST(LoadRunnerTest, EditCountersAreThreadCountInvariantAcrossThreads) {
+  const std::vector<TraceEvent> trace = EditTrace();
+  const LoadReport single = RunFresh(trace, BaseOptions(1));
+  EXPECT_EQ(single.edit_events, 15);  // every 6th of 90 events
+  EXPECT_EQ(single.total_queries,
+            static_cast<int64_t>(trace.size()) - single.edit_events);
+  EXPECT_EQ(single.failed_edits, 0);
+  EXPECT_EQ(single.edits_applied, single.edit_events * 6);
+  // Zero-tolerance specs always fall back; the repair path needs a
+  // tolerance-bounded query, which this trace never issues.
+  EXPECT_EQ(single.edit_repairs, 0);
+  EXPECT_GT(single.edit_fallbacks, 0);
+  EXPECT_EQ(single.session_stats.coloring.edit_batches, single.edit_events);
+
+  for (const int32_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameCounters(single, RunFresh(trace, BaseOptions(threads)));
+  }
+}
+
+// An infeasible edit event (deleting more edges than the graph has) must
+// fail cleanly — graph untouched, later events still served — and count
+// identically at every thread count.
+TEST(LoadRunnerTest, FailedEditsAreDeterministicAndNonFatal) {
+  std::vector<TraceEvent> trace = MixedTrace();
+  TraceEvent doomed;
+  doomed.kind = QueryKind::kDeleteEdge;
+  doomed.budget = 1000000;  // ServiceGraph has ~1200 arcs
+  doomed.spec_index = 0;
+  doomed.arrival_seconds = 0.0;
+  trace.insert(trace.begin() + 10, doomed);
+  for (size_t i = 11; i < trace.size(); ++i) {
+    trace[i].arrival_seconds =
+        std::max(trace[i].arrival_seconds, trace[10].arrival_seconds);
+  }
+
+  const LoadReport single = RunFresh(trace, BaseOptions(1));
+  EXPECT_EQ(single.edit_events, 1);
+  EXPECT_EQ(single.failed_edits, 1);
+  EXPECT_EQ(single.edits_applied, 0);
+  EXPECT_EQ(single.failed_queries, 0);
+  for (const int32_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameCounters(single, RunFresh(trace, BaseOptions(threads)));
+  }
+}
+
 TEST(LoadRunnerTest, ValidatesOptionsAndTraceRequirements) {
   const std::vector<TraceEvent> trace = MixedTrace();
   Compressor session(ServiceGraph());
@@ -144,6 +217,19 @@ TEST(LoadRunnerTest, ValidatesOptionsAndTraceRequirements) {
   Compressor lp_only;
   EXPECT_EQ(RunLoad(lp_only, trace, BaseOptions(1)).status().code(),
             StatusCode::kFailedPrecondition);
+
+  // So do edit events — they mutate the session graph.
+  TraceEvent edit_event;
+  edit_event.kind = QueryKind::kInsertEdge;
+  edit_event.budget = 4;
+  EXPECT_EQ(RunLoad(lp_only, {edit_event}, BaseOptions(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Repair budgets are validated up front.
+  LoadRunnerOptions bad_repair = BaseOptions(1);
+  bad_repair.max_repair_splits = -1;
+  EXPECT_EQ(RunLoad(session, trace, bad_repair).status().code(),
+            StatusCode::kInvalidArgument);
 
   // An LP-only trace on an LP-only session is fine.
   TraceEvent lp_event;

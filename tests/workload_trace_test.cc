@@ -133,8 +133,14 @@ TEST(WorkloadTraceTest, ParserRejectsMalformedInputDescriptively) {
     const char* needle;  // expected fragment of the error message
   } cases[] = {
       {"", "missing"},
-      {"qsc-trace v2\n", "expected header"},
+      {"qsc-trace v3\n", "expected header"},
       {"0.5 coloring 8 0 1\n", "expected header"},
+      // Edit kinds are v2 vocabulary: under a v1 header they are line
+      // errors, not silently accepted.
+      {"qsc-trace v1\n0.5 insert 4 0 1\n", "qsc-trace v2"},
+      {"qsc-trace v1\n0.5 delete 4 0 1\n", "qsc-trace v2"},
+      {"qsc-trace v1\n0.5 update 4 0 1\n", "qsc-trace v2"},
+      {"qsc-trace v2\n0.5 warp 8 0 1\n", "unknown query kind"},
       {"qsc-trace v1\n0.5 coloring 8 0\n", "5 fields"},
       {"qsc-trace v1\n0.5 coloring 8 0 1 extra\n", "5 fields"},
       {"qsc-trace v1\nnope coloring 8 0 1\n", "arrival_seconds"},
@@ -197,27 +203,125 @@ TEST(WorkloadTraceTest, GeneratorOptionsAreValidated) {
   expect_invalid(o);
 }
 
+// ---- qsc-trace v2 (edit events) ----
+
+std::vector<TraceEvent> GenerateWithEdits(uint64_t seed,
+                                          int32_t edit_interval) {
+  TraceGenOptions options = SmallOptions(seed);
+  options.edit_interval = edit_interval;
+  options.edits_per_batch = 5;
+  StatusOr<std::unique_ptr<TraceSource>> source =
+      MakeTraceSource("poisson-zipf-mixed", options);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return DrainTrace(**source);
+}
+
+TEST(WorkloadTraceTest, EditTracesFormatAsV2AndRoundTrip) {
+  const std::vector<TraceEvent> events = GenerateWithEdits(13, 4);
+  const std::string text = FormatTrace(events);
+  // The header upgrades exactly when edit events are present.
+  EXPECT_EQ(text.rfind("qsc-trace v2\n", 0), 0u) << text.substr(0, 20);
+  EXPECT_EQ(FormatTrace(Generate("poisson-zipf-mixed", 13))
+                .rfind("qsc-trace v1\n", 0),
+            0u);
+
+  StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], events[i]) << "event " << i;
+  }
+  EXPECT_EQ(FormatTrace(*parsed), text);
+}
+
+TEST(WorkloadTraceTest, EditCadenceAndColumnsFollowTheContract) {
+  const int32_t interval = 3;
+  const std::vector<TraceEvent> events = GenerateWithEdits(21, interval);
+  int64_t edits_seen = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const bool should_be_edit =
+        (static_cast<int64_t>(i) + 1) % (interval + 1) == 0;
+    ASSERT_EQ(IsEditEvent(events[i].kind), should_be_edit) << "event " << i;
+    if (!should_be_edit) continue;
+    // Kinds cycle insert -> delete -> update; the budget column carries
+    // the batch size and the spec column the running edit counter.
+    EXPECT_EQ(events[i].kind,
+              static_cast<QueryKind>(kNumQueryKinds + edits_seen % 3));
+    EXPECT_EQ(events[i].budget, 5);
+    EXPECT_EQ(events[i].spec_index, edits_seen);
+    EXPECT_EQ(events[i].batch_size, 1);
+    ++edits_seen;
+  }
+  EXPECT_GT(edits_seen, 0);
+
+  // Edits draw nothing from the query stream: stripping them recovers the
+  // edits-off trace event for event (arrival times differ — the clock
+  // still ticks through edit slots).
+  const std::vector<TraceEvent> plain = Generate("poisson-zipf-mixed", 21);
+  std::vector<TraceEvent> queries;
+  for (const TraceEvent& e : events) {
+    if (!IsEditEvent(e.kind)) queries.push_back(e);
+  }
+  ASSERT_LE(queries.size(), plain.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].kind, plain[i].kind) << "query " << i;
+    EXPECT_EQ(queries[i].spec_index, plain[i].spec_index) << "query " << i;
+    EXPECT_EQ(queries[i].budget, plain[i].budget) << "query " << i;
+    EXPECT_EQ(queries[i].batch_size, plain[i].batch_size) << "query " << i;
+  }
+}
+
+TEST(WorkloadTraceTest, EditIntervalOffIsByteIdenticalToBefore) {
+  TraceGenOptions options = SmallOptions(9);
+  options.edit_interval = 0;
+  StatusOr<std::unique_ptr<TraceSource>> source =
+      MakeTraceSource("bursty-zipf-mixed", options);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(FormatTrace(DrainTrace(**source)),
+            FormatTrace(Generate("bursty-zipf-mixed", 9)));
+}
+
+TEST(WorkloadTraceTest, EditGenOptionsAreValidated) {
+  const auto expect_invalid = [](TraceGenOptions options) {
+    const auto source = MakeTraceSource("poisson-zipf-mixed", options);
+    ASSERT_FALSE(source.ok());
+    EXPECT_EQ(source.status().code(), StatusCode::kInvalidArgument);
+  };
+  TraceGenOptions o = SmallOptions(1);
+  o.edit_interval = -1;
+  expect_invalid(o);
+  o = SmallOptions(1);
+  o.edits_per_batch = 0;
+  expect_invalid(o);
+}
+
 // Fuzz-ish negative tier: random truncations and byte mutations of a
 // valid trace must parse cleanly or fail with InvalidArgument — never
-// crash or corrupt memory (this binary runs under ASan in CI).
+// crash or corrupt memory (this binary runs under ASan in CI). Covers
+// both format versions.
 TEST(WorkloadTraceTest, TruncationAndMutationFuzzNeverCrashes) {
-  const std::string valid = FormatTrace(Generate("bursty-zipf-mixed", 5));
+  const std::string kCorpus[] = {
+      FormatTrace(Generate("bursty-zipf-mixed", 5)),
+      FormatTrace(GenerateWithEdits(5, 2)),  // v2 with edit events
+  };
   Rng rng(20260808);
   for (int iteration = 0; iteration < 200; ++iteration) {
-    std::string text = valid;
-    if (iteration % 2 == 0) {
-      text.resize(rng.NextBounded(text.size() + 1));  // truncate
-    } else {
-      const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
-      for (int m = 0; m < mutations; ++m) {
-        text[rng.NextBounded(text.size())] =
-            static_cast<char>(rng.NextBounded(256));
+    for (const std::string& valid : kCorpus) {
+      std::string text = valid;
+      if (iteration % 2 == 0) {
+        text.resize(rng.NextBounded(text.size() + 1));  // truncate
+      } else {
+        const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+        for (int m = 0; m < mutations; ++m) {
+          text[rng.NextBounded(text.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        }
       }
-    }
-    const StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
-    if (!parsed.ok()) {
-      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
-      EXPECT_FALSE(parsed.status().message().empty());
+      const StatusOr<std::vector<TraceEvent>> parsed = ParseTrace(text);
+      if (!parsed.ok()) {
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+        EXPECT_FALSE(parsed.status().message().empty());
+      }
     }
   }
 }
