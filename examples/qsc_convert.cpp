@@ -1,0 +1,149 @@
+// qsc_convert: turn a text edge list into the mmap-able qsc-bin v1
+// container that Compressor::FromFile serves zero-copy (README "Serving a
+// SNAP graph", docs/FORMATS.md).
+//
+//   $ ./qsc_convert <input.txt> <output.qscbin> [--undirected]
+//
+// Two input dialects, auto-detected:
+//
+//   * the repo's own WriteEdgeList format — a "# nodes <n> directed <0|1>"
+//     header line, then "src dst weight" lines (read via ReadEdgeList; the
+//     header's directedness wins, --undirected is rejected);
+//   * a raw SNAP-style edge list — '#' comment lines anywhere, then one
+//     "src dst [weight]" pair per line with arbitrary non-negative i64
+//     ids. Ids are compacted to [0, n) in first-appearance order, weight
+//     defaults to 1, duplicate pairs sum their weights. Directed by
+//     default; pass --undirected for files that list each edge once.
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qsc/graph/graph.h"
+#include "qsc/graph/io.h"
+#include "qsc/util/status.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.txt> <output.qscbin> [--undirected]\n",
+               argv0);
+  return 2;
+}
+
+// True when the file opens with the WriteEdgeList header (possibly after
+// blank lines): "# nodes <n> directed <0|1>".
+bool HasEdgeListHeader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[256];
+  bool has_header = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const char* p = line;
+    while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0') continue;
+    has_header = std::strncmp(p, "# nodes ", 8) == 0;
+    break;
+  }
+  std::fclose(f);
+  return has_header;
+}
+
+// Parses the SNAP-style dialect: "src dst [weight]" with arbitrary ids.
+qsc::StatusOr<qsc::Graph> ReadSnapStyle(const std::string& path,
+                                        bool undirected) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return qsc::Status::NotFound("cannot open " + path);
+  }
+  std::unordered_map<int64_t, qsc::NodeId> remap;
+  std::vector<qsc::EdgeTriple> edges;
+  char line[512];
+  int64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0' || *p == '#') continue;
+    int64_t src_id = 0, dst_id = 0;
+    double weight = 1.0;
+    const int fields =
+        std::sscanf(p, "%" SCNd64 " %" SCNd64 " %lf", &src_id, &dst_id,
+                    &weight);
+    if (fields < 2) {
+      std::fclose(f);
+      return qsc::Status::InvalidArgument(
+          path + " line " + std::to_string(line_no) +
+          ": expected \"src dst [weight]\"");
+    }
+    if (fields < 3) weight = 1.0;
+    const auto intern = [&remap](int64_t id) {
+      const auto [it, inserted] =
+          remap.try_emplace(id, static_cast<qsc::NodeId>(remap.size()));
+      (void)inserted;
+      return it->second;
+    };
+    edges.push_back({intern(src_id), intern(dst_id), weight});
+  }
+  std::fclose(f);
+  return qsc::Graph::FromEdges(static_cast<qsc::NodeId>(remap.size()), edges,
+                               undirected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  bool undirected = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--undirected") == 0) {
+      undirected = true;
+    } else if (input.empty()) {
+      input = argv[i];
+    } else if (output.empty()) {
+      output = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (input.empty() || output.empty()) return Usage(argv[0]);
+
+  qsc::StatusOr<qsc::Graph> graph = qsc::Status::Internal("unreached");
+  if (HasEdgeListHeader(input)) {
+    if (undirected) {
+      std::fprintf(stderr,
+                   "--undirected conflicts with the edge-list header "
+                   "(directedness comes from the file)\n");
+      return 2;
+    }
+    graph = qsc::ReadEdgeList(input);
+  } else {
+    graph = ReadSnapStyle(input, undirected);
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  const qsc::Status written = qsc::WriteBinary(*graph, output);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: %lld nodes, %lld arcs (%s) -> %s\n"
+      "serve it without materializing:\n"
+      "  auto session = qsc::Compressor::FromFile(\"%s\");\n",
+      input.c_str(), static_cast<long long>(graph->num_nodes()),
+      static_cast<long long>(graph->num_arcs()),
+      graph->undirected() ? "undirected" : "directed", output.c_str(),
+      output.c_str());
+  return 0;
+}

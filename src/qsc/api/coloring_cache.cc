@@ -27,12 +27,11 @@ ColoringParams ToColoringParams(const ColoringSpec& spec, ThreadPool* pool) {
 // backend. Aborts on unregistered names (the Compressor boundary
 // validates before a spec reaches the cache).
 std::unique_ptr<dynamic::IncrementalRecolorer> MakeBackend(
-    const std::shared_ptr<const Graph>& graph, const ColoringSpec& spec,
-    ThreadPool* pool) {
+    const GraphView& view, std::shared_ptr<const void> keepalive,
+    const ColoringSpec& spec, ThreadPool* pool) {
   return std::make_unique<dynamic::IncrementalRecolorer>(
-      graph, api_internal::BackendOrDefault(spec.backend),
-      InitialPartition(spec, graph->num_nodes()),
-      ToColoringParams(spec, pool));
+      view, std::move(keepalive), api_internal::BackendOrDefault(spec.backend),
+      InitialPartition(spec, view.num_nodes()), ToColoringParams(spec, pool));
 }
 
 }  // namespace
@@ -141,6 +140,19 @@ ColoringCache::ColoringCache(std::shared_ptr<const Graph> graph,
     : graph_(std::move(graph)), pool_(pool), options_(options) {
   QSC_CHECK(graph_ != nullptr);
   QSC_CHECK_GE(options_.byte_budget, 0);
+  view_ = GraphView(*graph_);
+  keepalive_ = graph_;
+}
+
+ColoringCache::ColoringCache(GraphView view,
+                             std::shared_ptr<const void> keepalive,
+                             ThreadPool* pool,
+                             const ColoringCacheOptions& options)
+    : view_(std::move(view)),
+      keepalive_(std::move(keepalive)),
+      pool_(pool),
+      options_(options) {
+  QSC_CHECK_GE(options_.byte_budget, 0);
 }
 
 ColoringCache::~ColoringCache() = default;
@@ -182,14 +194,17 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   // eviction scan — it runs under the unique lock and skips active
   // entries — from dropping an entry a request is about to refine.
   std::shared_ptr<Entry> entry;
-  // The graph this request refines against, snapshotted under the map
-  // lock (never under an entry mutex — ApplyGraph holds the map lock
-  // while acquiring entry mutexes, so the reverse order would deadlock).
-  std::shared_ptr<const Graph> graph;
+  // The graph view this request refines against (plus the keepalive that
+  // pins its storage), snapshotted under the map lock (never under an
+  // entry mutex — ApplyGraph holds the map lock while acquiring entry
+  // mutexes, so the reverse order would deadlock).
+  GraphView view;
+  std::shared_ptr<const void> keepalive;
   bool found = true;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    graph = graph_;
+    view = view_;
+    keepalive = keepalive_;
     const auto it = entries_.find(spec);
     if (it != entries_.end()) {
       entry = it->second;
@@ -198,7 +213,8 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   }
   if (entry == nullptr) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
-    graph = graph_;
+    view = view_;
+    keepalive = keepalive_;
     const auto [it, inserted] = entries_.try_emplace(spec, nullptr);
     if (inserted) it->second = std::make_shared<Entry>();
     found = !inserted;
@@ -222,7 +238,7 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
   {
     std::lock_guard<std::mutex> entry_lock(entry->mutex);
     if (entry->refiner == nullptr) {
-      entry->refiner = MakeBackend(graph, spec, pool_);
+      entry->refiner = MakeBackend(view, keepalive, spec, pool_);
       entry->initial_colors = entry->refiner->partition().num_colors();
     }
 
@@ -247,7 +263,7 @@ ColoringCache::Handle ColoringCache::Refine(const ColoringSpec& spec,
         handle.max_error = served->second.second;
       } else {
         std::unique_ptr<dynamic::IncrementalRecolorer> fresh =
-            MakeBackend(graph, spec, pool_);
+            MakeBackend(view, keepalive, spec, pool_);
         const ColorId initial = fresh->partition().num_colors();
         while (fresh->partition().num_colors() < budget &&
                fresh->Step(budget)) {
@@ -310,7 +326,7 @@ ColoringCache::EditApplyStats ColoringCache::ApplyGraph(
     const std::vector<dynamic::EditOp>& edits,
     const dynamic::RepairOptions& options) {
   QSC_CHECK(new_graph != nullptr);
-  QSC_CHECK_EQ(new_graph->num_nodes(), graph_->num_nodes());
+  QSC_CHECK_EQ(new_graph->num_nodes(), view_.num_nodes());
   EditApplyStats result;
   // (backend row, repaired?) per visited entry, applied to the stats
   // after the map lock drops.
@@ -321,6 +337,8 @@ ColoringCache::EditApplyStats ColoringCache::ApplyGraph(
     // waits on the map lock while holding an entry mutex.
     std::unique_lock<std::shared_mutex> lock(mutex_);
     graph_ = std::move(new_graph);
+    view_ = GraphView(*graph_);
+    keepalive_ = graph_;
     for (auto& [spec, entry] : entries_) {
       std::lock_guard<std::mutex> entry_lock(entry->mutex);
       if (entry->refiner == nullptr) {

@@ -59,6 +59,7 @@
 #include "qsc/dynamic/edit_stream.h"
 #include "qsc/dynamic/incremental.h"
 #include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -193,6 +194,15 @@ class ColoringCache {
   explicit ColoringCache(std::shared_ptr<const Graph> graph,
                          ThreadPool* pool = nullptr,
                          const ColoringCacheOptions& options = {});
+
+  // View-backed construction (the mmap serving path): refiners run over
+  // `view` without an owning Graph ever materializing. `keepalive` (may be
+  // null) pins whatever owns the viewed arrays — typically the session's
+  // MappedGraph. graph() is invalid on such a cache until the first
+  // ApplyGraph(); every other member behaves identically.
+  ColoringCache(GraphView view, std::shared_ptr<const void> keepalive,
+                ThreadPool* pool = nullptr,
+                const ColoringCacheOptions& options = {});
   ~ColoringCache();
 
   ColoringCache(const ColoringCache&) = delete;
@@ -238,10 +248,15 @@ class ColoringCache {
                             const std::vector<dynamic::EditOp>& edits,
                             const dynamic::RepairOptions& options);
 
-  // The current graph. ApplyGraph replaces it, so the reference from
-  // graph() is only stable between edit batches; shared_graph() snapshots
-  // shared ownership under the map lock and is always safe.
-  const Graph& graph() const { return *graph_; }
+  // The current owning graph. ApplyGraph replaces it, so the reference
+  // from graph() is only stable between edit batches; shared_graph()
+  // snapshots shared ownership under the map lock and is always safe.
+  // Invalid (aborts) on a view-backed cache that has not seen ApplyGraph;
+  // null from shared_graph() in that state.
+  const Graph& graph() const {
+    QSC_CHECK(graph_ != nullptr);
+    return *graph_;
+  }
   std::shared_ptr<const Graph> shared_graph() const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     return graph_;
@@ -259,7 +274,13 @@ class ColoringCache {
   // evicts LRU idle entries while the total exceeds the budget.
   void FinishUse(const std::shared_ptr<Entry>& entry, int64_t new_bytes);
 
+  // The serving substrate: every refiner is built over view_, and
+  // keepalive_ pins its backing storage (the owning graph_ or a mapped
+  // file). graph_ is null for view-backed caches until ApplyGraph swaps
+  // in an owning mutated graph. All three are guarded by mutex_.
   std::shared_ptr<const Graph> graph_;
+  GraphView view_;
+  std::shared_ptr<const void> keepalive_;
   ThreadPool* pool_;
   ColoringCacheOptions options_;
 

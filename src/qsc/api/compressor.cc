@@ -14,6 +14,8 @@
 #include "qsc/coloring/reduced_graph.h"
 #include "qsc/flow/push_relabel.h"
 #include "qsc/flow/uniform_flow.h"
+#include "qsc/graph/graph_view.h"
+#include "qsc/graph/io.h"
 #include "qsc/parallel/parallel_for.h"
 #include "qsc/util/timer.h"
 
@@ -140,27 +142,58 @@ class Compressor::Impl {
   Impl(std::shared_ptr<const Graph> graph, ThreadPool* pool,
        const CompressorOptions& options)
       : graph_(std::move(graph)), pool_(pool) {
-    if (graph_ != nullptr && graph_->num_nodes() > 0) {
-      ColoringCacheOptions cache_options;
-      cache_options.byte_budget = options.coloring_cache_byte_budget;
-      cache_ = std::make_unique<ColoringCache>(graph_, pool_, cache_options);
+    if (graph_ != nullptr) {
+      view_ = GraphView(*graph_);
+      if (graph_->num_nodes() > 0) {
+        ColoringCacheOptions cache_options;
+        cache_options.byte_budget = options.coloring_cache_byte_budget;
+        cache_ = std::make_unique<ColoringCache>(graph_, pool_, cache_options);
+      }
     }
   }
 
-  bool has_graph() const { return graph_ != nullptr; }
-  const Graph& graph() const {
-    QSC_CHECK(graph_ != nullptr);
+  // The mmap serving path (Compressor::FromFile): queries run over a view
+  // of the mapped payload; no owning Graph exists until graph() or
+  // ApplyEdits materializes one.
+  Impl(std::shared_ptr<const MappedGraph> mapped, ThreadPool* pool,
+       const CompressorOptions& options)
+      : mapped_(std::move(mapped)), pool_(pool) {
+    QSC_CHECK(mapped_ != nullptr);
+    view_ = GraphView::Of(*mapped_);
+    if (view_.num_nodes() > 0) {
+      ColoringCacheOptions cache_options;
+      cache_options.byte_budget = options.coloring_cache_byte_budget;
+      cache_ = std::make_unique<ColoringCache>(view_, mapped_, pool_,
+                                               cache_options);
+    }
+  }
+
+  bool has_graph() const { return graph_ != nullptr || mapped_ != nullptr; }
+
+  const Graph& graph() {
+    {
+      const std::shared_lock<std::shared_mutex> lock(session_mutex_);
+      if (graph_ != nullptr) return *graph_;
+    }
+    // Mapped session, first graph() call: materialize an owning copy once,
+    // under the writer lock. Queries keep serving from view_ (still on the
+    // mapping), so this changes footprint, never results.
+    const std::unique_lock<std::shared_mutex> lock(session_mutex_);
+    QSC_CHECK(mapped_ != nullptr);
+    if (graph_ == nullptr) {
+      graph_ = std::make_shared<const Graph>(mapped_->Materialize());
+    }
     return *graph_;
   }
 
   // FailedPrecondition (not InvalidArgument): the request may be fine, but
   // this session cannot serve graph queries.
   Status RequireGraph() const {
-    if (graph_ == nullptr) {
+    if (graph_ == nullptr && mapped_ == nullptr) {
       return Status::FailedPrecondition(
           "graph query on an LP-only session (no graph)");
     }
-    if (graph_->num_nodes() == 0) {
+    if (view_.num_nodes() == 0) {
       return Status::FailedPrecondition("session graph is empty");
     }
     return Status::Ok();
@@ -170,7 +203,7 @@ class Compressor::Impl {
     const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
-    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
+    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, view_.num_nodes()));
     StatusOr<std::string> backend = ValidateBackend(options.backend);
     if (!backend.ok()) return backend.status();
 
@@ -333,7 +366,7 @@ class Compressor::Impl {
     const std::shared_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
     QSC_RETURN_IF_ERROR(ValidateCommonOptions(options));
-    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, graph_->num_nodes()));
+    QSC_RETURN_IF_ERROR(ValidatePins(options.pinned, view_.num_nodes()));
     if (options.pivots_per_color < 1) {
       return Status::InvalidArgument(
           "pivots_per_color must be >= 1; got " +
@@ -355,7 +388,7 @@ class Compressor::Impl {
     result.telemetry.graph_version = graph_version_;
     WallTimer timer;
     result.scores =
-        ColorPivotScores(*graph_, *handle.partition, options.pivots_per_color,
+        ColorPivotScores(view_, *handle.partition, options.pivots_per_color,
                          options.seed, pool_);
     result.telemetry.solve_seconds = timer.ElapsedSeconds();
     return result;
@@ -376,6 +409,12 @@ class Compressor::Impl {
     // changes, so a query's coloring and solve always agree on one graph.
     const std::unique_lock<std::shared_mutex> session_lock(session_mutex_);
     QSC_RETURN_IF_ERROR(RequireGraph());
+    if (graph_ == nullptr) {
+      // Copy-on-write for mapped sessions: the first edit batch
+      // materializes an owning graph to mutate (bit-identical to the
+      // mapping; the qsc-bin round-trip contract).
+      graph_ = std::make_shared<const Graph>(mapped_->Materialize());
+    }
     StatusOr<Graph> mutated = dynamic::ApplyEditBatch(*graph_, edits);
     if (!mutated.ok()) return mutated.status();
     auto new_graph =
@@ -386,6 +425,8 @@ class Compressor::Impl {
     const ColoringCache::EditApplyStats repaired =
         cache_->ApplyGraph(new_graph, edits, repair);
     graph_ = std::move(new_graph);
+    view_ = GraphView(*graph_);
+    mapped_.reset();  // the mapping no longer backs anything
     ++graph_version_;
 
     EditApplyResult result;
@@ -458,7 +499,7 @@ class Compressor::Impl {
       const StatusOr<std::string> backend = ValidateBackend(options.backend);
       if (!backend.ok()) return backend.status();
     }
-    const NodeId n = graph_->num_nodes();
+    const NodeId n = view_.num_nodes();
     if (source < 0 || source >= n) {
       return Status::InvalidArgument("source node id " + NodeStr(source) +
                                      " out of range [0, " + NodeStr(n) + ")");
@@ -471,7 +512,7 @@ class Compressor::Impl {
       return Status::InvalidArgument(
           "source and sink must differ; both are " + NodeStr(source));
     }
-    if (graph_->undirected()) {
+    if (view_.undirected()) {
       return Status::InvalidArgument(
           "MaxFlow requires a directed session graph (capacities are "
           "per-arc)");
@@ -502,7 +543,7 @@ class Compressor::Impl {
     const ColoringCache::Handle handle =
         cache_->Refine(spec, options.max_colors);
     const Partition& p = *handle.partition;
-    const Graph& g = *graph_;
+    const GraphView& g = view_;
 
     FlowQueryResult result;
     result.coloring = handle.partition;
@@ -541,10 +582,14 @@ class Compressor::Impl {
   }
 
   // Queries hold this shared for their whole duration; ApplyEdits holds
-  // it unique while it swaps graph_, repairs the cache, and bumps
-  // graph_version_ (both fields are guarded by it).
+  // it unique while it swaps graph_/view_, repairs the cache, and bumps
+  // graph_version_ (all guarded by it). At most one of graph_/mapped_ is
+  // the serving substrate: view_ aliases whichever is live, and ApplyEdits
+  // retires the mapping after its copy-on-write materialization.
   mutable std::shared_mutex session_mutex_;
   std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const MappedGraph> mapped_;
+  GraphView view_;
   int64_t graph_version_ = 0;
   ThreadPool* pool_;
   std::unique_ptr<ColoringCache> cache_;
@@ -556,7 +601,8 @@ class Compressor::Impl {
   CompressorStats stats_;
 };
 
-Compressor::Compressor() : impl_(new Impl(nullptr, nullptr, {})) {}
+Compressor::Compressor()
+    : impl_(new Impl(std::shared_ptr<const Graph>(), nullptr, {})) {}
 
 Compressor::Compressor(Graph graph, ThreadPool* pool,
                        const CompressorOptions& options)
@@ -566,6 +612,18 @@ Compressor::Compressor(Graph graph, ThreadPool* pool,
 Compressor::Compressor(std::shared_ptr<const Graph> graph, ThreadPool* pool,
                        const CompressorOptions& options)
     : impl_(new Impl(std::move(graph), pool, options)) {}
+
+StatusOr<Compressor> Compressor::FromFile(const std::string& path,
+                                          ThreadPool* pool,
+                                          const CompressorOptions& options) {
+  StatusOr<MappedGraph> mapped = MapBinary(path);
+  if (!mapped.ok()) return mapped.status();
+  Compressor session;
+  session.impl_ = std::make_unique<Impl>(
+      std::make_shared<const MappedGraph>(std::move(mapped).value()), pool,
+      options);
+  return session;
+}
 
 Compressor::~Compressor() = default;
 Compressor::Compressor(Compressor&&) noexcept = default;

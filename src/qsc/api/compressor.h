@@ -223,6 +223,20 @@ class Compressor {
                       ThreadPool* pool = nullptr,
                       const CompressorOptions& options = {});
 
+  // Opens a qsc-bin file (docs/FORMATS.md) and serves it zero-copy: the
+  // session's queries run over a GraphView of the mmap'd payload, so no
+  // owning Graph is materialized and the resident footprint stays near the
+  // derived in-CSR/weight caches instead of a full adjacency copy. All
+  // five query kinds answer bit-identically to a session constructed from
+  // ReadBinary(path) (the serving/mmap-* bench scenarios gate this).
+  // graph() and ApplyEdits materialize an owning copy on first use
+  // (copy-on-write); until then the file mapping must stay valid, which
+  // the session guarantees by owning the MappedGraph. Fails with the
+  // MapBinary status on a missing or malformed file.
+  static StatusOr<Compressor> FromFile(const std::string& path,
+                                       ThreadPool* pool = nullptr,
+                                       const CompressorOptions& options = {});
+
   ~Compressor();
 
   Compressor(const Compressor&) = delete;
@@ -230,8 +244,13 @@ class Compressor {
   Compressor(Compressor&&) noexcept;
   Compressor& operator=(Compressor&&) noexcept;
 
-  // True when the session has a graph (graph() is then valid).
+  // True when the session has a graph — owned or mapped (graph() is then
+  // valid).
   bool has_graph() const;
+
+  // The session graph as an owning Graph. On a FromFile session this
+  // materializes an owning copy on first call (thread-safe, once); queries
+  // keep running over the original view, so results are unaffected.
   const Graph& graph() const;
 
   // The quasi-stable coloring itself: compress the session graph under the

@@ -1,5 +1,6 @@
 #include "qsc/bench/runner.h"
 
+#include <cstdio>
 #include <vector>
 
 #include "qsc/util/check.h"
@@ -7,6 +8,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+#if defined(__linux__)
+#include <unistd.h>
 #endif
 
 namespace qsc {
@@ -21,6 +25,23 @@ double PeakRssMib() {
 #else
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kibibytes
 #endif
+#else
+  return 0.0;
+#endif
+}
+
+double CurrentRssMib() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared ... in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long size = 0, resident = 0;
+  const int fields = std::fscanf(f, "%ld %ld", &size, &resident);
+  std::fclose(f);
+  if (fields != 2) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
 #else
   return 0.0;
 #endif

@@ -35,8 +35,16 @@ struct Measurement {
 Measurement MeasureSeconds(const MeasureOptions& options,
                            const std::function<void()>& fn);
 
-// Current process peak RSS in MiB; 0 when unavailable.
+// Current process peak RSS in MiB; 0 when unavailable. A high-water
+// mark: the OS never lowers it, so deltas across a scenario only show
+// growth past the previous maximum.
 double PeakRssMib();
+
+// Current (not peak) resident-set size in MiB from /proc/self/statm;
+// 0 when the platform has no procfs. Unlike PeakRssMib this moves both
+// ways, so before/after deltas attribute footprint to a specific phase
+// (the serving/mmap-* RSS gauges rely on this).
+double CurrentRssMib();
 
 }  // namespace bench
 }  // namespace qsc

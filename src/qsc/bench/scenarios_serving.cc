@@ -11,6 +11,8 @@
 // trend tracking, never compared against baselines.
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -19,6 +21,7 @@
 #include "qsc/api/compressor.h"
 #include "qsc/bench/scenario.h"
 #include "qsc/graph/generators.h"
+#include "qsc/graph/io.h"
 #include "qsc/lp/generators.h"
 #include "qsc/parallel/thread_pool.h"
 #include "qsc/util/check.h"
@@ -179,6 +182,252 @@ void RegisterServing(const char* name, const char* description,
       }));
 }
 
+// ---------------------------------------------------------------------------
+// The mmap serving scenarios: Compressor::FromFile answering queries
+// straight off a GraphView of a qsc-bin mapping, gated bitwise against
+// the materialized in-memory path (the GraphView bit-identity invariant,
+// docs/ARCHITECTURE.md) and published with the view-vs-materialized
+// resident-footprint gauges.
+
+std::string TempBinPath(const char* stem, uint64_t seed) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string base = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  return base + "/" + stem + "-" + std::to_string(seed) + ".qscbin";
+}
+
+// Order-sensitive partition digest: any relabeling, reassignment, or
+// q-error drift moves it.
+double ColoringChecksum(const ColoringResult& r) {
+  const Partition& p = *r.coloring;
+  double sum = r.max_q + static_cast<double>(p.num_colors());
+  for (NodeId v = 0; v < p.num_nodes(); ++v) {
+    sum += static_cast<double>(p.ColorOf(v)) * static_cast<double>(v % 97 + 1);
+  }
+  return sum;
+}
+
+// One deterministic query per kind — all five the Compressor serves.
+struct ServeChecksums {
+  double coloring = 0.0;
+  double maxflow = 0.0;
+  double maxflow_batch = 0.0;
+  double solvelp = 0.0;
+  double centrality = 0.0;
+
+  double AbsDiff(const ServeChecksums& o) const {
+    return std::abs(coloring - o.coloring) + std::abs(maxflow - o.maxflow) +
+           std::abs(maxflow_batch - o.maxflow_batch) +
+           std::abs(solvelp - o.solvelp) +
+           std::abs(centrality - o.centrality);
+  }
+};
+
+ServeChecksums ServeFiveKinds(Compressor& session, uint64_t seed) {
+  ServeChecksums sums;
+  {
+    QueryOptions options;
+    options.max_colors = 32;
+    const StatusOr<ColoringResult> r = session.Coloring(options);
+    QSC_CHECK_OK(r);
+    sums.coloring = ColoringChecksum(*r);
+  }
+  {
+    QueryOptions options;
+    options.max_colors = 24;
+    const StatusOr<FlowQueryResult> r = session.MaxFlow(0, 42, options);
+    QSC_CHECK_OK(r);
+    sums.maxflow = r->upper_bound + static_cast<double>(r->num_colors);
+  }
+  {
+    QueryOptions options;
+    options.max_colors = 24;
+    const std::vector<std::pair<NodeId, NodeId>> pairs = {
+        {1, 9}, {3, 27}, {0, 42}};
+    const StatusOr<std::vector<FlowQueryResult>> r =
+        session.MaxFlowBatch(pairs, options);
+    QSC_CHECK_OK(r);
+    for (const FlowQueryResult& q : *r) sums.maxflow_batch += q.upper_bound;
+  }
+  {
+    QueryOptions options;
+    options.max_colors = 8;
+    const StatusOr<LpQueryResult> r = session.SolveLp(Figure3Lp(), options);
+    QSC_CHECK_OK(r);
+    for (const double x : r->lifted_x) sums.solvelp += x;
+  }
+  {
+    QueryOptions options;
+    options.max_colors = 16;
+    options.seed = seed;
+    const StatusOr<CentralityQueryResult> r = session.Centrality(options);
+    QSC_CHECK_OK(r);
+    for (const double s : r->scores) sums.centrality += s;
+  }
+  return sums;
+}
+
+// serving/mmap-identity-ba1500: all five query kinds served from a
+// FromFile (mmap GraphView) session, counters gated bitwise against the
+// materialized in-memory session, plus a copy-on-write witness (the
+// first ApplyEdits on the mapped session materializes, and post-edit
+// colorings must still match).
+void RegisterMmapIdentity() {
+  Scenario::Info info;
+  info.name = "serving/mmap-identity-ba1500";
+  info.group = "serving";
+  info.description =
+      "all five query kinds (coloring/flow/batch/LP/centrality) answered "
+      "by a zero-copy Compressor::FromFile session over a qsc-bin "
+      "mapping, checksums gated bitwise against the materialized "
+      "in-memory path, plus a copy-on-write post-edit identity witness";
+  info.smoke = true;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext& ctx) {
+        const uint64_t seed = ctx.seed ^ 0x9a10;
+        const Graph g = DirectedBa1500(seed);
+        const std::string path = TempBinPath("qsc-bench-mmap-identity", seed);
+        QSC_CHECK_OK(WriteBinary(g, path));
+
+        // Reference sweep on the materialized in-memory session.
+        ServeChecksums want;
+        {
+          Compressor materialized(
+              std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(),
+                                           &g),
+              DefaultPool());
+          want = ServeFiveKinds(materialized, seed);
+        }
+
+        // Measured unit: open the mapping cold and serve the sweep.
+        ServeChecksums got;
+        ScenarioResult r;
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          StatusOr<Compressor> session =
+              Compressor::FromFile(path, DefaultPool());
+          QSC_CHECK_OK(session);
+          got = ServeFiveKinds(*session, seed);
+        });
+
+        // Copy-on-write witness, outside the timed closure: an edit
+        // batch against the mapped session materializes an owning graph
+        // and must leave it serving identically to the in-memory
+        // session after the same batch.
+        double post_edit_abs_diff = 0.0;
+        {
+          const StatusOr<std::vector<dynamic::EditOp>> edits =
+              dynamic::GenerateEdits(g, dynamic::EditKind::kInsertEdge,
+                                     /*count=*/8, seed);
+          QSC_CHECK_OK(edits);
+          Compressor materialized(
+              std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(),
+                                           &g),
+              DefaultPool());
+          StatusOr<Compressor> mapped =
+              Compressor::FromFile(path, DefaultPool());
+          QSC_CHECK_OK(mapped);
+          QSC_CHECK_OK(materialized.ApplyEdits(*edits));
+          QSC_CHECK_OK(mapped->ApplyEdits(*edits));
+          QueryOptions options;
+          options.max_colors = 32;
+          const StatusOr<ColoringResult> a = materialized.Coloring(options);
+          const StatusOr<ColoringResult> b = mapped->Coloring(options);
+          QSC_CHECK_OK(a);
+          QSC_CHECK_OK(b);
+          post_edit_abs_diff =
+              std::abs(ColoringChecksum(*a) - ColoringChecksum(*b));
+        }
+        std::remove(path.c_str());
+
+        r.params = {
+            {"nodes", static_cast<double>(g.num_nodes())},
+            {"arcs", static_cast<double>(g.num_arcs())},
+            {"query_kinds", 5.0},
+        };
+        r.counters = {
+            {"coloring_checksum", got.coloring},
+            {"maxflow_checksum", got.maxflow},
+            {"maxflow_batch_checksum", got.maxflow_batch},
+            {"solvelp_checksum", got.solvelp},
+            {"centrality_checksum", got.centrality},
+            // The tentpole gate: the mmap view path answers bitwise
+            // identically to the materialized path. Committed as 0.
+            {"abs_diff_view_vs_materialized", got.AbsDiff(want)},
+            {"abs_diff_post_edit", post_edit_abs_diff},
+        };
+        return r;
+      }));
+}
+
+// serving/mmap-rss-ba1m (full suite): the resident-footprint gauge on a
+// million-node graph. The generator graph is freed before measurement;
+// the deltas attribute RSS to the view-serving phase and to the
+// materialization that a graph() call adds on top of it.
+void RegisterMmapRss() {
+  Scenario::Info info;
+  info.name = "serving/mmap-rss-ba1m";
+  info.group = "serving";
+  info.description =
+      "peak/current-RSS gauges for zero-copy serving of a 1M-node BA "
+      "graph written to qsc-bin at setup: rss_view_serving_mib is the "
+      "footprint of FromFile + one coloring query off the mapping, "
+      "rss_materialize_extra_mib what materializing the owning Graph "
+      "adds on top";
+  info.smoke = false;
+  ScenarioRegistry::Global().Register(Scenario(
+      std::move(info), [](const BenchContext& ctx) {
+        const uint64_t seed = ctx.seed ^ 0x9a11;
+        const std::string path = TempBinPath("qsc-bench-mmap-rss", seed);
+        ScenarioResult r;
+        {
+          Rng rng(seed);
+          const Graph g = BarabasiAlbert(1000000, 3, rng);
+          QSC_CHECK_OK(WriteBinary(g, path));
+          r.params = {
+              {"nodes", static_cast<double>(g.num_nodes())},
+              {"arcs", static_cast<double>(g.num_arcs())},
+              {"max_colors", 8.0},
+          };
+        }  // the generator graph is freed here
+
+        QueryOptions options;
+        options.max_colors = 8;
+
+        const double rss_before = CurrentRssMib();
+        double rss_view = 0.0;
+        double rss_materialized = 0.0;
+        double view_checksum = 0.0;
+        {
+          StatusOr<Compressor> session = Compressor::FromFile(path);
+          QSC_CHECK_OK(session);
+          const StatusOr<ColoringResult> c = session->Coloring(options);
+          QSC_CHECK_OK(c);
+          view_checksum = ColoringChecksum(*c);
+          rss_view = CurrentRssMib();
+          // Force the copy-on-read materialization the view path avoids.
+          const Graph& materialized = session->graph();
+          QSC_CHECK_EQ(materialized.num_nodes(), 1000000);
+          rss_materialized = CurrentRssMib();
+        }
+
+        // Measured unit: cold open + one coloring query, pure view path.
+        r.timing = MeasureSeconds(ctx.measure, [&] {
+          StatusOr<Compressor> session = Compressor::FromFile(path);
+          QSC_CHECK_OK(session);
+          QSC_CHECK_OK(session->Coloring(options));
+        });
+        std::remove(path.c_str());
+
+        r.counters = {{"coloring_checksum", view_checksum}};
+        r.gauges = {
+            {"rss_before_mib", rss_before},
+            {"rss_view_serving_mib", rss_view - rss_before},
+            {"rss_materialize_extra_mib", rss_materialized - rss_view},
+            {"peak_rss_mib", PeakRssMib()},
+        };
+        return r;
+      }));
+}
+
 }  // namespace
 
 void RegisterServingScenarios() {
@@ -194,6 +443,8 @@ void RegisterServingScenarios() {
       "4 MiB byte-budgeted coloring cache (LRU eviction churn; checksums "
       "gated bitwise against an unbudgeted replay)",
       "bursty-zipf-mixed", 0x9a0f, /*byte_budget=*/4 << 20);
+  RegisterMmapIdentity();
+  RegisterMmapRss();
 }
 
 }  // namespace bench

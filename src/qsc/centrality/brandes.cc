@@ -4,8 +4,8 @@
 
 namespace qsc {
 
-BrandesWorkspace::BrandesWorkspace(const Graph& g)
-    : graph_(&g),
+BrandesWorkspace::BrandesWorkspace(const GraphView& g)
+    : graph_(g),
       dist_(g.num_nodes()),
       sigma_(g.num_nodes()),
       delta_(g.num_nodes()) {
@@ -14,7 +14,7 @@ BrandesWorkspace::BrandesWorkspace(const Graph& g)
 
 void BrandesWorkspace::AccumulateDependencies(NodeId s, double scale,
                                               std::vector<double>& scores) {
-  const Graph& g = *graph_;
+  const GraphView& g = graph_;
   const NodeId n = g.num_nodes();
   QSC_CHECK_EQ(static_cast<NodeId>(scores.size()), n);
   std::fill(dist_.begin(), dist_.end(), -1);
@@ -53,7 +53,7 @@ void BrandesWorkspace::AccumulateDependencies(NodeId s, double scale,
   }
 }
 
-std::vector<double> BetweennessExact(const Graph& g) {
+std::vector<double> BetweennessExact(const GraphView& g) {
   std::vector<double> scores(g.num_nodes(), 0.0);
   BrandesWorkspace workspace(g);
   for (NodeId s = 0; s < g.num_nodes(); ++s) {

@@ -13,14 +13,14 @@
 
 #include <vector>
 
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
 // Reusable buffers for repeated single-source passes.
 class BrandesWorkspace {
  public:
-  explicit BrandesWorkspace(const Graph& g);
+  explicit BrandesWorkspace(const GraphView& g);
 
   // Computes the dependency delta_s(v) = sum_t sigma(s,t|v)/sigma(s,t) for
   // every v and accumulates `scale * delta_s(v)` into `scores`.
@@ -28,7 +28,7 @@ class BrandesWorkspace {
                               std::vector<double>& scores);
 
  private:
-  const Graph* graph_;
+  GraphView graph_;
   std::vector<int32_t> dist_;
   std::vector<double> sigma_;
   std::vector<double> delta_;
@@ -36,7 +36,7 @@ class BrandesWorkspace {
 };
 
 // Exact betweenness centrality, O(V*E).
-std::vector<double> BetweennessExact(const Graph& g);
+std::vector<double> BetweennessExact(const GraphView& g);
 
 }  // namespace qsc
 

@@ -12,7 +12,7 @@
 
 namespace qsc {
 
-std::vector<double> ColorPivotScores(const Graph& g, const Partition& coloring,
+std::vector<double> ColorPivotScores(const GraphView& g, const Partition& coloring,
                                      int32_t pivots_per_color, uint64_t seed,
                                      ThreadPool* pool) {
   QSC_CHECK_EQ(g.num_nodes(), coloring.num_nodes());

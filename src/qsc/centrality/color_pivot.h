@@ -13,7 +13,7 @@
 
 #include "qsc/coloring/partition.h"
 #include "qsc/coloring/rothko.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -51,7 +51,7 @@ ApproxBetweennessResult ApproximateBetweennessWithColoring(
 // pivot passes run concurrently and their contributions merge strictly in
 // pivot order; each pass writes every node's score once, so the result is
 // bit-identical to the sequential loop for any pool size.
-std::vector<double> ColorPivotScores(const Graph& g, const Partition& coloring,
+std::vector<double> ColorPivotScores(const GraphView& g, const Partition& coloring,
                                      int32_t pivots_per_color, uint64_t seed,
                                      ThreadPool* pool = nullptr);
 

@@ -79,7 +79,7 @@ ColoringBackendRegistry& ColoringBackendRegistry::Global() {
     registry->Register(
         "rothko",
         "paper Algorithm 1: size-weighted worst-witness splits at the mean",
-        [](const Graph& g, Partition initial, const ColoringParams& params) {
+        [](const GraphView& g, Partition initial, const ColoringParams& params) {
           RothkoOptions options;
           static_cast<ColoringParams&>(options) = params;
           return std::unique_ptr<ColoringBackend>(
@@ -88,14 +88,14 @@ ColoringBackendRegistry& ColoringBackendRegistry::Global() {
     registry->Register(
         "lp-rounding",
         "witness splits as assignment LPs solved by simplex, then rounded",
-        [](const Graph& g, Partition initial, const ColoringParams& params) {
+        [](const GraphView& g, Partition initial, const ColoringParams& params) {
           return std::unique_ptr<ColoringBackend>(
               new LpRoundingRefiner(g, std::move(initial), params));
         });
     registry->Register(
         "bucket",
         "weighted-degree bucketing at the median rank (cheap baseline)",
-        [](const Graph& g, Partition initial, const ColoringParams& params) {
+        [](const GraphView& g, Partition initial, const ColoringParams& params) {
           return std::unique_ptr<ColoringBackend>(
               new BucketRefiner(g, std::move(initial), params));
         });
@@ -128,7 +128,7 @@ bool ColoringBackendRegistry::Contains(
 }
 
 std::unique_ptr<ColoringBackend> ColoringBackendRegistry::Create(
-    const std::string& canonical_name, const Graph& g, Partition initial,
+    const std::string& canonical_name, const GraphView& g, Partition initial,
     const ColoringParams& params) const {
   ColoringBackendFactory factory;
   {

@@ -49,7 +49,7 @@
 
 #include "qsc/coloring/params.h"
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 #include "qsc/util/status.h"
 
 namespace qsc {
@@ -91,7 +91,7 @@ StatusOr<std::string> CanonicalBackendName(const std::string& name);
 
 // Builds a live refiner over `g` starting from `initial`.
 using ColoringBackendFactory = std::function<std::unique_ptr<ColoringBackend>(
-    const Graph& g, Partition initial, const ColoringParams& params)>;
+    const GraphView& g, Partition initial, const ColoringParams& params)>;
 
 // Process-wide name -> factory map. Global() registers the three builtin
 // backends on first use; user kernels may be added with Register (names
@@ -112,7 +112,7 @@ class ColoringBackendRegistry {
   // Creates a refiner; aborts on unknown names (the Compressor boundary
   // validates first — see CanonicalBackendName).
   std::unique_ptr<ColoringBackend> Create(const std::string& canonical_name,
-                                          const Graph& g, Partition initial,
+                                          const GraphView& g, Partition initial,
                                           const ColoringParams& params) const;
 
   // Registered canonical names, sorted; the "registered: ..." list in

@@ -5,7 +5,7 @@
 
 namespace qsc {
 
-BucketRefiner::BucketRefiner(const Graph& g, Partition initial,
+BucketRefiner::BucketRefiner(const GraphView& g, Partition initial,
                              const ColoringParams& params)
     : WitnessSplitRefiner(g, std::move(initial), params) {
   total_degree_.reserve(g.num_nodes());

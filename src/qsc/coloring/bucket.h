@@ -21,7 +21,7 @@ namespace qsc {
 
 class BucketRefiner : public WitnessSplitRefiner {
  public:
-  BucketRefiner(const Graph& g, Partition initial,
+  BucketRefiner(const GraphView& g, Partition initial,
                 const ColoringParams& params);
 
   int64_t MemoryBytes() const override;

@@ -9,7 +9,7 @@
 
 namespace qsc {
 
-LpRoundingRefiner::LpRoundingRefiner(const Graph& g, Partition initial,
+LpRoundingRefiner::LpRoundingRefiner(const GraphView& g, Partition initial,
                                      const ColoringParams& params)
     : WitnessSplitRefiner(g, std::move(initial), params) {}
 

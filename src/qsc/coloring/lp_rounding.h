@@ -40,7 +40,7 @@ class LpRoundingRefiner : public WitnessSplitRefiner {
   // Cap on LP columns per split; larger witness colors are quantile-merged.
   static constexpr int kMaxGroups = 256;
 
-  LpRoundingRefiner(const Graph& g, Partition initial,
+  LpRoundingRefiner(const GraphView& g, Partition initial,
                     const ColoringParams& params);
 
   int64_t MemoryBytes() const override;

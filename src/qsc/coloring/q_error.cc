@@ -30,7 +30,7 @@ double Spread(const PairStats& s, int64_t color_size) {
 
 }  // namespace
 
-QErrorStats ComputeQError(const Graph& g, const Partition& p) {
+QErrorStats ComputeQError(const GraphView& g, const Partition& p) {
   QSC_CHECK_EQ(g.num_nodes(), p.num_nodes());
   QErrorStats stats;
   double total_spread = 0.0;
@@ -79,7 +79,7 @@ QErrorStats ComputeQError(const Graph& g, const Partition& p) {
   return stats;
 }
 
-double ComputeRelativeError(const Graph& g, const Partition& p) {
+double ComputeRelativeError(const GraphView& g, const Partition& p) {
   QSC_CHECK_EQ(g.num_nodes(), p.num_nodes());
   constexpr double kInf = std::numeric_limits<double>::infinity();
   double max_eps = 0.0;
@@ -124,7 +124,7 @@ double ComputeRelativeError(const Graph& g, const Partition& p) {
   return max_eps;
 }
 
-Partition BisimulationColoring(const Graph& g) {
+Partition BisimulationColoring(const GraphView& g) {
   // The ≡ relation (both zero or both nonzero) only observes *presence* of
   // edges toward each color — unlike stable coloring, the counts may
   // differ. Refine by the set of distinct out-/in-neighbor colors until

@@ -10,7 +10,7 @@
 #include <cstdint>
 
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -29,7 +29,7 @@ struct QErrorStats {
 // Computes the exact q-error statistics of `p` on `g`. For undirected
 // graphs the in-direction mirrors the out-direction and is skipped (it
 // would double every entry without changing max_q or mean_q).
-QErrorStats ComputeQError(const Graph& g, const Partition& p);
+QErrorStats ComputeQError(const GraphView& g, const Partition& p);
 
 // epsilon-relative error of a coloring (paper Sec 3.1, "eps-relative
 // coloring"): the smallest eps such that for every ordered color pair and
@@ -40,13 +40,13 @@ QErrorStats ComputeQError(const Graph& g, const Partition& p);
 //
 // Requires non-negative weights; returns +infinity when no finite eps
 // works.
-double ComputeRelativeError(const Graph& g, const Partition& p);
+double ComputeRelativeError(const GraphView& g, const Partition& p);
 
 // The coarsest bisimulation coloring (paper Sec 3.1: the quasi-stable
 // coloring under u ≡ v iff both or neither are zero). Equivalently the
 // stable coloring of the graph with all weights set to 1 — the ≡ relation
 // only sees edge presence.
-Partition BisimulationColoring(const Graph& g);
+Partition BisimulationColoring(const GraphView& g);
 
 }  // namespace qsc
 

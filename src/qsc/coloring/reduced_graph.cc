@@ -6,7 +6,7 @@
 
 namespace qsc {
 
-Graph BuildReducedGraph(const Graph& g, const Partition& p,
+Graph BuildReducedGraph(const GraphView& g, const Partition& p,
                         ReducedWeight weight) {
   QSC_CHECK_EQ(g.num_nodes(), p.num_nodes());
   const ColorId k = p.num_colors();

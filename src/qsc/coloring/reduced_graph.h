@@ -7,7 +7,7 @@
 #define QSC_COLORING_REDUCED_GRAPH_H_
 
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -25,7 +25,7 @@ enum class ReducedWeight {
 
 // Builds the reduced graph of `p` over `g`. Node i of the result is color
 // i of the partition. The result is directed iff `g` is.
-Graph BuildReducedGraph(const Graph& g, const Partition& p,
+Graph BuildReducedGraph(const GraphView& g, const Partition& p,
                         ReducedWeight weight);
 
 }  // namespace qsc

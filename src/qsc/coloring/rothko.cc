@@ -22,8 +22,8 @@ constexpr int64_t kMemberGrain = 2048;
 
 class RothkoRefiner::Impl {
  public:
-  Impl(const Graph& g, Partition initial, RothkoOptions options)
-      : graph_(&g),
+  Impl(const GraphView& g, Partition initial, RothkoOptions options)
+      : graph_(g),
         options_(options),
         partition_(std::move(initial)),
         directed_(!g.undirected()) {
@@ -150,11 +150,11 @@ class RothkoRefiner::Impl {
   }
 
   void BuildDegreeRows() {
-    const NodeId n = graph_->num_nodes();
+    const NodeId n = graph_.num_nodes();
     out_deg_.Reset(n);
     if (directed_) in_deg_.Reset(n);
     for (NodeId u = 0; u < n; ++u) {
-      for (const NeighborEntry& e : graph_->OutNeighbors(u)) {
+      for (const NeighborEntry& e : graph_.OutNeighbors(u)) {
         out_deg_.Add(u, partition_.ColorOf(e.node), e.weight);
         if (directed_) {
           in_deg_.Add(e.node, partition_.ColorOf(u), e.weight);
@@ -448,13 +448,13 @@ class RothkoRefiner::Impl {
     out_affected_.NewEpoch();  // colors with changed out-degrees to split
     if (directed_) in_affected_.NewEpoch();  // ... in-degrees from split
     for (NodeId v : eject) {
-      for (const NeighborEntry& e : graph_->InNeighbors(v)) {
+      for (const NeighborEntry& e : graph_.InNeighbors(v)) {
         out_deg_.Subtract(e.node, split_color, e.weight);
         out_deg_.Add(e.node, new_color, e.weight);
         out_affected_.Touch(partition_.ColorOf(e.node));
       }
       if (directed_) {
-        for (const NeighborEntry& e : graph_->OutNeighbors(v)) {
+        for (const NeighborEntry& e : graph_.OutNeighbors(v)) {
           in_deg_.Subtract(e.node, split_color, e.weight);
           in_deg_.Add(e.node, new_color, e.weight);
           in_affected_.Touch(partition_.ColorOf(e.node));
@@ -483,7 +483,7 @@ class RothkoRefiner::Impl {
                         partition_.num_colors(), timer_.ElapsedSeconds()});
   }
 
-  const Graph* graph_;
+  GraphView graph_;
   RothkoOptions options_;
   Partition partition_;
   bool directed_;
@@ -516,7 +516,7 @@ class RothkoRefiner::Impl {
   std::vector<RothkoStep> history_;
 };
 
-RothkoRefiner::RothkoRefiner(const Graph& g, Partition initial,
+RothkoRefiner::RothkoRefiner(const GraphView& g, Partition initial,
                              RothkoOptions options)
     : impl_(new Impl(g, std::move(initial), options)) {}
 
@@ -535,14 +535,14 @@ const std::vector<RothkoStep>& RothkoRefiner::history() const {
 }
 int64_t RothkoRefiner::MemoryBytes() const { return impl_->MemoryBytes(); }
 
-Partition RothkoColoring(const Graph& g, Partition initial,
+Partition RothkoColoring(const GraphView& g, Partition initial,
                          const RothkoOptions& options) {
   RothkoRefiner refiner(g, std::move(initial), options);
   refiner.Run();
   return refiner.partition();
 }
 
-Partition RothkoColoring(const Graph& g, const RothkoOptions& options) {
+Partition RothkoColoring(const GraphView& g, const RothkoOptions& options) {
   return RothkoColoring(g, Partition::Trivial(g.num_nodes()), options);
 }
 

@@ -30,7 +30,7 @@
 #include "qsc/coloring/backend.h"
 #include "qsc/coloring/params.h"
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -72,7 +72,7 @@ struct RothkoStep {
 // (coloring/backend.h).
 class RothkoRefiner : public ColoringBackend {
  public:
-  RothkoRefiner(const Graph& g, Partition initial, RothkoOptions options);
+  RothkoRefiner(const GraphView& g, Partition initial, RothkoOptions options);
   ~RothkoRefiner() override;
 
   RothkoRefiner(const RothkoRefiner&) = delete;
@@ -120,9 +120,9 @@ class RothkoRefiner : public ColoringBackend {
 
 // Convenience wrappers: refine from `initial` (or the trivial partition)
 // until max_colors / q_tolerance.
-Partition RothkoColoring(const Graph& g, Partition initial,
+Partition RothkoColoring(const GraphView& g, Partition initial,
                          const RothkoOptions& options);
-Partition RothkoColoring(const Graph& g, const RothkoOptions& options);
+Partition RothkoColoring(const GraphView& g, const RothkoOptions& options);
 
 }  // namespace qsc
 

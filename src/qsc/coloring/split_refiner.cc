@@ -31,9 +31,9 @@ double Spread(const PairStats& s, int64_t color_size) {
 
 }  // namespace
 
-WitnessSplitRefiner::WitnessSplitRefiner(const Graph& g, Partition initial,
+WitnessSplitRefiner::WitnessSplitRefiner(const GraphView& g, Partition initial,
                                          const ColoringParams& params)
-    : graph_(&g), params_(params), partition_(std::move(initial)) {
+    : graph_(g), params_(params), partition_(std::move(initial)) {
   QSC_CHECK_EQ(g.num_nodes(), partition_.num_nodes());
   // CurrentMaxError() must describe the initial partition before the first
   // Step() (the backend contract); the scan is cached for that Step.
@@ -41,7 +41,7 @@ WitnessSplitRefiner::WitnessSplitRefiner(const Graph& g, Partition initial,
 }
 
 bool WitnessSplitRefiner::FindWorstWitness(Witness* out) {
-  const Graph& g = *graph_;
+  const GraphView& g = graph_;
   const Partition& p = partition_;
 
   // Phase A: scan every (color, direction) for per-target spreads. The

@@ -27,14 +27,14 @@
 #include "qsc/coloring/backend.h"
 #include "qsc/coloring/params.h"
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
 class WitnessSplitRefiner : public ColoringBackend {
  public:
   // `g` is borrowed and must outlive the refiner.
-  WitnessSplitRefiner(const Graph& g, Partition initial,
+  WitnessSplitRefiner(const GraphView& g, Partition initial,
                       const ColoringParams& params);
 
   bool Step(ColorId color_cap = 0) final;
@@ -64,7 +64,7 @@ class WitnessSplitRefiner : public ColoringBackend {
   // need to be deterministic.
   virtual std::vector<NodeId> ChooseSplit(const Witness& witness) = 0;
 
-  const Graph& graph() const { return *graph_; }
+  const GraphView& graph() const { return graph_; }
   const ColoringParams& params() const { return params_; }
 
  private:
@@ -78,7 +78,7 @@ class WitnessSplitRefiner : public ColoringBackend {
 
   void EnsureScanned();
 
-  const Graph* graph_;
+  GraphView graph_;
   ColoringParams params_;
   Partition partition_;
   double current_error_ = 0.0;

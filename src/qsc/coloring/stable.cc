@@ -26,7 +26,7 @@ struct Signature {
 
 }  // namespace
 
-Partition StableColoring(const Graph& g, const Partition& initial) {
+Partition StableColoring(const GraphView& g, const Partition& initial) {
   QSC_CHECK_EQ(g.num_nodes(), initial.num_nodes());
   const NodeId n = g.num_nodes();
   std::vector<ColorId> color(initial.color_of());
@@ -58,11 +58,11 @@ Partition StableColoring(const Graph& g, const Partition& initial) {
   return Partition::FromColorIds(color);
 }
 
-Partition StableColoring(const Graph& g) {
+Partition StableColoring(const GraphView& g) {
   return StableColoring(g, Partition::Trivial(g.num_nodes()));
 }
 
-bool IsStableColoring(const Graph& g, const Partition& p) {
+bool IsStableColoring(const GraphView& g, const Partition& p) {
   return ComputeQError(g, p).max_q == 0.0;
 }
 

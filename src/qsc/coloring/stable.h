@@ -9,18 +9,18 @@
 #define QSC_COLORING_STABLE_H_
 
 #include "qsc/coloring/partition.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
 // Coarsest stable coloring refining `initial`.
-Partition StableColoring(const Graph& g, const Partition& initial);
+Partition StableColoring(const GraphView& g, const Partition& initial);
 
 // Coarsest stable coloring of the graph (initial = trivial partition).
-Partition StableColoring(const Graph& g);
+Partition StableColoring(const GraphView& g);
 
 // True iff `p` is a stable coloring of `g` (equivalently, its q-error is 0).
-bool IsStableColoring(const Graph& g, const Partition& p);
+bool IsStableColoring(const GraphView& g, const Partition& p);
 
 }  // namespace qsc
 

@@ -46,6 +46,7 @@
 #include "qsc/coloring/partition.h"
 #include "qsc/dynamic/edit_stream.h"
 #include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 namespace dynamic {
@@ -85,6 +86,14 @@ class IncrementalRecolorer final : public ColoringBackend {
   IncrementalRecolorer(std::shared_ptr<const Graph> graph, std::string backend,
                        Partition initial, const ColoringParams& params);
 
+  // View-backed variant (the mmap serving path): the kernel runs over
+  // `view`, and `keepalive` (may be null) pins whatever owns the viewed
+  // arrays — a MappedGraph, an owning Graph, or nothing when the caller
+  // guarantees the lifetime.
+  IncrementalRecolorer(GraphView view, std::shared_ptr<const void> keepalive,
+                       std::string backend, Partition initial,
+                       const ColoringParams& params);
+
   // ColoringBackend: pure delegation to the wrapped kernel.
   bool Step(ColorId color_cap = 0) override;
   const Partition& partition() const override;
@@ -99,11 +108,13 @@ class IncrementalRecolorer final : public ColoringBackend {
                            const std::vector<EditOp>& edits,
                            const RepairOptions& options);
 
-  const Graph& graph() const { return *graph_; }
+  // The graph the wrapped kernel currently runs over.
+  const GraphView& graph_view() const { return view_; }
   const std::string& backend_name() const { return backend_; }
 
  private:
-  std::shared_ptr<const Graph> graph_;
+  GraphView view_;
+  std::shared_ptr<const void> keepalive_;
   std::string backend_;
   Partition initial_;
   ColoringParams params_;

@@ -83,7 +83,7 @@ double MaxFlowDinic(ResidualNetwork& net, NodeId source, NodeId sink) {
   return DinicSolver(net, source, sink).Solve();
 }
 
-double MaxFlowDinic(const Graph& g, NodeId source, NodeId sink) {
+double MaxFlowDinic(const GraphView& g, NodeId source, NodeId sink) {
   ResidualNetwork net = ResidualNetwork::FromGraph(g);
   return MaxFlowDinic(net, source, sink);
 }

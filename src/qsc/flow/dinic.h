@@ -6,12 +6,12 @@
 #define QSC_FLOW_DINIC_H_
 
 #include "qsc/flow/network.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
 double MaxFlowDinic(ResidualNetwork& net, NodeId source, NodeId sink);
-double MaxFlowDinic(const Graph& g, NodeId source, NodeId sink);
+double MaxFlowDinic(const GraphView& g, NodeId source, NodeId sink);
 
 }  // namespace qsc
 

@@ -47,7 +47,7 @@ double MaxFlowEdmondsKarp(ResidualNetwork& net, NodeId source, NodeId sink) {
   return total;
 }
 
-double MaxFlowEdmondsKarp(const Graph& g, NodeId source, NodeId sink) {
+double MaxFlowEdmondsKarp(const GraphView& g, NodeId source, NodeId sink) {
   ResidualNetwork net = ResidualNetwork::FromGraph(g);
   return MaxFlowEdmondsKarp(net, source, sink);
 }

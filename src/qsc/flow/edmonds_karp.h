@@ -6,7 +6,7 @@
 #define QSC_FLOW_EDMONDS_KARP_H_
 
 #include "qsc/flow/network.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -14,7 +14,7 @@ namespace qsc {
 double MaxFlowEdmondsKarp(ResidualNetwork& net, NodeId source, NodeId sink);
 
 // Convenience: builds the residual network from `g` (weights = capacities).
-double MaxFlowEdmondsKarp(const Graph& g, NodeId source, NodeId sink);
+double MaxFlowEdmondsKarp(const GraphView& g, NodeId source, NodeId sink);
 
 }  // namespace qsc
 

@@ -7,7 +7,7 @@
 
 namespace qsc {
 
-MinCutResult MinCut(const Graph& g, NodeId source, NodeId sink) {
+MinCutResult MinCut(const GraphView& g, NodeId source, NodeId sink) {
   ResidualNetwork net = ResidualNetwork::FromGraph(g);
   MinCutResult result;
   result.value = MaxFlowDinic(net, source, sink);

@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -16,7 +16,7 @@ struct MinCutResult {
 };
 
 // Computes a minimum s-t cut of `g` (arc weights are capacities).
-MinCutResult MinCut(const Graph& g, NodeId source, NodeId sink);
+MinCutResult MinCut(const GraphView& g, NodeId source, NodeId sink);
 
 }  // namespace qsc
 

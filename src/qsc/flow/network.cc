@@ -4,7 +4,7 @@
 
 namespace qsc {
 
-ResidualNetwork ResidualNetwork::FromGraph(const Graph& g) {
+ResidualNetwork ResidualNetwork::FromGraph(const GraphView& g) {
   const NodeId n = g.num_nodes();
   ResidualNetwork net(n);
   net.arcs_.reserve(2 * g.num_arcs());

@@ -28,7 +28,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -66,7 +66,7 @@ class ResidualNetwork {
   // weights, in one two-pass counting construction (row sizes are
   // out-degree + in-degree, then arcs are placed in id order). All
   // weights must be non-negative.
-  static ResidualNetwork FromGraph(const Graph& g);
+  static ResidualNetwork FromGraph(const GraphView& g);
 
   // Adds a forward arc u->v with capacity `cap` (and its zero-capacity
   // reverse); returns the forward arc's index. The reverse is index ^ 1.

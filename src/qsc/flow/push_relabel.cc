@@ -165,7 +165,7 @@ double MaxFlowPushRelabel(ResidualNetwork& net, NodeId source, NodeId sink) {
   return PushRelabelSolver(net, source, sink).Solve();
 }
 
-double MaxFlowPushRelabel(const Graph& g, NodeId source, NodeId sink) {
+double MaxFlowPushRelabel(const GraphView& g, NodeId source, NodeId sink) {
   ResidualNetwork net = ResidualNetwork::FromGraph(g);
   return MaxFlowPushRelabel(net, source, sink);
 }

@@ -6,12 +6,12 @@
 #define QSC_FLOW_PUSH_RELABEL_H_
 
 #include "qsc/flow/network.h"
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
 double MaxFlowPushRelabel(ResidualNetwork& net, NodeId source, NodeId sink);
-double MaxFlowPushRelabel(const Graph& g, NodeId source, NodeId sink);
+double MaxFlowPushRelabel(const GraphView& g, NodeId source, NodeId sink);
 
 }  // namespace qsc
 

@@ -9,7 +9,7 @@
 
 namespace qsc {
 
-double MaxUniformFlow(const Graph& g, const std::vector<NodeId>& sources,
+double MaxUniformFlow(const GraphView& g, const std::vector<NodeId>& sources,
                       const std::vector<NodeId>& targets, double rel_tol) {
   QSC_CHECK(!sources.empty());
   QSC_CHECK(!targets.empty());

@@ -8,7 +8,7 @@
 
 #include <vector>
 
-#include "qsc/graph/graph.h"
+#include "qsc/graph/graph_view.h"
 
 namespace qsc {
 
@@ -21,7 +21,7 @@ namespace qsc {
 // iff the network {s -> x: F/|X|} ∪ {arcs} ∪ {y -> t: F/|Y|} carries F;
 // feasibility is monotone in F (uniform flows scale), so the maximum is
 // found by bisection to relative tolerance `rel_tol`.
-double MaxUniformFlow(const Graph& g, const std::vector<NodeId>& sources,
+double MaxUniformFlow(const GraphView& g, const std::vector<NodeId>& sources,
                       const std::vector<NodeId>& targets,
                       double rel_tol = 1e-7);
 

@@ -113,9 +113,10 @@ Graph Graph::FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
     g.in_offsets_[v + 1] += g.in_offsets_[v];
   }
 
-  g.out_adj_.resize(arcs.size());
   g.out_dst_.resize(arcs.size());
-  g.in_adj_.resize(arcs.size());
+  g.out_w_.resize(arcs.size());
+  g.in_src_.resize(arcs.size());
+  g.in_w_.resize(arcs.size());
   g.out_weight_.assign(num_nodes, 0.0);
   g.in_weight_.assign(num_nodes, 0.0);
 
@@ -123,10 +124,11 @@ Graph Graph::FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
                                g.out_offsets_.end() - 1);
   std::vector<int64_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
   for (const EdgeTriple& a : arcs) {
-    g.out_adj_[out_pos[a.src]] = {a.dst, a.weight};
     g.out_dst_[out_pos[a.src]] = a.dst;
+    g.out_w_[out_pos[a.src]] = a.weight;
     ++out_pos[a.src];
-    g.in_adj_[in_pos[a.dst]] = {a.src, a.weight};
+    g.in_src_[in_pos[a.dst]] = a.src;
+    g.in_w_[in_pos[a.dst]] = a.weight;
     ++in_pos[a.dst];
     g.out_weight_[a.src] += a.weight;
     g.in_weight_[a.dst] += a.weight;
@@ -149,36 +151,23 @@ Graph Graph::FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
 int64_t Graph::num_edges() const { return num_edges_; }
 
 bool operator==(const Graph& a, const Graph& b) {
-  if (a.num_nodes_ != b.num_nodes_ || a.undirected_ != b.undirected_ ||
-      a.out_offsets_ != b.out_offsets_) {
-    return false;
-  }
-  for (size_t i = 0; i < a.out_adj_.size(); ++i) {
-    if (a.out_adj_[i].node != b.out_adj_[i].node ||
-        a.out_adj_[i].weight != b.out_adj_[i].weight) {
-      return false;
-    }
-  }
-  return true;
+  return a.num_nodes_ == b.num_nodes_ && a.undirected_ == b.undirected_ &&
+         a.out_offsets_ == b.out_offsets_ && a.out_dst_ == b.out_dst_ &&
+         a.out_w_ == b.out_w_;
 }
 
 bool Graph::HasArc(NodeId u, NodeId v) const {
-  const auto range = OutNeighbors(u);
-  return std::binary_search(
-      range.begin(), range.end(), NeighborEntry{v, 0.0},
-      [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
+  QSC_DCHECK(u >= 0 && u < num_nodes_);
+  return std::binary_search(out_dst_.begin() + out_offsets_[u],
+                            out_dst_.begin() + out_offsets_[u + 1], v);
 }
 
 double Graph::ArcWeight(NodeId u, NodeId v) const {
-  const auto range = OutNeighbors(u);
-  const auto it = std::lower_bound(
-      range.begin(), range.end(), NeighborEntry{v, 0.0},
-      [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  if (it != range.end() && it->node == v) return it->weight;
+  QSC_DCHECK(u >= 0 && u < num_nodes_);
+  const auto row_begin = out_dst_.begin() + out_offsets_[u];
+  const auto row_end = out_dst_.begin() + out_offsets_[u + 1];
+  const auto it = std::lower_bound(row_begin, row_end, v);
+  if (it != row_end && *it == v) return out_w_[it - out_dst_.begin()];
   return 0.0;
 }
 
@@ -256,66 +245,50 @@ Status Graph::SetWeight(NodeId u, NodeId v, double weight) {
 }
 
 void Graph::InsertArcInPlace(NodeId u, NodeId v, double weight) {
-  const int64_t row_begin = out_offsets_[u];
-  const int64_t row_end = out_offsets_[u + 1];
-  const auto out_it = std::lower_bound(
-      out_adj_.begin() + row_begin, out_adj_.begin() + row_end,
-      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  const int64_t out_pos = out_it - out_adj_.begin();
-  out_adj_.insert(out_it, NeighborEntry{v, weight});
-  out_dst_.insert(out_dst_.begin() + out_pos, v);
+  const auto out_it = std::lower_bound(out_dst_.begin() + out_offsets_[u],
+                                       out_dst_.begin() + out_offsets_[u + 1],
+                                       v);
+  const int64_t out_pos = out_it - out_dst_.begin();
+  out_dst_.insert(out_it, v);
+  out_w_.insert(out_w_.begin() + out_pos, weight);
   for (NodeId w = u + 1; w <= num_nodes_; ++w) ++out_offsets_[w];
 
-  const int64_t in_begin = in_offsets_[v];
-  const int64_t in_end = in_offsets_[v + 1];
-  const auto in_it = std::lower_bound(
-      in_adj_.begin() + in_begin, in_adj_.begin() + in_end,
-      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  in_adj_.insert(in_it, NeighborEntry{u, weight});
+  const auto in_it = std::lower_bound(in_src_.begin() + in_offsets_[v],
+                                      in_src_.begin() + in_offsets_[v + 1], u);
+  const int64_t in_pos = in_it - in_src_.begin();
+  in_src_.insert(in_it, u);
+  in_w_.insert(in_w_.begin() + in_pos, weight);
   for (NodeId w = v + 1; w <= num_nodes_; ++w) ++in_offsets_[w];
 }
 
 void Graph::EraseArcInPlace(NodeId u, NodeId v) {
-  const auto out_it = std::lower_bound(
-      out_adj_.begin() + out_offsets_[u], out_adj_.begin() + out_offsets_[u + 1],
-      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  QSC_CHECK(out_it != out_adj_.end() && out_it->node == v);
-  out_dst_.erase(out_dst_.begin() + (out_it - out_adj_.begin()));
-  out_adj_.erase(out_it);
+  const auto out_it = std::lower_bound(out_dst_.begin() + out_offsets_[u],
+                                       out_dst_.begin() + out_offsets_[u + 1],
+                                       v);
+  QSC_CHECK(out_it != out_dst_.end() && *out_it == v);
+  out_w_.erase(out_w_.begin() + (out_it - out_dst_.begin()));
+  out_dst_.erase(out_it);
   for (NodeId w = u + 1; w <= num_nodes_; ++w) --out_offsets_[w];
 
-  const auto in_it = std::lower_bound(
-      in_adj_.begin() + in_offsets_[v], in_adj_.begin() + in_offsets_[v + 1],
-      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  QSC_CHECK(in_it != in_adj_.end() && in_it->node == u);
-  in_adj_.erase(in_it);
+  const auto in_it = std::lower_bound(in_src_.begin() + in_offsets_[v],
+                                      in_src_.begin() + in_offsets_[v + 1], u);
+  QSC_CHECK(in_it != in_src_.end() && *in_it == u);
+  in_w_.erase(in_w_.begin() + (in_it - in_src_.begin()));
+  in_src_.erase(in_it);
   for (NodeId w = v + 1; w <= num_nodes_; ++w) --in_offsets_[w];
 }
 
 void Graph::SetArcWeightInPlace(NodeId u, NodeId v, double weight) {
-  const auto out_it = std::lower_bound(
-      out_adj_.begin() + out_offsets_[u], out_adj_.begin() + out_offsets_[u + 1],
-      NeighborEntry{v, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  QSC_CHECK(out_it != out_adj_.end() && out_it->node == v);
-  out_it->weight = weight;
+  const auto out_it = std::lower_bound(out_dst_.begin() + out_offsets_[u],
+                                       out_dst_.begin() + out_offsets_[u + 1],
+                                       v);
+  QSC_CHECK(out_it != out_dst_.end() && *out_it == v);
+  out_w_[out_it - out_dst_.begin()] = weight;
 
-  const auto in_it = std::lower_bound(
-      in_adj_.begin() + in_offsets_[v], in_adj_.begin() + in_offsets_[v + 1],
-      NeighborEntry{u, 0.0}, [](const NeighborEntry& a, const NeighborEntry& b) {
-        return a.node < b.node;
-      });
-  QSC_CHECK(in_it != in_adj_.end() && in_it->node == u);
-  in_it->weight = weight;
+  const auto in_it = std::lower_bound(in_src_.begin() + in_offsets_[v],
+                                      in_src_.begin() + in_offsets_[v + 1], u);
+  QSC_CHECK(in_it != in_src_.end() && *in_it == u);
+  in_w_[in_it - in_src_.begin()] = weight;
 }
 
 void Graph::RecomputeWeightCaches(NodeId u, NodeId v) {
@@ -325,14 +298,14 @@ void Graph::RecomputeWeightCaches(NodeId u, NodeId v) {
   // the rows of both endpoints in both directions.
   for (const NodeId x : {u, v}) {
     double out_sum = 0.0;
-    for (const NeighborEntry& e : OutNeighbors(x)) out_sum += e.weight;
+    for (const NeighborEntry e : OutNeighbors(x)) out_sum += e.weight;
     out_weight_[x] = out_sum;
     double in_sum = 0.0;
-    for (const NeighborEntry& e : InNeighbors(x)) in_sum += e.weight;
+    for (const NeighborEntry e : InNeighbors(x)) in_sum += e.weight;
     in_weight_[x] = in_sum;
   }
   double total = 0.0;
-  for (const NeighborEntry& e : out_adj_) total += e.weight;
+  for (const double w : out_w_) total += w;
   total_weight_ = total;
 }
 
@@ -340,7 +313,7 @@ std::vector<EdgeTriple> Graph::Arcs() const {
   std::vector<EdgeTriple> arcs;
   arcs.reserve(num_arcs());
   for (NodeId u = 0; u < num_nodes_; ++u) {
-    for (const NeighborEntry& e : OutNeighbors(u)) {
+    for (const NeighborEntry e : OutNeighbors(u)) {
       arcs.push_back({u, e.node, e.weight});
     }
   }

@@ -3,6 +3,13 @@
 // and all three application areas (max-flow, LP bipartite matrices,
 // centrality).
 //
+// Layout: struct-of-arrays. Endpoint ids and arc weights live in separate
+// packed arrays (`index[|V|+1]` offsets over `NodeId[]` + `double[]`), so
+// the witness scans and solvers stream two homogeneous, SIMD-friendly
+// streams instead of interleaved 16-byte structs — and so the arrays can be
+// aliased zero-copy by `GraphView` (qsc/graph/graph_view.h), including
+// straight off an mmap'd qsc-bin payload.
+//
 // Conventions (paper Sec. 3): an arc (u,v) exists iff its weight is nonzero;
 // undirected graphs are represented as symmetric directed graphs (each edge
 // stored as two arcs). Parallel input edges are coalesced by summing their
@@ -11,7 +18,9 @@
 #ifndef QSC_GRAPH_GRAPH_H_
 #define QSC_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "qsc/util/check.h"
@@ -19,9 +28,12 @@
 
 namespace qsc {
 
+// Node identifier; nodes of an n-node graph are [0, n).
 using NodeId = int32_t;
 
 // One adjacency entry: the endpoint and the (aggregated) arc weight.
+// Materialized on the fly by NeighborRange iteration; the stored layout
+// keeps ids and weights in separate arrays.
 struct NeighborEntry {
   NodeId node;
   double weight;
@@ -34,22 +46,123 @@ struct EdgeTriple {
   double weight;
 };
 
-class Graph {
+// Iterable view over one node's adjacency list, sorted by endpoint id: a
+// zip over the parallel (endpoint id, weight) arrays. Dereferencing yields
+// a NeighborEntry by value; `nodes()`/`weights()` expose the raw SoA
+// pointers for vectorizable inner loops. Cheap to copy; valid as long as
+// the graph (or mapped payload) that produced it.
+class NeighborRange {
  public:
-  // Iterable view over one node's adjacency list, sorted by endpoint id.
-  class NeighborRange {
+  // Proxy iterator over the zipped arrays. Random-access navigation is
+  // supported; dereference returns a NeighborEntry by value.
+  class Iterator {
    public:
-    NeighborRange(const NeighborEntry* begin, const NeighborEntry* end)
-        : begin_(begin), end_(end) {}
-    const NeighborEntry* begin() const { return begin_; }
-    const NeighborEntry* end() const { return end_; }
-    int64_t size() const { return end_ - begin_; }
-    bool empty() const { return begin_ == end_; }
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = NeighborEntry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NeighborEntry*;
+    using reference = NeighborEntry;
+
+    Iterator(const NodeId* node, const double* weight)
+        : node_(node), weight_(weight) {}
+
+    NeighborEntry operator*() const { return NeighborEntry{*node_, *weight_}; }
+    NeighborEntry operator[](difference_type i) const {
+      return NeighborEntry{node_[i], weight_[i]};
+    }
+
+    Iterator& operator++() {
+      ++node_;
+      ++weight_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    Iterator& operator--() {
+      --node_;
+      --weight_;
+      return *this;
+    }
+    Iterator operator--(int) {
+      Iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+    Iterator& operator+=(difference_type n) {
+      node_ += n;
+      weight_ += n;
+      return *this;
+    }
+    Iterator& operator-=(difference_type n) { return *this += -n; }
+    friend Iterator operator+(Iterator it, difference_type n) {
+      return it += n;
+    }
+    friend Iterator operator+(difference_type n, Iterator it) {
+      return it += n;
+    }
+    friend Iterator operator-(Iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const Iterator& a, const Iterator& b) {
+      return a.node_ - b.node_;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.node_ == b.node_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.node_ != b.node_;
+    }
+    friend bool operator<(const Iterator& a, const Iterator& b) {
+      return a.node_ < b.node_;
+    }
+    friend bool operator>(const Iterator& a, const Iterator& b) {
+      return b < a;
+    }
+    friend bool operator<=(const Iterator& a, const Iterator& b) {
+      return !(b < a);
+    }
+    friend bool operator>=(const Iterator& a, const Iterator& b) {
+      return !(a < b);
+    }
 
    private:
-    const NeighborEntry* begin_;
-    const NeighborEntry* end_;
+    const NodeId* node_;
+    const double* weight_;
   };
+
+  NeighborRange(const NodeId* nodes, const double* weights, int64_t size)
+      : nodes_(nodes), weights_(weights), size_(size) {}
+
+  Iterator begin() const { return Iterator(nodes_, weights_); }
+  Iterator end() const { return Iterator(nodes_ + size_, weights_ + size_); }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NeighborEntry operator[](int64_t i) const {
+    return NeighborEntry{nodes_[i], weights_[i]};
+  }
+
+  // Raw SoA pointers (size() entries each), for SIMD-friendly scans.
+  const NodeId* nodes() const { return nodes_; }
+  const double* weights() const { return weights_; }
+
+ private:
+  const NodeId* nodes_;
+  const double* weights_;
+  int64_t size_;
+};
+
+class GraphView;
+
+// Owning CSR graph. Immutable after construction except through the
+// Status-returning single-edge mutators.
+class Graph {
+ public:
+  // Compatibility alias; NeighborRange lives at namespace scope so
+  // GraphView can return the same type.
+  using NeighborRange = ::qsc::NeighborRange;
 
   Graph() = default;
 
@@ -75,6 +188,7 @@ class Graph {
   static Graph FromArcs(NodeId num_nodes, const std::vector<EdgeTriple>& arcs,
                         bool undirected);
 
+  // Number of nodes |V|.
   NodeId num_nodes() const { return num_nodes_; }
 
   // Number of stored directed arcs (for undirected graphs, twice the number
@@ -85,19 +199,25 @@ class Graph {
   // graphs, symmetric arc pairs count once.
   int64_t num_edges() const;
 
+  // True when the graph stores a symmetric arc set addressed as edges.
   bool undirected() const { return undirected_; }
 
+  // Out-adjacency of u, sorted by endpoint id.
   NeighborRange OutNeighbors(NodeId u) const {
     QSC_DCHECK(u >= 0 && u < num_nodes_);
-    return NeighborRange(out_adj_.data() + out_offsets_[u],
-                         out_adj_.data() + out_offsets_[u + 1]);
+    return NeighborRange(out_dst_.data() + out_offsets_[u],
+                         out_w_.data() + out_offsets_[u],
+                         out_offsets_[u + 1] - out_offsets_[u]);
   }
+  // In-adjacency of u, sorted by source id.
   NeighborRange InNeighbors(NodeId u) const {
     QSC_DCHECK(u >= 0 && u < num_nodes_);
-    return NeighborRange(in_adj_.data() + in_offsets_[u],
-                         in_adj_.data() + in_offsets_[u + 1]);
+    return NeighborRange(in_src_.data() + in_offsets_[u],
+                         in_w_.data() + in_offsets_[u],
+                         in_offsets_[u + 1] - in_offsets_[u]);
   }
 
+  // Arc counts of one node's rows.
   int64_t OutDegree(NodeId u) const { return OutNeighbors(u).size(); }
   int64_t InDegree(NodeId u) const { return InNeighbors(u).size(); }
 
@@ -140,6 +260,9 @@ class Graph {
   friend bool operator!=(const Graph& a, const Graph& b) { return !(a == b); }
 
  private:
+  // Aliases the SoA arrays zero-copy (qsc/graph/graph_view.h).
+  friend class GraphView;
+
   // Shared tail of FromEdges/FromArcs: `arcs` must already be coalesced
   // (sorted by (src, dst), duplicates summed, exact zeros dropped).
   static Graph FromCoalescedArcs(NodeId num_nodes, std::vector<EdgeTriple> arcs,
@@ -163,12 +286,15 @@ class Graph {
   bool undirected_ = false;
   int64_t num_edges_ = 0;
 
+  // Out-CSR, sorted by (src, dst): offsets over parallel id/weight arrays.
   std::vector<int64_t> out_offsets_;  // size num_nodes_ + 1
-  std::vector<NeighborEntry> out_adj_;
-  std::vector<NodeId> out_dst_;  // parallel to out_adj_, for cheap scans
+  std::vector<NodeId> out_dst_;
+  std::vector<double> out_w_;
 
+  // In-CSR, rows sorted by source id.
   std::vector<int64_t> in_offsets_;
-  std::vector<NeighborEntry> in_adj_;
+  std::vector<NodeId> in_src_;
+  std::vector<double> in_w_;
 
   std::vector<double> out_weight_;
   std::vector<double> in_weight_;

@@ -1,0 +1,123 @@
+#include "qsc/graph/graph_view.h"
+
+#include <algorithm>
+
+#include "qsc/graph/io.h"
+
+namespace qsc {
+
+GraphView::GraphView(const Graph& g)
+    : num_nodes_(g.num_nodes_),
+      num_arcs_(g.num_arcs()),
+      num_edges_(g.num_edges_),
+      undirected_(g.undirected_),
+      total_weight_(g.total_weight_),
+      out_offsets_(g.out_offsets_.data()),
+      out_dst_(g.out_dst_.data()),
+      out_w_(g.out_w_.data()),
+      in_offsets_(g.in_offsets_.data()),
+      in_src_(g.in_src_.data()),
+      in_w_(g.in_w_.data()),
+      out_weight_(g.out_weight_.data()),
+      in_weight_(g.in_weight_.data()) {}
+
+GraphView GraphView::Of(const MappedGraph& m) {
+  GraphView v;
+  const NodeId n = m.num_nodes();
+  const int64_t arcs = m.num_arcs();
+  const int64_t* off = m.offsets();
+  const NodeId* dst = m.dst();
+  const double* w = m.weights();
+  QSC_CHECK(off != nullptr);  // rejects a moved-from MappedGraph
+
+  v.num_nodes_ = n;
+  v.num_arcs_ = arcs;
+  v.undirected_ = m.undirected();
+  v.out_offsets_ = off;
+  v.out_dst_ = dst;
+  v.out_w_ = w;
+
+  auto derived = std::make_shared<Derived>();
+
+  // Per-node weight caches, total weight, and the loop count for
+  // num_edges, accumulated per arc in global (src, dst) order — the exact
+  // order Graph::FromCoalescedArcs uses, so the mapped view's caches are
+  // bitwise equal to Materialize()'s.
+  derived->out_weight.assign(n, 0.0);
+  derived->in_weight.assign(n, 0.0);
+  double total = 0.0;
+  int64_t loops = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int64_t i = off[u]; i < off[u + 1]; ++i) {
+      derived->out_weight[u] += w[i];
+      derived->in_weight[dst[i]] += w[i];
+      total += w[i];
+      if (dst[i] == u) ++loops;
+    }
+  }
+  v.total_weight_ = total;
+  v.num_edges_ = v.undirected_ ? (arcs - loops) / 2 + loops : arcs;
+
+  if (v.undirected_) {
+    // The format validator guarantees a bit-identical mirror for every
+    // arc, so the symmetric out-CSR doubles as the in-CSR.
+    v.in_offsets_ = off;
+    v.in_src_ = dst;
+    v.in_w_ = w;
+  } else {
+    // Counting sort in (src, dst) order yields in-rows sorted by source,
+    // matching the owning Graph's in-CSR exactly.
+    derived->in_offsets.assign(n + 1, 0);
+    for (int64_t i = 0; i < arcs; ++i) ++derived->in_offsets[dst[i] + 1];
+    for (NodeId u = 0; u < n; ++u) {
+      derived->in_offsets[u + 1] += derived->in_offsets[u];
+    }
+    derived->in_src.resize(arcs);
+    derived->in_w.resize(arcs);
+    std::vector<int64_t> cursor(derived->in_offsets.begin(),
+                                derived->in_offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (int64_t i = off[u]; i < off[u + 1]; ++i) {
+        const int64_t pos = cursor[dst[i]]++;
+        derived->in_src[pos] = u;
+        derived->in_w[pos] = w[i];
+      }
+    }
+    v.in_offsets_ = derived->in_offsets.data();
+    v.in_src_ = derived->in_src.data();
+    v.in_w_ = derived->in_w.data();
+  }
+
+  v.out_weight_ = derived->out_weight.data();
+  v.in_weight_ = derived->in_weight.data();
+  v.derived_ = std::move(derived);
+  return v;
+}
+
+bool GraphView::HasArc(NodeId u, NodeId v) const {
+  QSC_DCHECK(u >= 0 && u < num_nodes_);
+  return std::binary_search(out_dst_ + out_offsets_[u],
+                            out_dst_ + out_offsets_[u + 1], v);
+}
+
+double GraphView::ArcWeight(NodeId u, NodeId v) const {
+  QSC_DCHECK(u >= 0 && u < num_nodes_);
+  const NodeId* row_begin = out_dst_ + out_offsets_[u];
+  const NodeId* row_end = out_dst_ + out_offsets_[u + 1];
+  const NodeId* it = std::lower_bound(row_begin, row_end, v);
+  if (it != row_end && *it == v) return out_w_[it - out_dst_];
+  return 0.0;
+}
+
+std::vector<EdgeTriple> GraphView::Arcs() const {
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(num_arcs_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; ++i) {
+      arcs.push_back({u, out_dst_[i], out_w_[i]});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace qsc

@@ -1,0 +1,175 @@
+// Compressor::FromFile (qsc/api/compressor.h): the zero-copy mmap
+// serving path. All five query kinds must answer bit-identically to a
+// session built from the materialized graph, graph() must lazily
+// materialize without disturbing serving, and ApplyEdits must perform
+// the one-time copy-on-write materialization and keep the session
+// serving the mutated graph.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsc/api/compressor.h"
+#include "qsc/dynamic/edit_stream.h"
+#include "qsc/graph/generators.h"
+#include "qsc/graph/io.h"
+#include "qsc/lp/generators.h"
+#include "qsc/util/random.h"
+
+namespace qsc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Graph DirectedBa(NodeId n, uint64_t seed) {
+  Rng rng(seed);
+  const Graph ba = BarabasiAlbert(n, 3, rng);
+  return Graph::FromArcs(ba.num_nodes(), ba.Arcs(), /*undirected=*/false);
+}
+
+// Writes `g`, opens a FromFile session on it, and hands both to `fn`.
+template <typename Fn>
+void WithMappedSession(const Graph& g, const std::string& name, Fn fn) {
+  const std::string path = TempPath(name);
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  StatusOr<Compressor> session = Compressor::FromFile(path);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  fn(*session);
+  std::remove(path.c_str());
+}
+
+TEST(ServingMmapTest, FromFileMissingFileFails) {
+  const StatusOr<Compressor> session =
+      Compressor::FromFile(TempPath("absent.qscbin"));
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(ServingMmapTest, FromFileHasGraphWithoutMaterializing) {
+  const Graph g = DirectedBa(120, 5);
+  WithMappedSession(g, "mmap_has_graph.qscbin", [&](Compressor& session) {
+    EXPECT_TRUE(session.has_graph());
+    EXPECT_EQ(session.graph_version(), 0);
+  });
+}
+
+TEST(ServingMmapTest, AllFiveQueryKindsMatchMaterializedSession) {
+  const Graph g = DirectedBa(300, 9);
+  Compressor reference(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  WithMappedSession(g, "mmap_identity.qscbin", [&](Compressor& session) {
+    QueryOptions options;
+    options.max_colors = 24;
+
+    const auto want_coloring = reference.Coloring(options);
+    const auto got_coloring = session.Coloring(options);
+    ASSERT_TRUE(want_coloring.ok());
+    ASSERT_TRUE(got_coloring.ok());
+    EXPECT_EQ(*got_coloring->coloring, *want_coloring->coloring);
+    EXPECT_EQ(got_coloring->max_q, want_coloring->max_q);
+
+    const auto want_flow = reference.MaxFlow(0, 42, options);
+    const auto got_flow = session.MaxFlow(0, 42, options);
+    ASSERT_TRUE(want_flow.ok());
+    ASSERT_TRUE(got_flow.ok());
+    EXPECT_EQ(got_flow->upper_bound, want_flow->upper_bound);
+    EXPECT_EQ(got_flow->num_colors, want_flow->num_colors);
+
+    const std::vector<std::pair<NodeId, NodeId>> pairs = {{1, 7}, {3, 19}};
+    const auto want_batch = reference.MaxFlowBatch(pairs, options);
+    const auto got_batch = session.MaxFlowBatch(pairs, options);
+    ASSERT_TRUE(want_batch.ok());
+    ASSERT_TRUE(got_batch.ok());
+    ASSERT_EQ(got_batch->size(), want_batch->size());
+    for (size_t i = 0; i < got_batch->size(); ++i) {
+      EXPECT_EQ((*got_batch)[i].upper_bound, (*want_batch)[i].upper_bound);
+    }
+
+    QueryOptions lp_options;
+    lp_options.max_colors = 8;
+    const auto want_lp = reference.SolveLp(Figure3Lp(), lp_options);
+    const auto got_lp = session.SolveLp(Figure3Lp(), lp_options);
+    ASSERT_TRUE(want_lp.ok());
+    ASSERT_TRUE(got_lp.ok());
+    EXPECT_EQ(got_lp->lifted_x, want_lp->lifted_x);
+
+    const auto want_central = reference.Centrality(options);
+    const auto got_central = session.Centrality(options);
+    ASSERT_TRUE(want_central.ok());
+    ASSERT_TRUE(got_central.ok());
+    EXPECT_EQ(got_central->scores, want_central->scores);
+  });
+}
+
+TEST(ServingMmapTest, GraphLazilyMaterializesAndMatchesReadBinary) {
+  const Graph g = DirectedBa(150, 13);
+  WithMappedSession(g, "mmap_lazy_graph.qscbin", [&](Compressor& session) {
+    // graph() materializes an owning copy equal to the serialized graph;
+    // queries before and after agree (serving stays on the view).
+    QueryOptions options;
+    options.max_colors = 16;
+    const auto before = session.Coloring(options);
+    ASSERT_TRUE(before.ok());
+    EXPECT_TRUE(session.graph() == g);
+    const auto after = session.Coloring(options);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after->coloring, *before->coloring);
+  });
+}
+
+TEST(ServingMmapTest, ApplyEditsCopyOnWriteMatchesInMemorySession) {
+  const Graph g = DirectedBa(200, 17);
+  const StatusOr<std::vector<dynamic::EditOp>> edits =
+      dynamic::GenerateEdits(g, dynamic::EditKind::kInsertEdge, 6, 17);
+  ASSERT_TRUE(edits.ok());
+  Compressor reference(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g));
+  WithMappedSession(g, "mmap_cow_edits.qscbin", [&](Compressor& session) {
+    QueryOptions options;
+    options.max_colors = 24;
+    // Warm the caches pre-edit so the repair path runs on both sides.
+    ASSERT_TRUE(session.Coloring(options).ok());
+    ASSERT_TRUE(reference.Coloring(options).ok());
+
+    const auto got_edit = session.ApplyEdits(*edits);
+    const auto want_edit = reference.ApplyEdits(*edits);
+    ASSERT_TRUE(got_edit.ok()) << got_edit.status().message();
+    ASSERT_TRUE(want_edit.ok());
+    EXPECT_EQ(got_edit->edits_applied, want_edit->edits_applied);
+    EXPECT_EQ(session.graph_version(), 1);
+
+    const auto got = session.Coloring(options);
+    const auto want = reference.Coloring(options);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(*got->coloring, *want->coloring);
+    EXPECT_EQ(got->max_q, want->max_q);
+    // The copy-on-write materialization happened; graph() now returns the
+    // mutated owning graph.
+    EXPECT_EQ(session.graph().num_edges(), g.num_edges() + 6);
+  });
+}
+
+TEST(ServingMmapTest, FileCanBeRemovedWhileSessionServes) {
+  // mmap keeps the pages alive after the directory entry is gone — a
+  // service can open a snapshot and let the producer rotate the file.
+  const Graph g = DirectedBa(100, 21);
+  const std::string path = TempPath("mmap_unlinked.qscbin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  StatusOr<Compressor> session = Compressor::FromFile(path);
+  ASSERT_TRUE(session.ok());
+  std::remove(path.c_str());
+  QueryOptions options;
+  options.max_colors = 8;
+  const auto result = session->Coloring(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->coloring->num_colors(), 0);
+}
+
+}  // namespace
+}  // namespace qsc

@@ -25,6 +25,15 @@ TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
   EXPECT_EQ(session.stats().coloring.misses, 1);
   EXPECT_EQ(ColoringSpec{}, ColoringSpec{});
 
+  // The zero-copy serving surface: GraphView aliases an owning Graph,
+  // and Compressor::FromFile is declared (a missing file exercises only
+  // the Status path — no fixture needed here).
+  const GraphView view(g);
+  EXPECT_EQ(view.num_arcs(), g.num_arcs());
+  const StatusOr<Compressor> absent =
+      Compressor::FromFile("/nonexistent/umbrella.qscbin");
+  EXPECT_FALSE(absent.ok());
+
   const Partition stable = StableColoring(g);
   EXPECT_GE(stable.num_colors(), 1);
 
